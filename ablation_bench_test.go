@@ -1,0 +1,246 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: how
+// the instability scales with the endpoint pool size, the accept
+// backlog, the millibottleneck duration, the retransmission schedule,
+// the balancer's sweep budget, and the policy choice (including the
+// extension policies). Each sub-benchmark runs one paper-topology
+// configuration and reports mean response time and VLRT share.
+package millibalance_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"millibalance/internal/cluster"
+	"millibalance/internal/lb"
+	"millibalance/internal/mbneck"
+	"millibalance/internal/netmodel"
+)
+
+// ablationConfig is the common starting point: the paper topology under
+// the original total_request policy for a shorter 15 s window.
+func ablationConfig() cluster.Config {
+	cfg := cluster.PaperConfig()
+	cfg.Duration = 15 * time.Second
+	return cfg
+}
+
+func reportRun(b *testing.B, res *cluster.Results) {
+	b.Helper()
+	b.ReportMetric(float64(res.Responses.Mean().Microseconds())/1000, "mean_ms")
+	b.ReportMetric(res.Responses.VLRTPercent(), "vlrt_pct")
+	b.ReportMetric(float64(res.Drops), "drops")
+}
+
+func BenchmarkAblationConnPoolSize(b *testing.B) {
+	for _, pool := range []int{10, 25, 50, 100} {
+		b.Run(fmt.Sprintf("pool=%d", pool), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.ConnPoolSize = pool
+				reportRun(b, cluster.Run(cfg))
+			}
+		})
+	}
+}
+
+func BenchmarkAblationAcceptBacklog(b *testing.B) {
+	for _, backlog := range []int{64, 128, 256, 512} {
+		b.Run(fmt.Sprintf("backlog=%d", backlog), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.WebBacklog = backlog
+				reportRun(b, cluster.Run(cfg))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStallDuration scripts one stall of each length on an
+// otherwise quiet cluster and reports the VLRT fallout — where does a
+// "millibottleneck" start mattering?
+func BenchmarkAblationStallDuration(b *testing.B) {
+	for _, stall := range []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 800 * time.Millisecond,
+	} {
+		b.Run(fmt.Sprintf("stall=%v", stall), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := cluster.BaselineConfig()
+				cfg.Duration = 12 * time.Second
+				c := cluster.New(cfg)
+				inj := mbneck.NewScriptedStalls(c.Eng, "ablation", c.Apps[0].CPU(),
+					[]mbneck.StallEvent{{At: 5 * time.Second, Duration: stall}})
+				inj.Start()
+				res := c.Run()
+				b.ReportMetric(float64(res.Responses.VLRTCount()), "vlrt_total")
+				b.ReportMetric(float64(res.Drops), "drops")
+				_, appPeak := res.AppTierQueue.PeakWindow()
+				b.ReportMetric(appPeak, "app_queue_peak")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationRetransmitSchedule(b *testing.B) {
+	schedules := []struct {
+		name     string
+		schedule netmodel.RetransmitSchedule
+	}{
+		{"1s_x3", netmodel.RetransmitSchedule{time.Second, time.Second, time.Second}},
+		{"exp_1s_2s_4s", netmodel.RetransmitSchedule{time.Second, 2 * time.Second, 4 * time.Second}},
+		{"fast_200ms_x5", netmodel.RetransmitSchedule{
+			200 * time.Millisecond, 200 * time.Millisecond, 200 * time.Millisecond,
+			200 * time.Millisecond, 200 * time.Millisecond}},
+	}
+	for _, s := range schedules {
+		b.Run(s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.Retransmit = s.schedule
+				res := cluster.Run(cfg)
+				reportRun(b, res)
+				b.ReportMetric(float64(res.GiveUps), "give_ups")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSweeps contrasts failing a request after one sweep
+// (fast 503s) against mod_jk's re-sweeping (delayed but successful).
+func BenchmarkAblationSweeps(b *testing.B) {
+	for _, sweeps := range []int{1, 3, 6} {
+		b.Run(fmt.Sprintf("sweeps=%d", sweeps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.LB = lb.Config{Sweeps: sweeps}
+				res := cluster.Run(cfg)
+				reportRun(b, res)
+				b.ReportMetric(float64(res.Responses.Failures()), "error_responses")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPolicies compares every policy (paper + extensions)
+// under the original mechanism with natural millibottlenecks.
+func BenchmarkAblationPolicies(b *testing.B) {
+	for _, policy := range lb.PolicyNames() {
+		b.Run(policy, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.Policy = policy
+				if policy == "recent_request" {
+					cfg.LB = lb.Config{MaintainInterval: 200 * time.Millisecond}
+				}
+				reportRun(b, cluster.Run(cfg))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFlushInterval varies the writeback interval: longer
+// intervals mean rarer but bigger flushes (the dirty backlog grows),
+// the paper's explanation for why its baseline remedy (600 s interval +
+// large allowance) works only when the allowance also grows.
+func BenchmarkAblationFlushInterval(b *testing.B) {
+	for _, interval := range []time.Duration{2 * time.Second, 5 * time.Second, 10 * time.Second} {
+		b.Run(fmt.Sprintf("interval=%v", interval), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.AppWriteback.Interval = interval
+				reportRun(b, cluster.Run(cfg))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMix contrasts the browse-only and read/write
+// interaction mixes (RUBBoS ships both) under the original policy.
+func BenchmarkAblationMix(b *testing.B) {
+	for _, browse := range []bool{false, true} {
+		name := "read_write"
+		if browse {
+			name = "browse_only"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.BrowseOnly = browse
+				reportRun(b, cluster.Run(cfg))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStickySessions quantifies the interaction of session
+// affinity with the instability: sticky sessions bypass the policy for
+// bound clients, so even current_load cannot steer a pinned session away
+// from its millibottlenecked backend (it only re-routes on endpoint-pool
+// exhaustion).
+func BenchmarkAblationStickySessions(b *testing.B) {
+	for _, sticky := range []bool{false, true} {
+		for _, policy := range []string{"total_request", "current_load"} {
+			name := fmt.Sprintf("%s/sticky=%v", policy, sticky)
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cfg := ablationConfig()
+					cfg.Policy = policy
+					cfg.LB = lb.Config{StickySessions: sticky}
+					reportRun(b, cluster.Run(cfg))
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationLoadLevel sweeps the offered load (client count):
+// the paper's phenomenon appears at moderate utilization and worsens
+// with load, but never requires saturation.
+func BenchmarkAblationLoadLevel(b *testing.B) {
+	for _, clients := range []int{35000, 70000, 105000} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.Clients = clients
+				reportRun(b, cluster.Run(cfg))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTierWidth sweeps the application-tier width: with
+// more backends, each millibottleneck idles a smaller capacity share,
+// but the funneling instability still concentrates every new request on
+// the one stalled server.
+func BenchmarkAblationTierWidth(b *testing.B) {
+	for _, apps := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("apps=%d", apps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.NumApp = apps
+				reportRun(b, cluster.Run(cfg))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationArrivalModel contrasts the closed-loop client
+// population (arrivals throttle while requests queue) with an open-loop
+// Poisson process at the same average rate (arrivals keep coming while
+// the system is wedged) — the workload-model sensitivity of the
+// instability.
+func BenchmarkAblationArrivalModel(b *testing.B) {
+	b.Run("closed_loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reportRun(b, cluster.Run(ablationConfig()))
+		}
+	})
+	b.Run("open_loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := ablationConfig()
+			cfg.OpenLoopRate = 10000 // the closed loop's average rate
+			reportRun(b, cluster.Run(cfg))
+		}
+	})
+}

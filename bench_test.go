@@ -1,0 +1,172 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per
+// table and figure. Each iteration executes the corresponding experiment
+// end-to-end on the simulated paper-scale testbed and reports the
+// headline findings as custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation and prints the shape of every result
+// (who wins, by what factor, where the VLRT clusters fall).
+package millibalance_test
+
+import (
+	"testing"
+
+	"millibalance/internal/experiments"
+)
+
+// benchOpt runs each experiment at 1/6 of the paper's 180 s duration —
+// long enough for six flush cycles per application server.
+var benchOpt = experiments.Options{DurationScale: 1.0 / 6}
+
+func BenchmarkTableISummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTableI(benchOpt)
+		orig := res.Row("total_request", "original_get_endpoint")
+		cur := res.Row("current_load", "original_get_endpoint")
+		b.ReportMetric(res.ImprovementFactor(), "improvement_x")
+		b.ReportMetric(orig.AvgRTMillis, "orig_mean_ms")
+		b.ReportMetric(cur.AvgRTMillis, "remedy_mean_ms")
+		b.ReportMetric(orig.VLRTPct, "orig_vlrt_pct")
+		b.ReportMetric(cur.VLRTPct, "remedy_vlrt_pct")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFigure1Baseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure1(benchOpt)
+		b.ReportMetric(res.AvgRTMillis, "mean_ms")
+		b.ReportMetric(float64(res.VLRTCount), "vlrt_total")
+		b.ReportMetric(res.MaxWindowRTMillis, "worst_window_ms")
+	}
+}
+
+func BenchmarkFigure2CausalChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure2(benchOpt)
+		b.ReportMetric(float64(res.VLRTTotal), "vlrt_total")
+		b.ReportMetric(float64(len(res.Saturations)), "millibottlenecks")
+		b.ReportMetric(res.Attribution*100, "vlrt_attribution_pct")
+		b.ReportMetric(res.QueueCPUPearson, "queue_cpu_pearson")
+	}
+}
+
+func BenchmarkFigure3PointInTimeRT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure3(benchOpt)
+		b.ReportMetric(res.PeakWindowRTMillis, "peak_window_ms")
+		b.ReportMetric(res.FluctuationRatio, "peak_over_median_x")
+	}
+}
+
+func BenchmarkFigure4RTDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure4(benchOpt)
+		b.ReportMetric(float64(res.ClusterCounts[0]), "cluster_1s")
+		b.ReportMetric(float64(res.ClusterCounts[1]), "cluster_2s")
+		b.ReportMetric(float64(res.ClusterCounts[2]), "cluster_3s")
+	}
+}
+
+func BenchmarkFigure5AvgCPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure5(benchOpt)
+		b.ReportMetric(res.MaxAverage, "max_avg_cpu_pct")
+	}
+}
+
+func reportInstability(b *testing.B, res experiments.InstabilityResult) {
+	b.Helper()
+	b.ReportMetric(res.StalledShare[0]*100, "phase1_share_pct")
+	b.ReportMetric(res.StalledShare[1]*100, "phase2_share_pct")
+	b.ReportMetric(res.StalledShare[2]*100, "phase3_share_pct")
+	b.ReportMetric(res.StalledShare[3]*100, "phase4_share_pct")
+	b.ReportMetric(res.StalledQueuePeak, "stalled_queue_peak")
+	b.ReportMetric(float64(res.VLRTTotal), "vlrt_total")
+}
+
+func BenchmarkFigure6TotalRequestInstability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportInstability(b, experiments.RunFigure6(benchOpt))
+	}
+}
+
+func BenchmarkFigure7TotalTrafficInstability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportInstability(b, experiments.RunFigure7(benchOpt))
+	}
+}
+
+func BenchmarkFigure8ModifiedGetEndpointQueues(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure8(benchOpt)
+		b.ReportMetric(res.AppTierPeak, "remedy_app_peak")
+		b.ReportMetric(res.OriginalAppTierPeak, "orig_app_peak")
+		b.ReportMetric(res.QueueReductionPct(), "queue_reduction_pct")
+	}
+}
+
+func BenchmarkFigure9ModifiedGetEndpointDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportInstability(b, experiments.RunFigure9(benchOpt))
+	}
+}
+
+func reportLBValues(b *testing.B, res experiments.LBValueResult) {
+	b.Helper()
+	bool01 := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	b.ReportMetric(bool01(res.StalledIsMinDuringStall), "stalled_is_min")
+	b.ReportMetric(bool01(res.StalledIsMaxDuringRecovery), "recovery_spike")
+}
+
+func BenchmarkFigure10TotalRequestLbValues(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportLBValues(b, experiments.RunFigure10(benchOpt))
+	}
+}
+
+func BenchmarkFigure11TotalTrafficLbValues(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportLBValues(b, experiments.RunFigure11(benchOpt))
+	}
+}
+
+func BenchmarkFigure12CurrentLoadQueues(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure12(benchOpt)
+		b.ReportMetric(res.AppTierPeak, "remedy_app_peak")
+		b.ReportMetric(res.OriginalAppTierPeak, "orig_app_peak")
+	}
+}
+
+func BenchmarkFigure13CurrentLoadDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure13(benchOpt)
+		reportInstability(b, res)
+		b.ReportMetric(res.HealthyQueuePeak, "healthy_queue_peak")
+	}
+}
+
+// BenchmarkGeneralization backs the paper's concluding claim: the
+// remedies shorten the latency tail for millibottlenecks from every
+// cause the paper catalogs — dirty-page flushing, GC pauses,
+// VM-colocation interference and bursty workloads.
+func BenchmarkGeneralization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunGeneralization(benchOpt)
+		for _, c := range res.Causes {
+			b.ReportMetric(c.ImprovementX, c.Cause+"_improve_x")
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}

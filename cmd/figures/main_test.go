@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestFigureTableCoversAllThirteen(t *testing.T) {
+	figs := figureTable()
+	if len(figs) != 13 {
+		t.Fatalf("%d figures registered", len(figs))
+	}
+	seen := map[int]bool{}
+	for _, f := range figs {
+		if f.id < 1 || f.id > 13 || seen[f.id] {
+			t.Fatalf("bad or duplicate figure id %d", f.id)
+		}
+		seen[f.id] = true
+		if f.title == "" || f.run == nil {
+			t.Fatalf("figure %d incomplete", f.id)
+		}
+	}
+}
+
+func TestRunSingleFigureWithTSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "1", "-scale", "0.02", "-tsv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Figure 1") || !strings.Contains(got, "t_sec\trt_ms") {
+		t.Fatalf("output:\n%s", got)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "99"}, &out); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if err := run([]string{}, &out); err == nil {
+		t.Fatal("no figure selected but no error")
+	}
+}
+
+func TestRunWritesToOutDir(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-fig", "1", "-scale", "0.02", "-tsv", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dir + "/fig01.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "t_sec") {
+		t.Fatalf("fig01.txt missing TSV: %.80s", data)
+	}
+}

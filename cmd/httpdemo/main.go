@@ -1,0 +1,126 @@
+// Command httpdemo demonstrates the paper's instability over real
+// loopback HTTP: it boots a database stub, application servers and a
+// web-tier proxy, drives closed-loop clients, injects a millibottleneck
+// (a stall) on one application server mid-run, and prints the latency
+// profile. Run it once per configuration to compare:
+//
+//	httpdemo -policy total_request -mechanism original
+//	httpdemo -policy current_load  -mechanism modified
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"millibalance/internal/httpcluster"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "httpdemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("httpdemo", flag.ContinueOnError)
+	policyName := fs.String("policy", "total_request", "total_request, total_traffic or current_load")
+	mechName := fs.String("mechanism", "original", "original or modified")
+	apps := fs.Int("apps", 2, "application servers")
+	clients := fs.Int("clients", 24, "closed-loop clients")
+	duration := fs.Duration("duration", 3*time.Second, "load duration")
+	stallAt := fs.Duration("stall-at", time.Second, "when to inject the millibottleneck")
+	stallFor := fs.Duration("stall-for", 400*time.Millisecond, "millibottleneck length")
+	endpoints := fs.Int("endpoints", 4, "proxy endpoint pool per backend")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, err := httpcluster.ParsePolicy(*policyName)
+	if err != nil {
+		return err
+	}
+	mech, err := httpcluster.ParseMechanism(*mechName)
+	if err != nil {
+		return err
+	}
+
+	db, err := httpcluster.StartDBServer(200 * time.Microsecond)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = db.Close() }()
+
+	var appServers []*httpcluster.AppServer
+	var backends []*httpcluster.Backend
+	for i := 0; i < *apps; i++ {
+		name := fmt.Sprintf("app%d", i+1)
+		app, err := httpcluster.StartAppServer(httpcluster.AppServerConfig{
+			Name:        name,
+			Workers:     64,
+			ServiceTime: 2 * time.Millisecond,
+			DBURL:       db.URL(),
+			DBQueries:   1,
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = app.Close() }()
+		appServers = append(appServers, app)
+		backends = append(backends, httpcluster.NewBackend(name, app.URL(), *endpoints))
+	}
+
+	proxy, err := httpcluster.StartProxy(httpcluster.ProxyConfig{
+		Workers:   128,
+		Policy:    policy,
+		Mechanism: mech,
+	}, backends)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = proxy.Close() }()
+
+	fmt.Printf("3-tier loopback cluster: proxy %s → %d app servers → db %s\n",
+		proxy.URL(), *apps, db.URL())
+	fmt.Printf("policy=%s mechanism=%s; stalling app1 for %v at t=%v\n",
+		policy, mech, *stallFor, *stallAt)
+
+	timer := time.AfterFunc(*stallAt, func() {
+		fmt.Printf("!! millibottleneck: app1 frozen for %v\n", *stallFor)
+		appServers[0].Stall(*stallFor)
+	})
+	defer timer.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	stats := httpcluster.RunLoad(ctx, proxy.URL(), httpcluster.LoadGenConfig{
+		Clients:   *clients,
+		ThinkTime: 10 * time.Millisecond,
+	}, 100*time.Millisecond, 300*time.Millisecond)
+
+	fmt.Printf("\nrequests: %d total, %d failed, %d rejected by the balancer\n",
+		stats.Total(), stats.Failures(), proxy.Balancer().Rejects())
+	fmt.Printf("latency: mean=%v p50=%v p90=%v p99=%v max=%v\n",
+		stats.Mean().Round(time.Microsecond*100), stats.Quantile(0.5).Round(time.Microsecond*100),
+		stats.Quantile(0.9).Round(time.Microsecond*100), stats.Quantile(0.99).Round(time.Microsecond*100),
+		stats.Max().Round(time.Millisecond))
+	fmt.Printf("slow requests: ≥100ms: %d, ≥300ms: %d\n",
+		stats.CountOver(100*time.Millisecond), stats.CountOver(300*time.Millisecond))
+	for _, be := range proxy.Balancer().Backends() {
+		fmt.Printf("backend %s: dispatched=%d completed=%d lb_value=%.0f state=%v\n",
+			be.Name(), be.Dispatched(), be.Completed(), be.LBValue(), be.State())
+	}
+	fmt.Println("\nlatency timeline (mean/max ms per 100ms window):")
+	tl := stats.Timeline()
+	for i := 0; i < tl.Len(); i++ {
+		w := tl.At(i)
+		if w.Count == 0 {
+			continue
+		}
+		fmt.Printf("  t=%4.1fs  n=%-4d mean=%7.1f  max=%7.1f\n",
+			tl.Start(i).Seconds(), w.Count, w.Mean(), w.Max)
+	}
+	return nil
+}

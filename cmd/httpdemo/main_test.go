@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunShortDemo(t *testing.T) {
+	err := run([]string{
+		"-duration", "400ms",
+		"-stall-at", "100ms",
+		"-stall-for", "100ms",
+		"-clients", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadPolicy(t *testing.T) {
+	if err := run([]string{"-policy", "bogus"}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestRunRejectsBadMechanism(t *testing.T) {
+	if err := run([]string{"-mechanism", "bogus"}); err == nil {
+		t.Fatal("bad mechanism accepted")
+	}
+}

@@ -1,0 +1,147 @@
+// Command lbsim runs one n-tier load-balancing experiment and prints a
+// summary: throughput, response-time statistics, VLRT/normal shares,
+// drop counts and per-server load. It is the generic driver; use
+// cmd/rubbos-bench for the paper's Table I and cmd/figures for figure
+// series.
+//
+// Examples:
+//
+//	lbsim -policy total_request -mechanism original -duration 30s
+//	lbsim -policy current_load -scale 0.2 -quiet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"millibalance/internal/cluster"
+	"millibalance/internal/config"
+	"millibalance/internal/lb"
+	"millibalance/internal/resource"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lbsim", flag.ContinueOnError)
+	policy := fs.String("policy", "total_request",
+		"load balancing policy: "+strings.Join(lb.PolicyNames(), ", "))
+	mechanism := fs.String("mechanism", "original",
+		"get_endpoint mechanism: original or modified")
+	duration := fs.Duration("duration", 30*time.Second, "virtual run duration")
+	clients := fs.Int("clients", 0, "override client count (0 = config default)")
+	scale := fs.Float64("scale", 1.0, "client-count scale factor")
+	seed := fs.Uint64("seed", 0, "override random seed (0 = config default)")
+	quiet := fs.Bool("quiet", false, "disable millibottlenecks (baseline environment)")
+	mini := fs.Bool("mini", false, "use the small test topology instead of the paper topology")
+	browse := fs.Bool("browse-only", false, "use the browse-only mix")
+	configFile := fs.String("config-file", "", "load the experiment from a JSON config file")
+	dumpConfig := fs.Bool("dump-config", false, "print the effective config as JSON and exit")
+	traceFile := fs.String("trace", "", "write the per-request access log as CSV to this file")
+	sticky := fs.Bool("sticky", false, "enable mod_jk sticky sessions")
+	openLoop := fs.Float64("open-loop-rate", 0, "use Poisson arrivals at this rate (req/s) instead of closed-loop clients")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := cluster.PaperConfig()
+	if *mini {
+		cfg = cluster.MiniConfig()
+	}
+	if *configFile != "" {
+		f, err := os.Open(*configFile)
+		if err != nil {
+			return err
+		}
+		cfg, err = config.Load(f)
+		closeErr := f.Close()
+		if err != nil {
+			return err
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+	}
+	cfg.Policy = *policy
+	cfg.Mechanism = *mechanism
+	cfg.Duration = *duration
+	cfg.BrowseOnly = *browse
+	if *clients > 0 {
+		cfg.Clients = *clients
+	}
+	if *scale != 1.0 {
+		cfg = cfg.Scale(*scale, 1)
+	}
+	if *seed != 0 {
+		cfg.Seed1 = *seed
+	}
+	if *quiet {
+		cfg.AppWriteback = resource.DisabledWritebackConfig()
+		cfg.WebWriteback = resource.DisabledWritebackConfig()
+	}
+	if *sticky {
+		cfg.LB.StickySessions = true
+	}
+	if *openLoop > 0 {
+		cfg.OpenLoopRate = *openLoop
+	}
+	if *traceFile != "" && cfg.TraceCapacity == 0 {
+		cfg.TraceCapacity = 4 << 20 // plenty for any run this CLI drives
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if *dumpConfig {
+		return config.Save(out, cfg)
+	}
+
+	start := time.Now()
+	res := cluster.Run(cfg)
+	elapsed := time.Since(start)
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		if err := res.Trace.WriteCSV(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "access log: %d entries written to %s (%d truncated)\n",
+			res.Trace.Len(), *traceFile, res.Trace.Truncated())
+	}
+
+	r := res.Responses
+	fmt.Fprintf(out, "policy=%s mechanism=%s clients=%d duration=%v (wall %v)\n",
+		cfg.Policy, cfg.Mechanism, cfg.Clients, cfg.Duration, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "requests: issued=%d completed=%d failed=%d drops=%d retransmits=%d give-ups=%d rejects=%d\n",
+		res.Issued, r.Total(), r.Failures(), res.Drops, res.Retransmits, res.GiveUps, res.Rejects)
+	fmt.Fprintf(out, "response time: mean=%v p50=%v p99=%v p99.9=%v max=%v\n",
+		r.Mean().Round(10*time.Microsecond), r.Quantile(0.5).Round(10*time.Microsecond),
+		r.Quantile(0.99).Round(10*time.Microsecond), r.Quantile(0.999).Round(10*time.Microsecond),
+		r.Histogram().Max().Round(time.Millisecond))
+	fmt.Fprintf(out, "shares: VLRT(>1s)=%.2f%% normal(<10ms)=%.2f%%\n", r.VLRTPercent(), r.NormalPercent())
+	for _, st := range res.Webs {
+		_, peak := st.Queue.PeakWindow()
+		fmt.Fprintf(out, "web %-9s served=%-8d avgCPU=%5.1f%% queuePeak=%.0f\n", st.Name, st.Served, st.CPU.Average(), peak)
+	}
+	for _, st := range res.Apps {
+		_, peak := st.Queue.PeakWindow()
+		fmt.Fprintf(out, "app %-9s served=%-8d avgCPU=%5.1f%% queuePeak=%.0f\n", st.Name, st.Served, st.CPU.Average(), peak)
+	}
+	fmt.Fprintf(out, "db  %-9s served=%-8d avgCPU=%5.1f%%\n", res.DB.Name, res.DB.Served, res.DB.CPU.Average())
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunMiniQuiet(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mini", "-quiet", "-duration", "2s"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"policy=total_request", "response time:", "VLRT(>1s)=0.00%", "db  mysql1"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunEveryPolicy(t *testing.T) {
+	for _, policy := range []string{"total_traffic", "current_load", "two_choices"} {
+		var out strings.Builder
+		if err := run([]string{"-mini", "-duration", "1s", "-policy", policy, "-mechanism", "modified"}, &out); err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if !strings.Contains(out.String(), "policy="+policy) {
+			t.Fatalf("%s: header missing", policy)
+		}
+	}
+}
+
+func TestRunFlagOverrides(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mini", "-duration", "1s", "-clients", "500", "-seed", "99", "-browse-only"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "clients=500") {
+		t.Fatalf("client override not applied:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadPolicy(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mini", "-policy", "bogus"}, &out); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunDumpConfig(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mini", "-dump-config"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"policy": "total_request"`) {
+		t.Fatalf("dump-config output:\n%s", out.String())
+	}
+}
+
+func TestRunConfigFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/exp.json"
+	var dump strings.Builder
+	if err := run([]string{"-mini", "-dump-config"}, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(dump.String()), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-config-file", path, "-duration", "1s", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "clients=3000") {
+		t.Fatalf("config file not applied:\n%s", out.String())
+	}
+}
+
+func TestRunTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/access.csv"
+	var out strings.Builder
+	if err := run([]string{"-mini", "-quiet", "-duration", "1s", "-trace", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "t_sec,id,client") {
+		t.Fatalf("trace CSV header missing: %.80s", data)
+	}
+	if strings.Count(string(data), "\n") < 100 {
+		t.Fatalf("trace CSV too short: %d lines", strings.Count(string(data), "\n"))
+	}
+}
+
+func TestRunMissingConfigFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-config-file", "/nonexistent/x.json"}, &out); err == nil {
+		t.Fatal("missing config file accepted")
+	}
+}
+
+func TestRunStickyAndOpenLoopFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mini", "-quiet", "-duration", "1s", "-sticky", "-open-loop-rate", "500"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "requests: issued=") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,65 @@
+// Command rubbos-bench reproduces the paper's Table I: the six
+// policy/mechanism combinations compared on total requests, average
+// response time, %VLRT (>1 s) and %normal (<10 ms) under the RUBBoS-like
+// workload with dirty-page-flush millibottlenecks.
+//
+//	rubbos-bench                 # 30 s virtual runs (1/6 of the paper's 180 s)
+//	rubbos-bench -scale 1        # full paper duration
+//	rubbos-bench -config         # print the testbed configuration (Tables II/III)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"millibalance/internal/cluster"
+	"millibalance/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rubbos-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rubbos-bench", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1.0/6, "fraction of the paper's 180s duration to run")
+	seed := fs.Uint64("seed", 0, "override random seed")
+	showConfig := fs.Bool("config", false, "print the testbed configuration and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showConfig {
+		printConfig()
+		return nil
+	}
+	start := time.Now()
+	res := experiments.RunTableI(experiments.Options{DurationScale: *scale, Seed: *seed})
+	fmt.Println("Table I — policy/mechanism comparison under millibottlenecks")
+	fmt.Printf("(virtual duration %.0fs per row, wall %v total)\n\n",
+		180**scale, time.Since(start).Round(time.Millisecond))
+	fmt.Print(res.Render())
+	return nil
+}
+
+func printConfig() {
+	cfg := cluster.PaperConfig()
+	fmt.Println("Testbed configuration (paper Tables II/III equivalents)")
+	fmt.Printf("topology:        %d web, %d app, 1 db; %d closed-loop clients\n",
+		cfg.NumWeb, cfg.NumApp, cfg.Clients)
+	fmt.Printf("think time:      %v (exponential)\n", cfg.ThinkTime)
+	fmt.Printf("web tier:        %d cores, MaxClients %d, backlog %d, mod_jk pool %d\n",
+		cfg.WebCores, cfg.WebWorkers, cfg.WebBacklog, cfg.ConnPoolSize)
+	fmt.Printf("app tier:        %d cores, maxThreads %d, db connections %d\n",
+		cfg.AppCores, cfg.AppWorkers, cfg.DBConns)
+	fmt.Printf("db tier:         %d cores, %d workers\n", cfg.DBCores, cfg.DBWorkers)
+	fmt.Printf("writeback:       every %v, disk %.0f MiB/s, stall cap %v, slow-flush p=%.2f ×%.0f\n",
+		cfg.AppWriteback.Interval, cfg.AppWriteback.Disk.WriteRate/(1<<20),
+		cfg.AppWriteback.MaxStall, cfg.AppWriteback.SlowFlushProb, cfg.AppWriteback.SlowFlushFactor)
+	fmt.Printf("link latency:    %v one-way\n", cfg.LinkLatency)
+	fmt.Printf("retransmission:  1s schedule ×3 (TCP drop retry)\n")
+}

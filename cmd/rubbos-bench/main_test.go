@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunConfigPrintout(t *testing.T) {
+	if err := run([]string{"-config"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

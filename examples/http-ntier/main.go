@@ -1,0 +1,107 @@
+// HTTP n-tier example: the same instability and remedy over real
+// loopback HTTP. Boots db → app servers → proxy twice — once with the
+// stock mod_jk behaviour (total_request + original get_endpoint) and
+// once with the paper's remedies (current_load + modified
+// get_endpoint) — injects a millibottleneck on one app server mid-run,
+// and compares the latency tails.
+//
+//	go run ./examples/http-ntier
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"millibalance/internal/httpcluster"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "http-ntier:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	type outcome struct {
+		label string
+		stats *httpcluster.LoadStats
+	}
+	var outcomes []outcome
+	for _, combo := range []struct {
+		label string
+		pol   httpcluster.Policy
+		mech  httpcluster.Mechanism
+	}{
+		{"stock (total_request + original)", httpcluster.PolicyTotalRequest, httpcluster.MechanismOriginal},
+		{"remedied (current_load + modified)", httpcluster.PolicyCurrentLoad, httpcluster.MechanismModified},
+	} {
+		stats, err := measure(combo.pol, combo.mech)
+		if err != nil {
+			return err
+		}
+		outcomes = append(outcomes, outcome{combo.label, stats})
+	}
+
+	fmt.Printf("\n%-36s %8s %10s %10s %10s %8s\n", "configuration", "requests", "p50", "p99", "max", "≥300ms")
+	for _, o := range outcomes {
+		fmt.Printf("%-36s %8d %10v %10v %10v %8d\n",
+			o.label, o.stats.Total(),
+			o.stats.Quantile(0.5).Round(100*time.Microsecond),
+			o.stats.Quantile(0.99).Round(time.Millisecond),
+			o.stats.Max().Round(time.Millisecond),
+			o.stats.CountOver(300*time.Millisecond))
+	}
+	fmt.Println("\nduring the 400ms stall, the stock balancer keeps choosing the frozen")
+	fmt.Println("backend (its cumulative lb_value stays lowest) and its workers pile up")
+	fmt.Println("inside get_endpoint; the remedied balancer routes around it immediately.")
+	return nil
+}
+
+func measure(policy httpcluster.Policy, mech httpcluster.Mechanism) (*httpcluster.LoadStats, error) {
+	db, err := httpcluster.StartDBServer(200 * time.Microsecond)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = db.Close() }()
+
+	var apps []*httpcluster.AppServer
+	var backends []*httpcluster.Backend
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("app%d", i+1)
+		app, err := httpcluster.StartAppServer(httpcluster.AppServerConfig{
+			Name:        name,
+			Workers:     64,
+			ServiceTime: 2 * time.Millisecond,
+			DBURL:       db.URL(),
+			DBQueries:   1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = app.Close() }()
+		apps = append(apps, app)
+		backends = append(backends, httpcluster.NewBackend(name, app.URL(), 4))
+	}
+	proxy, err := httpcluster.StartProxy(httpcluster.ProxyConfig{
+		Workers: 128, Policy: policy, Mechanism: mech,
+	}, backends)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = proxy.Close() }()
+
+	fmt.Printf("%v + %v: driving 24 clients for 2.5s, stalling app1 at t=0.8s for 400ms\n",
+		policy, mech)
+	timer := time.AfterFunc(800*time.Millisecond, func() { apps[0].Stall(400 * time.Millisecond) })
+	defer timer.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2500*time.Millisecond)
+	defer cancel()
+	return httpcluster.RunLoad(ctx, proxy.URL(), httpcluster.LoadGenConfig{
+		Clients:   24,
+		ThinkTime: 10 * time.Millisecond,
+	}, 300*time.Millisecond), nil
+}

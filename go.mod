@@ -1,0 +1,3 @@
+module millibalance
+
+go 1.22

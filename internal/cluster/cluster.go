@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"millibalance/internal/lb"
+	"millibalance/internal/metrics"
+	"millibalance/internal/netmodel"
+	"millibalance/internal/server"
+	"millibalance/internal/sim"
+	"millibalance/internal/stats"
+	"millibalance/internal/trace"
+	"millibalance/internal/workload"
+)
+
+// ServerStats bundles one server's measurement series.
+type ServerStats struct {
+	// Name identifies the server.
+	Name string
+	// Queue is the sampled queued-request series (Fig. 2b and friends).
+	Queue *stats.Series
+	// CPU is the windowed utilization sampler (Fig. 2c, 5, 6b).
+	CPU *metrics.CPUUtilSampler
+	// IOWait is the sampled iowait saturation series in percent
+	// (Fig. 2d): 100 while a flush is writing, else 0.
+	IOWait *stats.Series
+	// DirtyBytes is the sampled dirty-page size series (Fig. 2e).
+	DirtyBytes *stats.Series
+	// Served is the requests (or queries) completed by run end.
+	Served uint64
+}
+
+// Results is everything one experiment run measured.
+type Results struct {
+	// Config echoes the run's configuration.
+	Config Config
+	// Responses aggregates client-observed outcomes.
+	Responses *metrics.ResponseRecorder
+	// Issued is how many requests clients issued.
+	Issued uint64
+	// Drops is connections dropped at web accept queues.
+	Drops uint64
+	// Retransmits is the total retry attempts the transport scheduled.
+	Retransmits uint64
+	// GiveUps is requests whose retransmission schedule was exhausted.
+	GiveUps uint64
+	// Webs, Apps and DB carry per-server series.
+	Webs []*ServerStats
+	Apps []*ServerStats
+	DB   *ServerStats
+	// WebTierQueue and AppTierQueue are tier-aggregated queue series.
+	WebTierQueue *stats.Series
+	AppTierQueue *stats.Series
+	DBTierQueue  *stats.Series
+	// Dispatch is the per-web-server workload-distribution recorder of
+	// successful dispatches (keyed by app server name).
+	Dispatch []*metrics.DistributionRecorder
+	// Assign is the per-web-server routing-decision recorder: every
+	// scheduler choice counts, including choices stuck in get_endpoint.
+	// The paper's workload-distribution plots use this view.
+	Assign []*metrics.DistributionRecorder
+	// LBValues holds, per web server, the sampled lb_value series of
+	// each candidate (Fig. 10b, 11b).
+	LBValues []map[string]*stats.Series
+	// Rejects is balancer-level dispatch rejections summed over webs.
+	Rejects uint64
+	// Trace is the access log (nil unless Config.TraceCapacity > 0).
+	Trace *trace.Log
+}
+
+// Cluster is an assembled, instrumented n-tier system ready to run.
+type Cluster struct {
+	Eng  *sim.Engine
+	Webs []*server.Web
+	Apps []*server.App
+	DB   *server.DB
+
+	cfg       Config
+	group     *workload.Group
+	openLoop  *workload.OpenLoop
+	retrans   *netmodel.Retransmitter
+	rec       *metrics.ResponseRecorder
+	poller    *metrics.Poller
+	accessLog *trace.Log
+	giveUps   uint64
+
+	webStats []*ServerStats
+	appStats []*ServerStats
+	dbStats  *ServerStats
+	tierWeb  *metrics.GaugeSampler
+	tierApp  *metrics.GaugeSampler
+	tierDB   *metrics.GaugeSampler
+	dispatch []*metrics.DistributionRecorder
+	assign   []*metrics.DistributionRecorder
+	lbValues []map[string]*stats.Series
+}
+
+// New assembles a cluster from the config. It panics on an invalid
+// config (use Config.Validate to check first).
+func New(cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = 10 * time.Millisecond
+	}
+	eng := sim.NewEngine(cfg.Seed1, cfg.Seed2)
+	c := &Cluster{Eng: eng, cfg: cfg}
+
+	c.DB = server.NewDB(eng, server.DBConfig{Name: "mysql1", Cores: cfg.DBCores, Workers: cfg.DBWorkers})
+	for i := 0; i < cfg.NumApp; i++ {
+		wb := cfg.AppWriteback
+		// Stagger flush cycles across the tier; servers that flush in
+		// lockstep would stall the whole tier at once, which neither
+		// the paper's testbed nor any real deployment exhibits.
+		if wb.Interval > 0 && cfg.NumApp > 1 {
+			wb.Phase = wb.Interval + wb.Interval*sim.Time(i)/sim.Time(cfg.NumApp)
+		}
+		c.Apps = append(c.Apps, server.NewApp(eng, server.AppConfig{
+			Name:        fmt.Sprintf("tomcat%d", i+1),
+			Cores:       cfg.AppCores,
+			Workers:     cfg.AppWorkers,
+			DBConns:     cfg.DBConns,
+			LinkLatency: cfg.LinkLatency,
+			Writeback:   wb,
+		}, c.DB))
+	}
+	policy, _ := lb.PolicyByName(cfg.Policy)
+	for i := 0; i < cfg.NumWeb; i++ {
+		mech, _ := lb.MechanismByName(cfg.Mechanism, eng)
+		c.Webs = append(c.Webs, server.NewWeb(eng, server.WebConfig{
+			Name:               fmt.Sprintf("apache%d", i+1),
+			Cores:              cfg.WebCores,
+			Workers:            cfg.WebWorkers,
+			AcceptBacklog:      cfg.WebBacklog,
+			ConnPoolSize:       cfg.ConnPoolSize,
+			Policy:             policy,
+			Mechanism:          mech,
+			LB:                 cfg.LB,
+			LinkLatency:        cfg.LinkLatency,
+			LogBytesPerRequest: cfg.WebLogBytes,
+			Writeback:          cfg.WebWriteback,
+		}, c.Apps))
+	}
+
+	c.retrans = netmodel.NewRetransmitter(eng, cfg.Retransmit)
+	c.rec = metrics.NewResponseRecorder()
+	if cfg.TraceCapacity > 0 {
+		c.accessLog = trace.NewLog(cfg.TraceCapacity)
+	}
+	onOutcome := func(req *workload.Request, o workload.Outcome) {
+		c.rec.Record(eng.Now(), o)
+		if c.accessLog != nil {
+			c.accessLog.Append(trace.Entry{
+				Time:         eng.Now(),
+				RequestID:    req.ID,
+				ClientID:     req.ClientID,
+				Interaction:  req.Interaction.Name,
+				Web:          req.Web,
+				Backend:      req.Backend,
+				OK:           o.OK,
+				ResponseTime: o.ResponseTime,
+				Retransmits:  o.Retransmits,
+			})
+		}
+	}
+	if cfg.OpenLoopRate > 0 {
+		c.openLoop = workload.NewOpenLoop(eng, workload.OpenLoopConfig{
+			Rate:      cfg.OpenLoopRate,
+			Mix:       cfg.Mix(),
+			Clients:   cfg.Clients,
+			OnOutcome: onOutcome,
+		}, c.submit)
+	} else {
+		c.group = workload.NewGroup(eng, cfg.Clients, workload.ClientConfig{
+			ThinkTime: cfg.ThinkTime,
+			Mix:       cfg.Mix(),
+			Burst:     cfg.Burst,
+			OnOutcome: onOutcome,
+		}, c.submit)
+	}
+
+	c.instrument()
+	return c
+}
+
+// webFor maps a client to its web server: contiguous blocks, as the
+// paper's client nodes are wired to specific web servers.
+func (c *Cluster) webFor(clientID int) *server.Web {
+	per := (c.cfg.Clients + len(c.Webs) - 1) / len(c.Webs)
+	idx := clientID / per
+	if idx >= len(c.Webs) {
+		idx = len(c.Webs) - 1
+	}
+	return c.Webs[idx]
+}
+
+// submit carries a request over the lossy transport to its web server.
+func (c *Cluster) submit(req *workload.Request) {
+	web := c.webFor(req.ClientID)
+	c.retrans.Send(
+		func() bool {
+			if web.TryAccept(req) {
+				return true
+			}
+			req.Retransmits++
+			return false
+		},
+		func() {
+			c.giveUps++
+			req.Finish(workload.Outcome{
+				OK:           false,
+				ResponseTime: c.Eng.Now() - req.IssuedAt,
+				Retransmits:  req.Retransmits,
+			})
+		})
+}
+
+// instrument wires every sampler and hook.
+func (c *Cluster) instrument() {
+	c.poller = metrics.NewPoller(c.Eng, c.cfg.SampleInterval)
+	for _, w := range c.Webs {
+		w := w
+		st := &ServerStats{
+			Name:       w.Name(),
+			CPU:        metrics.NewCPUUtilSampler(w.CPU()),
+			Queue:      stats.NewSeries(metrics.Window),
+			IOWait:     stats.NewSeries(metrics.Window),
+			DirtyBytes: stats.NewSeries(metrics.Window),
+		}
+		c.webStats = append(c.webStats, st)
+		c.addServerSamplers(st, func() (int, bool, int64) {
+			return w.QueuedRequests(), w.Writeback().Flushing(), w.Writeback().DirtyBytes()
+		})
+
+		dist := metrics.NewDistributionRecorder()
+		c.dispatch = append(c.dispatch, dist)
+		w.Balancer().SetDispatchHook(func(cand *lb.Candidate) { dist.Incr(cand.Name(), c.Eng.Now()) })
+
+		assign := metrics.NewDistributionRecorder()
+		c.assign = append(c.assign, assign)
+		w.Balancer().SetAssignHook(func(cand *lb.Candidate) { assign.Incr(cand.Name(), c.Eng.Now()) })
+
+		lbSeries := make(map[string]*stats.Series, len(c.Apps))
+		for _, a := range c.Apps {
+			lbSeries[a.Name()] = stats.NewSeries(metrics.Window)
+		}
+		c.lbValues = append(c.lbValues, lbSeries)
+		bal := w.Balancer()
+		c.poller.Add(func(now sim.Time) {
+			for _, snap := range bal.Snapshot() {
+				lbSeries[snap.Name].Add(now, snap.LBValue)
+			}
+		})
+	}
+	for _, a := range c.Apps {
+		a := a
+		st := &ServerStats{
+			Name:       a.Name(),
+			CPU:        metrics.NewCPUUtilSampler(a.CPU()),
+			Queue:      stats.NewSeries(metrics.Window),
+			IOWait:     stats.NewSeries(metrics.Window),
+			DirtyBytes: stats.NewSeries(metrics.Window),
+		}
+		c.appStats = append(c.appStats, st)
+		c.addServerSamplers(st, func() (int, bool, int64) {
+			return a.QueuedRequests(), a.Writeback().Flushing(), a.Writeback().DirtyBytes()
+		})
+	}
+	c.dbStats = &ServerStats{
+		Name:       c.DB.Name(),
+		CPU:        metrics.NewCPUUtilSampler(c.DB.CPU()),
+		Queue:      stats.NewSeries(metrics.Window),
+		IOWait:     stats.NewSeries(metrics.Window),
+		DirtyBytes: stats.NewSeries(metrics.Window),
+	}
+	c.poller.Add(func(now sim.Time) {
+		c.dbStats.Queue.Add(now, float64(c.DB.QueuedRequests()))
+		c.dbStats.CPU.Sample(now)
+	})
+
+	c.tierWeb = metrics.NewGaugeSampler(func() float64 {
+		total := 0
+		for _, w := range c.Webs {
+			total += w.QueuedRequests()
+		}
+		return float64(total)
+	})
+	c.tierApp = metrics.NewGaugeSampler(func() float64 {
+		total := 0
+		for _, a := range c.Apps {
+			total += a.QueuedRequests()
+		}
+		return float64(total)
+	})
+	c.tierDB = metrics.NewGaugeSampler(func() float64 { return float64(c.DB.QueuedRequests()) })
+	c.poller.Add(c.tierWeb.Sample)
+	c.poller.Add(c.tierApp.Sample)
+	c.poller.Add(c.tierDB.Sample)
+}
+
+// addServerSamplers registers the per-server gauge reads.
+func (c *Cluster) addServerSamplers(st *ServerStats, read func() (queue int, flushing bool, dirty int64)) {
+	c.poller.Add(func(now sim.Time) {
+		queue, flushing, dirty := read()
+		st.Queue.Add(now, float64(queue))
+		iowait := 0.0
+		if flushing {
+			iowait = 100
+		}
+		st.IOWait.Add(now, iowait)
+		st.DirtyBytes.Add(now, float64(dirty))
+		st.CPU.Sample(now)
+	})
+}
+
+// Run executes the experiment for the configured duration and returns
+// the collected results. It may be called once.
+func (c *Cluster) Run() *Results {
+	c.poller.Start()
+	if c.openLoop != nil {
+		c.openLoop.Start()
+	} else {
+		c.group.Start()
+	}
+	c.Eng.Run(c.cfg.Duration)
+	if c.openLoop != nil {
+		c.openLoop.Stop()
+	} else {
+		c.group.Stop()
+	}
+	c.poller.Stop()
+	return c.results()
+}
+
+func (c *Cluster) results() *Results {
+	issued := uint64(0)
+	if c.openLoop != nil {
+		issued = c.openLoop.Issued()
+	} else {
+		issued = c.group.Issued()
+	}
+	res := &Results{
+		Config:       c.cfg,
+		Responses:    c.rec,
+		Issued:       issued,
+		Retransmits:  c.retrans.Retransmits(),
+		GiveUps:      c.giveUps,
+		Webs:         c.webStats,
+		Apps:         c.appStats,
+		DB:           c.dbStats,
+		WebTierQueue: c.tierWeb.Series(),
+		AppTierQueue: c.tierApp.Series(),
+		DBTierQueue:  c.tierDB.Series(),
+		Dispatch:     c.dispatch,
+		Assign:       c.assign,
+		LBValues:     c.lbValues,
+		Trace:        c.accessLog,
+	}
+	for i, w := range c.Webs {
+		c.webStats[i].Served = w.Served()
+		res.Drops += w.Drops()
+		res.Rejects += w.Balancer().Rejects()
+	}
+	for i, a := range c.Apps {
+		c.appStats[i].Served = a.Served()
+	}
+	c.dbStats.Served = c.DB.Served()
+	return res
+}
+
+// Run is the package-level convenience: assemble and run in one call.
+func Run(cfg Config) *Results {
+	return New(cfg).Run()
+}

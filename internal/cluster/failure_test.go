@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"millibalance/internal/lb"
+	"millibalance/internal/workload"
+)
+
+// TestPermanentFailureEscalatesToError injects an effectively permanent
+// stall on one app server and verifies the 3-state machine's Error path:
+// the failures persist past the millibottleneck horizon, the balancer
+// excludes the server, and the system keeps serving from the healthy
+// one.
+func TestPermanentFailureEscalatesToError(t *testing.T) {
+	cfg := QuietMiniConfig()
+	cfg.Mechanism = "modified_get_endpoint" // fail fast, no 300ms polls
+	c := New(cfg)
+	// Freeze tomcat1 for the whole run from t=2s.
+	c.Eng.Schedule(2*time.Second, func() { c.Apps[0].CPU().Stall(time.Hour) })
+	res := c.Run()
+
+	for i, w := range c.Webs {
+		var errored bool
+		for _, snap := range w.Balancer().Snapshot() {
+			if snap.Name == "tomcat1" && snap.State == lb.StateError {
+				errored = true
+			}
+		}
+		if !errored {
+			t.Fatalf("web %d never escalated the dead server to Error", i)
+		}
+	}
+	// The healthy server carries the load after the failure.
+	if res.Apps[1].Served < 3*res.Apps[0].Served/2 {
+		t.Fatalf("healthy server served %d vs dead server %d — no failover",
+			res.Apps[1].Served, res.Apps[0].Served)
+	}
+	// Most requests still succeed (those routed to tomcat1 before
+	// exclusion are lost or delayed, the rest flow).
+	ok := res.Responses.Total() - res.Responses.Failures()
+	if float64(ok) < 0.7*float64(res.Responses.Total()) {
+		t.Fatalf("only %d/%d requests succeeded after permanent failure",
+			ok, res.Responses.Total())
+	}
+}
+
+// TestMillibottleneckDoesNotEscalateToError is the counterpart: a
+// normal-length millibottleneck must never push a server into Error —
+// the conservative Busy treatment is the point of the remedy.
+func TestMillibottleneckDoesNotEscalateToError(t *testing.T) {
+	cfg := QuietMiniConfig()
+	cfg.Mechanism = "modified_get_endpoint"
+	c := New(cfg)
+	sawError := false
+	// Inject a 300ms stall and watch states densely around it.
+	c.Eng.Schedule(3*time.Second, func() { c.Apps[0].CPU().Stall(300 * time.Millisecond) })
+	for ms := 3000; ms < 4500; ms += 20 {
+		ms := ms
+		c.Eng.At(time.Duration(ms)*time.Millisecond, func() {
+			for _, w := range c.Webs {
+				for _, snap := range w.Balancer().Snapshot() {
+					if snap.State == lb.StateError {
+						sawError = true
+					}
+				}
+			}
+		})
+	}
+	c.Run()
+	if sawError {
+		t.Fatal("a 300ms millibottleneck escalated a server to Error")
+	}
+}
+
+// TestBurstyWorkloadCausesInstability reproduces the paper's other
+// millibottleneck cause: bursty workloads. With writeback disabled, the
+// only disturbance is a think-time burst that transiently saturates the
+// app tier; under the original policy/mechanism this still produces
+// drops and VLRT requests.
+func TestBurstyWorkloadCausesInstability(t *testing.T) {
+	cfg := QuietMiniConfig()
+	cfg.Burst = &workload.BurstConfig{
+		Period:    2 * time.Second,
+		DutyCycle: 0.15,
+		Factor:    8,
+	}
+	res := Run(cfg)
+	if res.Responses.VLRTCount() == 0 && res.Drops == 0 {
+		t.Fatal("bursty workload produced neither drops nor VLRT requests")
+	}
+	// The same bursts under current_load should hurt much less: the
+	// saturation is tier-wide, so current_load cannot dodge it, but it
+	// avoids the additional pile-up on whichever server lags.
+	remedied := cfg
+	remedied.Policy = "current_load"
+	remRes := Run(remedied)
+	if remRes.Responses.Mean() > res.Responses.Mean() {
+		t.Fatalf("current_load mean %v worse than original %v under bursts",
+			remRes.Responses.Mean(), res.Responses.Mean())
+	}
+}
+
+// TestRecentRequestPolicyDoesNotFixInstability checks the ablation
+// finding for the decayed-counter interpretation of the paper's closing
+// suggestion ("consider recent utilization changes"): decay alone does
+// NOT remove the instability — the stalled candidate's frozen counter
+// still ranks lowest for the whole stall — which supports the paper's
+// conclusion that current-*state* policies are the actual fix.
+func TestRecentRequestPolicyDoesNotFixInstability(t *testing.T) {
+	recent := MiniConfig()
+	recent.Policy = "recent_request"
+	recent.LB = lb.Config{MaintainInterval: 200 * time.Millisecond}
+	recentRes := Run(recent)
+
+	current := MiniConfig()
+	current.Policy = "current_load"
+	currentRes := Run(current)
+
+	if recentRes.Responses.VLRTCount() == 0 {
+		t.Fatal("recent_request shows no VLRT — decay alone should not fix the instability")
+	}
+	if recentRes.Responses.Mean() < 2*currentRes.Responses.Mean() {
+		t.Fatalf("recent_request mean %v unexpectedly close to current_load %v",
+			recentRes.Responses.Mean(), currentRes.Responses.Mean())
+	}
+}
+
+// TestTwoChoicesPolicyEndToEnd runs the power-of-two-choices extension
+// through the full cluster: it should behave comparably to current_load
+// (both rank by in-flight state).
+func TestTwoChoicesPolicyEndToEnd(t *testing.T) {
+	cfg := MiniConfig()
+	cfg.Policy = "two_choices"
+	res := Run(cfg)
+	if res.Responses.VLRTPercent() > 1 {
+		t.Fatalf("two_choices VLRT %v%% — in-flight ranking should avoid the pile-up",
+			res.Responses.VLRTPercent())
+	}
+	if res.Responses.Mean() > 20*time.Millisecond {
+		t.Fatalf("two_choices mean %v", res.Responses.Mean())
+	}
+}
+
+// TestRandomPolicyEndToEnd runs the no-information baseline: it spreads
+// load but cannot avoid a stalled server, landing between the original
+// and the in-flight-aware policies.
+func TestRandomPolicyEndToEnd(t *testing.T) {
+	cfg := MiniConfig()
+	cfg.Policy = "random"
+	res := Run(cfg)
+	if res.Responses.Total() < 5000 {
+		t.Fatalf("random policy served only %d", res.Responses.Total())
+	}
+	// Both apps used.
+	if res.Apps[0].Served == 0 || res.Apps[1].Served == 0 {
+		t.Fatal("random policy starved a server")
+	}
+}
+
+// TestStickySessionsEndToEnd runs session affinity through the full
+// cluster: bindings accumulate, every client's requests land on one
+// backend, and the overall distribution still spreads.
+func TestStickySessionsEndToEnd(t *testing.T) {
+	cfg := QuietMiniConfig()
+	cfg.LB = lb.Config{StickySessions: true}
+	cfg.TraceCapacity = 100000
+	res := Run(cfg)
+	if res.Responses.Total() < 5000 {
+		t.Fatalf("served %d", res.Responses.Total())
+	}
+	// Per-client affinity: every client's entries name one backend.
+	perClient := map[int]map[string]bool{}
+	for _, e := range res.Trace.Entries() {
+		if e.Backend == "" {
+			continue
+		}
+		m, ok := perClient[e.ClientID]
+		if !ok {
+			m = map[string]bool{}
+			perClient[e.ClientID] = m
+		}
+		m[e.Backend] = true
+	}
+	multi := 0
+	for _, backends := range perClient {
+		if len(backends) > 1 {
+			multi++
+		}
+	}
+	// A healthy quiet run should keep (almost) every session pinned;
+	// allow a tiny fraction of rebinds from transient pool exhaustion.
+	if float64(multi) > 0.02*float64(len(perClient)) {
+		t.Fatalf("%d of %d sessions touched multiple backends", multi, len(perClient))
+	}
+	// Both backends still carry load (sessions spread at first touch).
+	if res.Apps[0].Served == 0 || res.Apps[1].Served == 0 {
+		t.Fatal("sticky sessions starved a backend")
+	}
+}
+
+// TestWeightedBackendsEndToEnd gives one app server double weight and
+// verifies the dispatch ratio through the full cluster.
+func TestWeightedBackendsEndToEnd(t *testing.T) {
+	cfg := QuietMiniConfig()
+	c := New(cfg)
+	for _, w := range c.Webs {
+		for _, cand := range w.Balancer().Candidates() {
+			if cand.Name() == "tomcat1" {
+				cand.SetWeight(2)
+			}
+		}
+	}
+	res := c.Run()
+	ratio := float64(res.Apps[0].Served) / float64(res.Apps[1].Served)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("weighted serve ratio %.2f (%d/%d), want ~2",
+			ratio, res.Apps[0].Served, res.Apps[1].Served)
+	}
+}
+
+// TestOpenLoopArrivals switches the workload to a Poisson arrival
+// process and verifies the throughput matches the configured rate under
+// healthy conditions.
+func TestOpenLoopArrivals(t *testing.T) {
+	cfg := QuietMiniConfig()
+	cfg.OpenLoopRate = 800
+	res := Run(cfg)
+	want := cfg.OpenLoopRate * cfg.Duration.Seconds()
+	got := float64(res.Issued)
+	if got < 0.9*want || got > 1.1*want {
+		t.Fatalf("issued %v, want ~%v", got, want)
+	}
+	if res.Responses.Mean() > 10*time.Millisecond {
+		t.Fatalf("open-loop baseline mean %v", res.Responses.Mean())
+	}
+}
+
+// TestOpenLoopHarsherThanClosedLoop verifies the workload-model claim:
+// with millibottlenecks present, the open-loop process (which keeps
+// pushing while the system is wedged) produces at least as bad a tail
+// as the self-throttling closed loop at the same average rate.
+func TestOpenLoopHarsherThanClosedLoop(t *testing.T) {
+	closed := Run(MiniConfig())
+	closedRate := float64(closed.Issued) / closed.Config.Duration.Seconds()
+
+	open := MiniConfig()
+	open.OpenLoopRate = closedRate
+	openRes := Run(open)
+
+	if openRes.Responses.VLRTCount() == 0 {
+		t.Fatal("open-loop run shows no VLRT despite millibottlenecks")
+	}
+	if float64(openRes.Drops) < 0.8*float64(closed.Drops) {
+		t.Fatalf("open-loop drops %d far below closed-loop %d — not harsher",
+			openRes.Drops, closed.Drops)
+	}
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"millibalance/internal/trace"
+)
+
+func TestAccessLogRecordsRequests(t *testing.T) {
+	cfg := QuietMiniConfig()
+	cfg.TraceCapacity = 100000
+	res := Run(cfg)
+	if res.Trace == nil {
+		t.Fatal("trace log missing")
+	}
+	if uint64(res.Trace.Len()) != res.Responses.Total() {
+		t.Fatalf("log has %d entries for %d responses", res.Trace.Len(), res.Responses.Total())
+	}
+	entries := res.Trace.Entries()
+	for _, e := range entries[:10] {
+		if e.Web == "" || e.Backend == "" || e.Interaction == "" {
+			t.Fatalf("incomplete entry %+v", e)
+		}
+		if !e.OK || e.ResponseTime <= 0 {
+			t.Fatalf("unhealthy baseline entry %+v", e)
+		}
+	}
+	// Section II-B's validation: every web server spreads its load
+	// evenly across the backends.
+	for web, spread := range trace.SpreadByWeb(entries) {
+		if spread > 0.1 {
+			t.Fatalf("%s spread %.2f — uneven distribution in the log", web, spread)
+		}
+	}
+	// And the log exports cleanly.
+	var buf bytes.Buffer
+	if err := res.Trace.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "apache1") {
+		t.Fatal("CSV missing server names")
+	}
+}
+
+func TestAccessLogShowsVLRTAreRetransmissions(t *testing.T) {
+	// The paper's mechanism for VLRT requests: the connection is
+	// dropped at the overflowing accept queue and retransmitted after
+	// 1 s, then served normally. The access log shows exactly that —
+	// VLRT entries completed on a backend, carrying at least one
+	// retransmission.
+	cfg := MiniConfig()
+	cfg.TraceCapacity = 200000
+	res := Run(cfg)
+	if res.Responses.VLRTCount() == 0 {
+		t.Skip("no VLRT this run")
+	}
+	withRetx, total := 0, 0
+	for _, e := range res.Trace.Entries() {
+		if e.ResponseTime < time.Second {
+			continue
+		}
+		total++
+		if e.Retransmits >= 1 {
+			withRetx++
+		}
+	}
+	if total == 0 {
+		t.Fatal("log lost the VLRT entries")
+	}
+	if frac := float64(withRetx) / float64(total); frac < 0.95 {
+		t.Fatalf("only %.0f%% of VLRT entries carry retransmissions", frac*100)
+	}
+	// And the served VLRT requests name their backend — they were
+	// eventually served, not abandoned.
+	vlrt := trace.VLRTBackends(res.Trace.Entries(), time.Second)
+	served := 0
+	for backend, n := range vlrt {
+		if backend != "(dropped)" {
+			served += n
+		}
+	}
+	if served == 0 {
+		t.Fatalf("no VLRT entry was ever served: %v", vlrt)
+	}
+}
+
+func TestAccessLogDisabledByDefault(t *testing.T) {
+	res := Run(QuietMiniConfig())
+	if res.Trace != nil {
+		t.Fatal("trace log allocated without TraceCapacity")
+	}
+}

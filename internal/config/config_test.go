@@ -1,0 +1,166 @@
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"millibalance/internal/cluster"
+	"millibalance/internal/netmodel"
+	"millibalance/internal/workload"
+)
+
+func TestDurationMarshalsAsString(t *testing.T) {
+	out, err := json.Marshal(Duration(1500 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `"1.5s"` {
+		t.Fatalf("marshalled %s", out)
+	}
+}
+
+func TestDurationUnmarshalForms(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte(`"250ms"`), &d); err != nil || d != Duration(250*time.Millisecond) {
+		t.Fatalf("string form: %v %v", d, err)
+	}
+	if err := json.Unmarshal([]byte(`1000000`), &d); err != nil || d != Duration(time.Millisecond) {
+		t.Fatalf("int form: %v %v", d, err)
+	}
+	if err := json.Unmarshal([]byte(`"nonsense"`), &d); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"x":1}`), &d); err == nil {
+		t.Fatal("object accepted as duration")
+	}
+}
+
+func TestRoundTripPaperConfig(t *testing.T) {
+	for _, cfg := range []cluster.Config{
+		cluster.PaperConfig(),
+		cluster.MiniConfig(),
+		cluster.SingleChainConfig(),
+	} {
+		var buf bytes.Buffer
+		if err := Save(&buf, cfg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("Load: %v\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(got, cfg) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, cfg)
+		}
+	}
+}
+
+func TestRoundTripWithBurstAndRetransmit(t *testing.T) {
+	cfg := cluster.MiniConfig()
+	cfg.Burst = &workload.BurstConfig{Period: 2 * time.Second, DutyCycle: 0.25, Factor: 3}
+	cfg.Retransmit = netmodel.RetransmitSchedule{time.Second, 2 * time.Second}
+	cfg.TraceCapacity = 1000
+	cfg.LB.MaintainInterval = 200 * time.Millisecond
+
+	var buf bytes.Buffer
+	if err := Save(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"period": "2s"`) {
+		t.Fatalf("burst not serialized readably:\n%s", buf.String())
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cfg) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, cfg)
+	}
+}
+
+func TestSaveIsHumanReadable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, cluster.PaperConfig()); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		`"think_time": "7s"`,
+		`"policy": "total_request"`,
+		`"conn_pool_size": 25`,
+		`"interval": "5s"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("saved JSON missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLoadValidates(t *testing.T) {
+	// A structurally valid config with an invalid policy must fail
+	// validation, not pass silently.
+	e := FromCluster(cluster.MiniConfig())
+	e.Policy = "bogus"
+	raw, _ := json.Marshal(e)
+	if _, err := Load(bytes.NewReader(raw)); err == nil {
+		t.Fatal("invalid policy accepted")
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"clients": 10, "typo_field": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadedConfigRuns(t *testing.T) {
+	cfg := cluster.MiniConfig()
+	cfg.Duration = 2 * time.Second
+	var buf bytes.Buffer
+	if err := Save(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cluster.Run(loaded)
+	if res.Responses.Total() == 0 {
+		t.Fatal("loaded config ran no requests")
+	}
+	// Determinism carries through serialization.
+	direct := cluster.Run(cfg)
+	if direct.Responses.Total() != res.Responses.Total() {
+		t.Fatalf("serialized run diverged: %d vs %d",
+			res.Responses.Total(), direct.Responses.Total())
+	}
+}
+
+func TestRoundTripStickySessions(t *testing.T) {
+	cfg := cluster.MiniConfig()
+	cfg.LB.StickySessions = true
+	var buf bytes.Buffer
+	if err := Save(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"sticky_sessions": true`) {
+		t.Fatalf("sticky_sessions not serialized:\n%s", buf.String())
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.LB.StickySessions {
+		t.Fatal("sticky_sessions lost in round trip")
+	}
+}

@@ -1,0 +1,167 @@
+// Package core is the library's front door: it assembles
+// millibottleneck-aware load balancers from named policies and
+// mechanisms, exposes the paper's recommended and stock configurations,
+// and bundles the diagnosis pipeline that attributes very-long-response-
+// time (VLRT) requests to transient resource saturations.
+//
+// The underlying pieces remain importable individually:
+//
+//	internal/lb        — policies (Algorithms 2–4), get_endpoint
+//	                     mechanisms (Algorithm 1 and the remedy), and
+//	                     the 3-state balancer
+//	internal/cluster   — the simulated n-tier testbed
+//	internal/mbneck    — millibottleneck injectors and detection
+//	internal/httpcluster — the same balancing algorithms over real
+//	                     loopback HTTP
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"millibalance/internal/lb"
+	"millibalance/internal/mbneck"
+	"millibalance/internal/sim"
+	"millibalance/internal/stats"
+)
+
+// BackendSpec names one application server and sizes the balancer-local
+// endpoint (connection) pool to it.
+type BackendSpec struct {
+	// Name identifies the backend.
+	Name string
+	// Endpoints is the connection pool size (mod_jk uses 25).
+	Endpoints int
+	// Weight is mod_jk's lbfactor: a weight-2 backend receives twice a
+	// weight-1 backend's traffic. Zero means one.
+	Weight float64
+}
+
+// NewBalancer builds a balancer from a policy name ("total_request",
+// "total_traffic", "current_load") and mechanism name ("original" /
+// "original_get_endpoint", "modified" / "modified_get_endpoint") over
+// the given backends.
+func NewBalancer(eng *sim.Engine, policy, mechanism string, backends []BackendSpec, cfg lb.Config) (*lb.Balancer, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("core: nil engine")
+	}
+	p, ok := lb.PolicyByName(policy)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown policy %q (have %v)", policy, lb.PolicyNames())
+	}
+	m, ok := lb.MechanismByName(mechanism, eng)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown mechanism %q (have %v)", mechanism, lb.MechanismNames())
+	}
+	cands, err := candidates(backends)
+	if err != nil {
+		return nil, err
+	}
+	return lb.New(eng, p, m, cands, cfg), nil
+}
+
+// NewRecommended returns the paper's remedy configuration: the
+// current_load policy (rank by in-flight requests) with the modified
+// fail-fast get_endpoint. This combination avoids the scheduling
+// instability at both the policy and the mechanism level.
+func NewRecommended(eng *sim.Engine, backends []BackendSpec) (*lb.Balancer, error) {
+	return NewBalancer(eng, "current_load", "modified_get_endpoint", backends, lb.Config{})
+}
+
+// NewClassic returns the stock mod_jk behaviour the paper diagnoses:
+// the total_request policy with the original polling get_endpoint.
+// Use it as the baseline when reproducing the instability.
+func NewClassic(eng *sim.Engine, backends []BackendSpec) (*lb.Balancer, error) {
+	return NewBalancer(eng, "total_request", "original_get_endpoint", backends, lb.Config{})
+}
+
+func candidates(backends []BackendSpec) ([]*lb.Candidate, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("core: no backends")
+	}
+	out := make([]*lb.Candidate, 0, len(backends))
+	seen := make(map[string]bool, len(backends))
+	for _, b := range backends {
+		if b.Name == "" {
+			return nil, fmt.Errorf("core: backend with empty name")
+		}
+		if seen[b.Name] {
+			return nil, fmt.Errorf("core: duplicate backend %q", b.Name)
+		}
+		seen[b.Name] = true
+		endpoints := b.Endpoints
+		if endpoints <= 0 {
+			endpoints = 25 // mod_jk connection_pool_size default scale
+		}
+		cand := lb.NewCandidate(b.Name, sim.NewPool(endpoints))
+		if b.Weight > 0 {
+			cand.SetWeight(b.Weight)
+		}
+		out = append(out, cand)
+	}
+	return out, nil
+}
+
+// Diagnosis is the per-server outcome of the millibottleneck analysis.
+type Diagnosis struct {
+	// Server names the analyzed server.
+	Server string
+	// Report carries detected saturations, queue peaks and the VLRT
+	// attribution fraction.
+	Report mbneck.Report
+}
+
+// DiagnoseConfig tunes the detection pass; zero values pick the paper's
+// operating points.
+type DiagnoseConfig struct {
+	// SaturationPct is the utilization threshold treated as saturated
+	// (default 95).
+	SaturationPct float64
+	// MinDuration/MaxDuration bound the millibottleneck length
+	// (defaults 50 ms and 2 s).
+	MinDuration time.Duration
+	MaxDuration time.Duration
+	// Tolerance extends saturation spans when matching VLRT windows
+	// (default 2.5 s, covering one TCP retransmission plus drain).
+	Tolerance time.Duration
+}
+
+func (c DiagnoseConfig) withDefaults() DiagnoseConfig {
+	if c.SaturationPct <= 0 {
+		c.SaturationPct = 95
+	}
+	if c.MinDuration <= 0 {
+		c.MinDuration = 50 * time.Millisecond
+	}
+	if c.MaxDuration <= 0 {
+		c.MaxDuration = 2 * time.Second
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 2500 * time.Millisecond
+	}
+	return c
+}
+
+// ServerSeries is one server's sampled utilization and queue series.
+type ServerSeries struct {
+	Name  string
+	Util  *stats.Series
+	Queue *stats.Series
+}
+
+// Diagnose runs the paper's methodology over per-server series and the
+// cluster-wide VLRT window series: detect transient saturations on each
+// server, find its queue peaks, and attribute VLRT windows to the
+// saturations.
+func Diagnose(servers []ServerSeries, vlrt *stats.Series, cfg DiagnoseConfig) []Diagnosis {
+	cfg = cfg.withDefaults()
+	out := make([]Diagnosis, 0, len(servers))
+	for _, s := range servers {
+		out = append(out, Diagnosis{
+			Server: s.Name,
+			Report: mbneck.Analyze(s.Util, s.Queue, vlrt,
+				cfg.SaturationPct, cfg.MinDuration, cfg.MaxDuration, cfg.Tolerance),
+		})
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"millibalance/internal/cluster"
+	"millibalance/internal/mbneck"
+)
+
+// Figure1Result is the millibottleneck-free baseline of Section II-B:
+// point-in-time response time under total_request with all writeback
+// disabled.
+type Figure1Result struct {
+	// PointInTimeRT is the per-50 ms mean response time in ms.
+	PointInTimeRT SeriesDump
+	TotalRequests uint64
+	AvgRTMillis   float64
+	VLRTCount     uint64
+	// MaxWindowRTMillis is the worst per-window mean — the plot's
+	// visual "stability" claim.
+	MaxWindowRTMillis float64
+	// AppShareSpread is the relative spread of per-app served counts
+	// (the even-distribution validation of Section II-B).
+	AppShareSpread float64
+}
+
+// RunFigure1 executes the baseline experiment.
+func RunFigure1(opt Options) Figure1Result {
+	cfg := opt.apply(cluster.BaselineConfig())
+	res := cluster.Run(cfg)
+	r := res.Responses
+
+	maxWin := 0.0
+	pit := r.PointInTime()
+	for i := 0; i < pit.Len(); i++ {
+		if m := pit.At(i).Mean(); m > maxWin {
+			maxWin = m
+		}
+	}
+	var minServed, maxServed uint64
+	for i, st := range res.Apps {
+		if i == 0 || st.Served < minServed {
+			minServed = st.Served
+		}
+		if st.Served > maxServed {
+			maxServed = st.Served
+		}
+	}
+	spread := 0.0
+	if maxServed > 0 {
+		spread = float64(maxServed-minServed) / float64(maxServed)
+	}
+	return Figure1Result{
+		PointInTimeRT:     dumpMeans("rt_ms", pit),
+		TotalRequests:     r.Total(),
+		AvgRTMillis:       float64(r.Mean().Microseconds()) / 1000,
+		VLRTCount:         r.VLRTCount(),
+		MaxWindowRTMillis: maxWin,
+		AppShareSpread:    spread,
+	}
+}
+
+// Render summarizes the baseline findings.
+func (f Figure1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 — baseline without millibottlenecks (total_request)\n")
+	fmt.Fprintf(&b, "total=%d avgRT=%.2fms VLRT=%d maxWindowRT=%.2fms appSpread=%.1f%%\n",
+		f.TotalRequests, f.AvgRTMillis, f.VLRTCount, f.MaxWindowRTMillis, f.AppShareSpread*100)
+	return b.String()
+}
+
+// Figure2Result is the Section III-B causal chain on the single-chain
+// topology (1 web / 1 app / 1 db) with millibottlenecks armed on both
+// web and app servers: VLRT windows, per-tier queues, web CPU, iowait
+// and dirty pages, plus the detector's attribution of VLRT windows to
+// transient saturations.
+type Figure2Result struct {
+	VLRTPerWindow SeriesDump // (a)
+	WebQueue      SeriesDump // (b)
+	AppQueue      SeriesDump // (b)
+	DBQueue       SeriesDump // (b)
+	WebCPU        SeriesDump // (c)
+	WebIOWait     SeriesDump // (d)
+	WebDirty      SeriesDump // (e)
+	AppCPU        SeriesDump
+	AppIOWait     SeriesDump
+	AppDirty      SeriesDump
+
+	VLRTTotal uint64
+	// Saturations are the detected millibottleneck spans (web + app).
+	Saturations []mbneck.Span
+	// Attribution is the fraction of VLRT windows explained by the
+	// saturations (with retransmission-delay tolerance).
+	Attribution float64
+	// QueueCPUPearson correlates the web queue peaks with web CPU
+	// saturation windows.
+	QueueCPUPearson float64
+	// PushBackObserved reports whether a web-tier queue peak coincides
+	// with an app-tier queue peak — the paper's queue-amplification
+	// ("push-back wave") signature in Fig. 2b.
+	PushBackObserved bool
+	// IODirtyDrops reports whether every iowait span coincides with a
+	// dirty-page drop — the Fig. 2d/2e correlation.
+	IODirtyDrops bool
+}
+
+// RunFigure2 executes the causal-chain experiment.
+func RunFigure2(opt Options) Figure2Result {
+	cfg := opt.apply(cluster.SingleChainConfig())
+	res := cluster.Run(cfg)
+	web, app := res.Webs[0], res.Apps[0]
+
+	var spans []mbneck.Span
+	for _, st := range []*cluster.ServerStats{web, app} {
+		spans = append(spans, mbneck.FilterMillibottlenecks(
+			mbneck.DetectSaturations(st.CPU.Series(), 95),
+			50*time.Millisecond, 2*time.Second)...)
+	}
+	attr := mbneck.AttributeEvents(res.Responses.VLRTWindows(), spans, 2500*time.Millisecond)
+
+	// Check each iowait span sees the dirty-page count decrease.
+	ioDirty := true
+	for _, st := range []*cluster.ServerStats{web, app} {
+		for _, span := range mbneck.DetectSaturations(st.IOWait, 95) {
+			lo := int(span.Start / st.DirtyBytes.Width())
+			hi := int(span.End / st.DirtyBytes.Width())
+			before := st.DirtyBytes.At(lo).Max
+			after := st.DirtyBytes.At(hi).Min
+			if hi > lo && after >= before {
+				ioDirty = false
+			}
+		}
+	}
+
+	// Push-back wave: an app-queue peak whose window overlaps a
+	// web-queue peak (within one retransmission-free drain, ±150 ms).
+	pushBack := false
+	webPeaks := mbneck.FindQueuePeaks(web.Queue, 3, 20)
+	for _, ap := range mbneck.FindQueuePeaks(app.Queue, 3, 20) {
+		for _, wp := range webPeaks {
+			delta := ap.Start - wp.Start
+			if delta < 0 {
+				delta = -delta
+			}
+			if delta <= 150*time.Millisecond {
+				pushBack = true
+			}
+		}
+	}
+
+	return Figure2Result{
+		VLRTPerWindow:    dumpCounts("vlrt_per_50ms", res.Responses.VLRTWindows()),
+		WebQueue:         dumpMaxes("web_queue", web.Queue),
+		AppQueue:         dumpMaxes("app_queue", app.Queue),
+		DBQueue:          dumpMaxes("db_queue", res.DB.Queue),
+		WebCPU:           dumpMeans("web_cpu_pct", web.CPU.Series()),
+		WebIOWait:        dumpMeans("web_iowait_pct", web.IOWait),
+		WebDirty:         dumpMeans("web_dirty_bytes", web.DirtyBytes),
+		AppCPU:           dumpMeans("app_cpu_pct", app.CPU.Series()),
+		AppIOWait:        dumpMeans("app_iowait_pct", app.IOWait),
+		AppDirty:         dumpMeans("app_dirty_bytes", app.DirtyBytes),
+		VLRTTotal:        res.Responses.VLRTCount(),
+		Saturations:      spans,
+		Attribution:      attr,
+		QueueCPUPearson:  mbneck.CorrelatePeaks(web.Queue, web.CPU.Series()),
+		IODirtyDrops:     ioDirty,
+		PushBackObserved: pushBack,
+	}
+}
+
+// Render summarizes the causal-chain findings.
+func (f Figure2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 — millibottleneck causal chain (1 web / 1 app / 1 db)\n")
+	fmt.Fprintf(&b, "VLRT=%d saturations=%d attribution=%.0f%% queue~cpu r=%.2f dirty-drops-on-iowait=%v push-back-wave=%v\n",
+		f.VLRTTotal, len(f.Saturations), f.Attribution*100, f.QueueCPUPearson, f.IODirtyDrops, f.PushBackObserved)
+	return b.String()
+}

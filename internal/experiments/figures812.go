@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// QueueComparisonResult is the Fig. 8 / Fig. 12 reproduction: per-tier
+// queue series under a remedy, compared against the original
+// total_request run's queues. The paper reports the mechanism remedy
+// cutting queued requests by ~75%.
+type QueueComparisonResult struct {
+	Policy    string
+	Mechanism string
+
+	WebTier SeriesDump
+	AppTier SeriesDump
+	DBTier  SeriesDump
+
+	// Peaks of the remedy run.
+	WebTierPeak float64
+	AppTierPeak float64
+	// OriginalWebTierPeak/OriginalAppTierPeak are the original
+	// total_request run's peaks for comparison.
+	OriginalWebTierPeak float64
+	OriginalAppTierPeak float64
+}
+
+// runQueueComparison runs the remedy config and the original
+// total_request config under natural (writeback-driven)
+// millibottlenecks.
+func runQueueComparison(opt Options, policy, mechanism string) QueueComparisonResult {
+	remedy := runPaperWith(opt, policy, mechanism)
+	original := runPaperWith(opt, "total_request", "original_get_endpoint")
+
+	_, webPeak := remedy.WebTierQueue.PeakWindow()
+	_, appPeak := remedy.AppTierQueue.PeakWindow()
+	_, origWebPeak := original.WebTierQueue.PeakWindow()
+	_, origAppPeak := original.AppTierQueue.PeakWindow()
+	return QueueComparisonResult{
+		Policy:              policy,
+		Mechanism:           mechanism,
+		WebTier:             dumpMaxes("web_tier_queue", remedy.WebTierQueue),
+		AppTier:             dumpMaxes("app_tier_queue", remedy.AppTierQueue),
+		DBTier:              dumpMaxes("db_tier_queue", remedy.DBTierQueue),
+		WebTierPeak:         webPeak,
+		AppTierPeak:         appPeak,
+		OriginalWebTierPeak: origWebPeak,
+		OriginalAppTierPeak: origAppPeak,
+	}
+}
+
+// RunFigure8 compares total_request with the modified get_endpoint
+// against the original (the paper's "reduced the queued requests by
+// 75%").
+func RunFigure8(opt Options) QueueComparisonResult {
+	return runQueueComparison(opt, "total_request", "modified_get_endpoint")
+}
+
+// RunFigure12 compares current_load against the original total_request:
+// barely any huge spike remains in the app tier.
+func RunFigure12(opt Options) QueueComparisonResult {
+	return runQueueComparison(opt, "current_load", "original_get_endpoint")
+}
+
+// QueueReductionPct reports how much the remedy shrank the combined
+// web+app tier queue peak, in percent.
+func (r QueueComparisonResult) QueueReductionPct() float64 {
+	orig := r.OriginalWebTierPeak + r.OriginalAppTierPeak
+	remedy := r.WebTierPeak + r.AppTierPeak
+	if orig == 0 {
+		return 0
+	}
+	return 100 * (1 - remedy/orig)
+}
+
+// Render summarizes the queue comparison.
+func (r QueueComparisonResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Queue comparison — policy=%s mechanism=%s\n", r.Policy, r.Mechanism)
+	fmt.Fprintf(&b, "remedy peaks: web=%.0f app=%.0f; original peaks: web=%.0f app=%.0f; reduction=%.0f%%\n",
+		r.WebTierPeak, r.AppTierPeak, r.OriginalWebTierPeak, r.OriginalAppTierPeak, r.QueueReductionPct())
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"millibalance/internal/cluster"
+	"millibalance/internal/mbneck"
+	"millibalance/internal/workload"
+)
+
+// The generalization experiment backs the paper's concluding claim:
+// "Other load balancers in N-tier systems can take advantage of our
+// remedies to shorten the latency tail caused by scheduling instability
+// when facing millibottlenecks caused by other resource shortage."
+// It exercises every millibottleneck cause the paper catalogs — dirty-
+// page flushing, Java GC pauses, VM-colocation interference and bursty
+// workloads — under the stock balancer and under the remedies.
+
+// CauseResult compares original versus remedied balancing for one
+// millibottleneck cause.
+type CauseResult struct {
+	Cause            string
+	OriginalMeanMs   float64
+	RemedyMeanMs     float64
+	OriginalVLRTPct  float64
+	RemedyVLRTPct    float64
+	OriginalDrops    uint64
+	RemedyDrops      uint64
+	ImprovementX     float64
+	InjectedStallCnt int
+}
+
+// GeneralizationResult aggregates all causes.
+type GeneralizationResult struct {
+	Causes []CauseResult
+}
+
+// injectorFor arms cause-specific millibottleneck sources on a built
+// cluster and returns a stall counter.
+func injectorFor(cause string, c *cluster.Cluster) func() int {
+	switch cause {
+	case "gc_pause":
+		// Full-GC-like pauses: clocked per server, slightly jittered.
+		var injs []*mbneck.PeriodicStalls
+		for i, app := range c.Apps {
+			inj := mbneck.NewPeriodicStalls(c.Eng, fmt.Sprintf("gc-%d", i), app.CPU(),
+				4*time.Second, 180*time.Millisecond, 0.3)
+			inj.Start()
+			injs = append(injs, inj)
+		}
+		return func() int {
+			total := 0
+			for _, inj := range injs {
+				total += inj.Stalls()
+			}
+			return total
+		}
+	case "vm_colocation":
+		// Noisy-neighbour interference: random stalls.
+		var injs []*mbneck.RandomStalls
+		for i, app := range c.Apps {
+			inj := mbneck.NewRandomStalls(c.Eng, fmt.Sprintf("vm-%d", i), app.CPU(),
+				5*time.Second, 150*time.Millisecond)
+			inj.Start()
+			injs = append(injs, inj)
+		}
+		return func() int {
+			total := 0
+			for _, inj := range injs {
+				total += inj.Stalls()
+			}
+			return total
+		}
+	default:
+		return func() int { return 0 }
+	}
+}
+
+// causeConfig returns the base config for a cause (before policy and
+// mechanism are chosen).
+func causeConfig(opt Options, cause string) cluster.Config {
+	switch cause {
+	case "dirty_page_flush":
+		return opt.apply(cluster.PaperConfig())
+	case "bursty_workload":
+		cfg := opt.apply(cluster.BaselineConfig())
+		cfg.Burst = &workload.BurstConfig{
+			Period:    3 * time.Second,
+			DutyCycle: 0.1,
+			Factor:    7,
+		}
+		return cfg
+	default: // gc_pause, vm_colocation: quiet writeback, injected stalls
+		return opt.apply(cluster.BaselineConfig())
+	}
+}
+
+// GeneralizationCauses lists the exercised causes.
+func GeneralizationCauses() []string {
+	return []string{"dirty_page_flush", "gc_pause", "vm_colocation", "bursty_workload"}
+}
+
+// RunGeneralization runs every cause under the stock configuration
+// (total_request + original get_endpoint) and the full remedy
+// (current_load + modified get_endpoint).
+func RunGeneralization(opt Options) GeneralizationResult {
+	var out GeneralizationResult
+	for _, cause := range GeneralizationCauses() {
+		runOne := func(policy, mechanism string) (*cluster.Results, int) {
+			cfg := causeConfig(opt, cause)
+			cfg.Policy = policy
+			cfg.Mechanism = mechanism
+			c := cluster.New(cfg)
+			stalls := injectorFor(cause, c)
+			res := c.Run()
+			return res, stalls()
+		}
+		orig, stallCnt := runOne("total_request", "original_get_endpoint")
+		remedy, _ := runOne("current_load", "modified_get_endpoint")
+
+		cr := CauseResult{
+			Cause:            cause,
+			OriginalMeanMs:   float64(orig.Responses.Mean().Microseconds()) / 1000,
+			RemedyMeanMs:     float64(remedy.Responses.Mean().Microseconds()) / 1000,
+			OriginalVLRTPct:  orig.Responses.VLRTPercent(),
+			RemedyVLRTPct:    remedy.Responses.VLRTPercent(),
+			OriginalDrops:    orig.Drops,
+			RemedyDrops:      remedy.Drops,
+			InjectedStallCnt: stallCnt,
+		}
+		if cr.RemedyMeanMs > 0 {
+			cr.ImprovementX = cr.OriginalMeanMs / cr.RemedyMeanMs
+		}
+		out.Causes = append(out.Causes, cr)
+	}
+	return out
+}
+
+// Cause returns the result for a cause name, or nil.
+func (g GeneralizationResult) Cause(name string) *CauseResult {
+	for i := range g.Causes {
+		if g.Causes[i].Cause == name {
+			return &g.Causes[i]
+		}
+	}
+	return nil
+}
+
+// Render prints the comparison table.
+func (g GeneralizationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Generalization — remedies vs. millibottleneck causes\n")
+	fmt.Fprintf(&b, "%-18s %12s %12s %10s %10s %8s\n",
+		"cause", "orig mean", "remedy mean", "orig VLRT", "rem VLRT", "improve")
+	for _, c := range g.Causes {
+		fmt.Fprintf(&b, "%-18s %10.2fms %10.2fms %9.2f%% %9.2f%% %7.1fx\n",
+			c.Cause, c.OriginalMeanMs, c.RemedyMeanMs,
+			c.OriginalVLRTPct, c.RemedyVLRTPct, c.ImprovementX)
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGeneralizationRemediesHelpEveryCause(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eight paper-scale runs")
+	}
+	res := RunGeneralization(testOpt)
+	if len(res.Causes) != 4 {
+		t.Fatalf("causes = %d", len(res.Causes))
+	}
+	for _, c := range res.Causes {
+		if c.OriginalVLRTPct == 0 && c.OriginalDrops == 0 {
+			t.Fatalf("%s: original run shows no disturbance at all", c.Cause)
+		}
+		if c.RemedyMeanMs >= c.OriginalMeanMs {
+			t.Fatalf("%s: remedy mean %.2fms not below original %.2fms",
+				c.Cause, c.RemedyMeanMs, c.OriginalMeanMs)
+		}
+		if c.RemedyVLRTPct > c.OriginalVLRTPct {
+			t.Fatalf("%s: remedy VLRT %.2f%% above original %.2f%%",
+				c.Cause, c.RemedyVLRTPct, c.OriginalVLRTPct)
+		}
+	}
+	// The injected causes actually injected something.
+	for _, name := range []string{"gc_pause", "vm_colocation"} {
+		if c := res.Cause(name); c.InjectedStallCnt == 0 {
+			t.Fatalf("%s: no stalls injected", name)
+		}
+	}
+	if res.Cause("nonexistent") != nil {
+		t.Fatal("unknown cause resolved")
+	}
+	if res.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestReportMarkdown(t *testing.T) {
+	// Assemble a report from zero-valued results: Markdown must render
+	// every section without running anything.
+	var r Report
+	md := r.Markdown()
+	for _, want := range []string{
+		"# Evaluation report", "## Table I", "## Figure 4", "## Figure 8",
+		"## Figures 10/11", "## Generalization",
+	} {
+		if !containsStr(md, want) {
+			t.Fatalf("markdown missing %q", want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && strings.Contains(s, sub)
+}

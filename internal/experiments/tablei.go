@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"millibalance/internal/cluster"
+)
+
+// TableIRow is one row of the paper's Table I.
+type TableIRow struct {
+	Label         string
+	Policy        string
+	Mechanism     string
+	TotalRequests uint64
+	AvgRTMillis   float64
+	VLRTPct       float64
+	NormalPct     float64
+	Drops         uint64
+}
+
+// TableIResult reproduces Table I: the six policy/mechanism combinations
+// compared on total requests, average response time, %VLRT and %normal.
+type TableIResult struct {
+	Rows []TableIRow
+}
+
+// tableICombos lists the paper's six rows in order.
+var tableICombos = []struct {
+	label     string
+	policy    string
+	mechanism string
+}{
+	{"Original total_request", "total_request", "original_get_endpoint"},
+	{"Original total_traffic", "total_traffic", "original_get_endpoint"},
+	{"Current_load", "current_load", "original_get_endpoint"},
+	{"Total_request with modified get_endpoint", "total_request", "modified_get_endpoint"},
+	{"Total_traffic with modified get_endpoint", "total_traffic", "modified_get_endpoint"},
+	{"Current_load with modified get_endpoint", "current_load", "modified_get_endpoint"},
+}
+
+// RunTableI executes all six Table I configurations.
+func RunTableI(opt Options) TableIResult {
+	var out TableIResult
+	for _, combo := range tableICombos {
+		cfg := opt.apply(cluster.PaperConfig())
+		cfg.Policy = combo.policy
+		cfg.Mechanism = combo.mechanism
+		res := cluster.Run(cfg)
+		r := res.Responses
+		out.Rows = append(out.Rows, TableIRow{
+			Label:         combo.label,
+			Policy:        combo.policy,
+			Mechanism:     combo.mechanism,
+			TotalRequests: r.Total(),
+			AvgRTMillis:   float64(r.Mean().Microseconds()) / 1000,
+			VLRTPct:       r.VLRTPercent(),
+			NormalPct:     r.NormalPercent(),
+			Drops:         res.Drops,
+		})
+	}
+	return out
+}
+
+// Row returns the row with the given policy and mechanism, or nil.
+func (t TableIResult) Row(policy, mechanism string) *TableIRow {
+	for i := range t.Rows {
+		if t.Rows[i].Policy == policy && t.Rows[i].Mechanism == mechanism {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}
+
+// ImprovementFactor returns the mean-response-time ratio of the original
+// total_request policy over the current_load remedy — the paper's
+// headline "factor of 12".
+func (t TableIResult) ImprovementFactor() float64 {
+	orig := t.Row("total_request", "original_get_endpoint")
+	cur := t.Row("current_load", "original_get_endpoint")
+	if orig == nil || cur == nil || cur.AvgRTMillis == 0 {
+		return 0
+	}
+	return orig.AvgRTMillis / cur.AvgRTMillis
+}
+
+// Render prints the table in the paper's layout.
+func (t TableIResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %14s %12s %10s %10s\n",
+		"Policy", "#Total Req", "Avg RT (ms)", "%VLRT", "%<10ms")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-44s %14d %12.2f %9.2f%% %9.2f%%\n",
+			r.Label, r.TotalRequests, r.AvgRTMillis, r.VLRTPct, r.NormalPct)
+	}
+	fmt.Fprintf(&b, "\nimprovement factor (original total_request / current_load): %.1fx\n",
+		t.ImprovementFactor())
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package httpcluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Admin endpoints: the app server exposes POST /admin/stall?d=300ms for
+// external millibottleneck injection (so demos and chaos tooling can
+// drive it without holding a Go reference), plus GET /admin/stats; the
+// proxy exposes GET /admin/stats with balancer state. Registered by
+// StartAppServer and StartProxy.
+
+// AppStats is the app server's /admin/stats payload.
+type AppStats struct {
+	Name     string `json:"name"`
+	Served   uint64 `json:"served"`
+	InFlight int    `json:"in_flight"`
+	Workers  int    `json:"workers"`
+}
+
+// adminMux registers the app server's admin handlers.
+func (a *AppServer) adminMux(mux *http.ServeMux) {
+	mux.HandleFunc("/admin/stall", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		d, err := time.ParseDuration(r.URL.Query().Get("d"))
+		if err != nil || d <= 0 || d > time.Minute {
+			http.Error(w, "need ?d=<duration> in (0, 1m]", http.StatusBadRequest)
+			return
+		}
+		a.Stall(d)
+		fmt.Fprintf(w, "stalling %s for %v\n", a.cfg.Name, d)
+	})
+	mux.HandleFunc("/admin/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(AppStats{
+			Name:     a.cfg.Name,
+			Served:   a.served.Load(),
+			InFlight: a.InFlight(),
+			Workers:  cap(a.workers),
+		})
+	})
+}
+
+// BackendStats is one backend's entry in the proxy's /admin/stats
+// payload.
+type BackendStats struct {
+	Name       string  `json:"name"`
+	URL        string  `json:"url"`
+	LBValue    float64 `json:"lb_value"`
+	State      string  `json:"state"`
+	Dispatched uint64  `json:"dispatched"`
+	Completed  uint64  `json:"completed"`
+}
+
+// ProxyStats is the proxy's /admin/stats payload.
+type ProxyStats struct {
+	Policy    string         `json:"policy"`
+	Mechanism string         `json:"mechanism"`
+	Served    uint64         `json:"served"`
+	Errors    uint64         `json:"errors"`
+	Rejects   uint64         `json:"rejects"`
+	Backends  []BackendStats `json:"backends"`
+}
+
+// stateName maps a BackendState to its JSON name.
+func stateName(s BackendState) string {
+	switch s {
+	case BackendAvailable:
+		return "available"
+	case BackendBusy:
+		return "busy"
+	case BackendError:
+		return "error"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Stats snapshots the proxy's balancer state.
+func (p *Proxy) Stats() ProxyStats {
+	out := ProxyStats{
+		Policy:    p.cfg.Policy.String(),
+		Mechanism: p.cfg.Mechanism.String(),
+		Served:    p.served.Load(),
+		Errors:    p.errors.Load(),
+		Rejects:   p.bal.Rejects(),
+	}
+	for _, be := range p.bal.Backends() {
+		out.Backends = append(out.Backends, BackendStats{
+			Name:       be.Name(),
+			URL:        be.URL(),
+			LBValue:    be.LBValue(),
+			State:      stateName(be.State()),
+			Dispatched: be.Dispatched(),
+			Completed:  be.Completed(),
+		})
+	}
+	return out
+}
+
+// adminHandler serves the proxy's admin surface; non-admin paths fall
+// through to the forwarding handler.
+func (p *Proxy) adminHandler(forward http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/admin/stats" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(p.Stats())
+			return
+		}
+		forward(w, r)
+	}
+}

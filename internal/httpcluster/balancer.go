@@ -1,0 +1,432 @@
+// Package httpcluster runs the paper's n-tier scenario over real
+// loopback HTTP: application servers with bounded worker pools and
+// injectable stalls, a web-tier reverse proxy implementing the same
+// load-balancing policies and get_endpoint mechanisms as internal/lb —
+// but in wall-clock time with goroutine concurrency — a database stub,
+// and a closed-loop load generator.
+//
+// internal/lb is the reference implementation used by the deterministic
+// simulation; this package is the deployment-shaped twin that
+// demonstrates the identical algorithms and failure modes over real
+// sockets.
+package httpcluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Policy selects the lb_value bookkeeping (Algorithms 2–4).
+type Policy int
+
+const (
+	// PolicyTotalRequest ranks by cumulative dispatched requests.
+	PolicyTotalRequest Policy = iota + 1
+	// PolicyTotalTraffic ranks by cumulative bytes exchanged.
+	PolicyTotalTraffic
+	// PolicyCurrentLoad ranks by in-flight requests (the remedy).
+	PolicyCurrentLoad
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyTotalRequest:
+		return "total_request"
+	case PolicyTotalTraffic:
+		return "total_traffic"
+	case PolicyCurrentLoad:
+		return "current_load"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy resolves a policy name.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "total_request":
+		return PolicyTotalRequest, nil
+	case "total_traffic":
+		return PolicyTotalTraffic, nil
+	case "current_load":
+		return PolicyCurrentLoad, nil
+	default:
+		return 0, fmt.Errorf("httpcluster: unknown policy %q", name)
+	}
+}
+
+// Mechanism selects the endpoint-acquisition strategy (Algorithm 1 or
+// the remedy).
+type Mechanism int
+
+const (
+	// MechanismOriginal polls a stalled backend's pool with 100 ms
+	// sleeps for up to 300 ms while holding the caller.
+	MechanismOriginal Mechanism = iota + 1
+	// MechanismModified fails fast and marks the backend Busy.
+	MechanismModified
+)
+
+// String returns the mechanism name.
+func (m Mechanism) String() string {
+	switch m {
+	case MechanismOriginal:
+		return "original_get_endpoint"
+	case MechanismModified:
+		return "modified_get_endpoint"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// ParseMechanism resolves a mechanism name.
+func ParseMechanism(name string) (Mechanism, error) {
+	switch name {
+	case "original", "original_get_endpoint":
+		return MechanismOriginal, nil
+	case "modified", "modified_get_endpoint":
+		return MechanismModified, nil
+	default:
+		return 0, fmt.Errorf("httpcluster: unknown mechanism %q", name)
+	}
+}
+
+// BackendState is the 3-state machine state.
+type BackendState int
+
+const (
+	// BackendAvailable accepts requests.
+	BackendAvailable BackendState = iota + 1
+	// BackendBusy recently failed to return an endpoint.
+	BackendBusy
+	// BackendError is excluded until the recovery interval passes.
+	BackendError
+)
+
+// Backend is one application server as the proxy's balancer sees it.
+type Backend struct {
+	name string
+	url  string
+
+	endpoints chan struct{} // endpoint pool tokens
+
+	mu          sync.Mutex
+	lbValue     float64
+	weight      float64
+	state       BackendState
+	recoverAt   time.Time
+	consecFails int
+	firstFail   time.Time
+	dispatched  uint64
+	completed   uint64
+}
+
+// NewBackend returns a backend with the given endpoint pool size.
+func NewBackend(name, url string, endpoints int) *Backend {
+	if endpoints < 1 {
+		endpoints = 1
+	}
+	b := &Backend{
+		name:      name,
+		url:       url,
+		endpoints: make(chan struct{}, endpoints),
+		state:     BackendAvailable,
+	}
+	for i := 0; i < endpoints; i++ {
+		b.endpoints <- struct{}{}
+	}
+	return b
+}
+
+// Name returns the backend name.
+func (b *Backend) Name() string { return b.name }
+
+// URL returns the backend base URL.
+func (b *Backend) URL() string { return b.url }
+
+// LBValue reads the current lb_value.
+func (b *Backend) LBValue() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lbValue
+}
+
+// State reads the current state, applying lazy Busy/Error recovery.
+func (b *Backend) State() BackendState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lazyRecover(time.Now())
+	return b.state
+}
+
+// lazyRecover applies the Busy/Error recovery deadline; the caller
+// holds b.mu.
+func (b *Backend) lazyRecover(now time.Time) {
+	if b.state != BackendAvailable && !b.recoverAt.IsZero() && now.After(b.recoverAt) {
+		if b.state == BackendError {
+			b.consecFails = 0
+		}
+		b.state = BackendAvailable
+		b.recoverAt = time.Time{}
+	}
+}
+
+// Dispatched reads the cumulative dispatch count.
+func (b *Backend) Dispatched() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dispatched
+}
+
+// Completed reads the cumulative completion count.
+func (b *Backend) Completed() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.completed
+}
+
+// Config tunes the balancer; zero values use mod_jk-equivalent
+// defaults.
+type Config struct {
+	// AcquireSleep and AcquireTimeout drive the original mechanism
+	// (defaults 100 ms / 300 ms).
+	AcquireSleep   time.Duration
+	AcquireTimeout time.Duration
+	// BusyRecovery re-admits a Busy backend (default 100 ms).
+	BusyRecovery time.Duration
+	// ErrorThreshold and ErrorAfter gate Error escalation (defaults 3
+	// failures spanning 2 s).
+	ErrorThreshold int
+	ErrorAfter     time.Duration
+	// ErrorRecovery re-admits an Error backend (default 10 s).
+	ErrorRecovery time.Duration
+	// Sweeps and SweepPause bound full re-sweeps per dispatch
+	// (defaults 3 / 100 ms).
+	Sweeps     int
+	SweepPause time.Duration
+	// StickySessions enables mod_jk session affinity through
+	// AcquireSession.
+	StickySessions bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.AcquireSleep <= 0 {
+		c.AcquireSleep = 100 * time.Millisecond
+	}
+	if c.AcquireTimeout <= 0 {
+		c.AcquireTimeout = 300 * time.Millisecond
+	}
+	if c.BusyRecovery <= 0 {
+		c.BusyRecovery = 100 * time.Millisecond
+	}
+	if c.ErrorThreshold <= 0 {
+		c.ErrorThreshold = 3
+	}
+	if c.ErrorAfter <= 0 {
+		c.ErrorAfter = 2 * time.Second
+	}
+	if c.ErrorRecovery <= 0 {
+		c.ErrorRecovery = 10 * time.Second
+	}
+	if c.Sweeps <= 0 {
+		c.Sweeps = 3
+	}
+	if c.SweepPause <= 0 {
+		c.SweepPause = 100 * time.Millisecond
+	}
+	return c
+}
+
+// ErrNoBackend is returned when every sweep failed to acquire an
+// endpoint from any backend.
+var ErrNoBackend = errors.New("httpcluster: no backend available")
+
+// Balancer is the wall-clock twin of lb.Balancer: same two-level
+// scheduler, same 3-state machine, safe for concurrent use.
+type Balancer struct {
+	policy   Policy
+	mech     Mechanism
+	cfg      Config
+	backends []*Backend
+
+	mu       sync.Mutex
+	rejects  uint64
+	sessions sessionTable
+	onAssign func(*Backend)
+}
+
+// NewBalancer builds a balancer over the backends.
+func NewBalancer(policy Policy, mech Mechanism, backends []*Backend, cfg Config) *Balancer {
+	if len(backends) == 0 {
+		panic("httpcluster: NewBalancer with no backends")
+	}
+	copied := make([]*Backend, len(backends))
+	copy(copied, backends)
+	return &Balancer{policy: policy, mech: mech, cfg: cfg.withDefaults(), backends: copied}
+}
+
+// Backends returns the backend list (shared; do not mutate).
+func (b *Balancer) Backends() []*Backend { return b.backends }
+
+// Rejects reports dispatches that failed on every sweep.
+func (b *Balancer) Rejects() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rejects
+}
+
+// SetAssignHook registers a hook invoked (without locks held) whenever
+// a backend is chosen by the scheduler.
+func (b *Balancer) SetAssignHook(hook func(*Backend)) { b.onAssign = hook }
+
+// Acquire picks a backend and obtains an endpoint, blocking the calling
+// goroutine exactly as mod_jk blocks its worker thread. On success it
+// returns the backend and a release function the caller must invoke
+// with the response size once the response is done.
+func (b *Balancer) Acquire(requestBytes int64) (*Backend, func(responseBytes int64), error) {
+	for sweep := 0; sweep < b.cfg.Sweeps; sweep++ {
+		if sweep > 0 {
+			time.Sleep(b.cfg.SweepPause)
+		}
+		tried := make(map[*Backend]bool, len(b.backends))
+		for len(tried) < len(b.backends) {
+			be := b.choose(tried)
+			if be == nil {
+				break
+			}
+			if b.onAssign != nil {
+				b.onAssign(be)
+			}
+			if b.acquireEndpoint(be) {
+				b.noteDispatch(be)
+				return be, func(responseBytes int64) {
+					b.noteComplete(be, requestBytes, responseBytes)
+					be.endpoints <- struct{}{}
+				}, nil
+			}
+			b.noteFailure(be)
+			tried[be] = true
+		}
+	}
+	b.mu.Lock()
+	b.rejects++
+	b.mu.Unlock()
+	return nil, nil, ErrNoBackend
+}
+
+// acquireEndpoint runs the configured mechanism against one backend.
+func (b *Balancer) acquireEndpoint(be *Backend) bool {
+	select {
+	case <-be.endpoints:
+		return true
+	default:
+	}
+	if b.mech == MechanismModified {
+		return false
+	}
+	// Algorithm 1: poll while retry*sleep < timeout, holding the
+	// caller. The backend's state is deliberately left untouched for
+	// the whole window — the mechanism-level limitation. With the
+	// defaults this checks at 0, 100 and 200 ms and gives up at 300 ms,
+	// matching the simulation-time mechanism in internal/lb.
+	for retry := 1; time.Duration(retry)*b.cfg.AcquireSleep < b.cfg.AcquireTimeout; retry++ {
+		time.Sleep(b.cfg.AcquireSleep)
+		select {
+		case <-be.endpoints:
+			return true
+		default:
+		}
+	}
+	time.Sleep(b.cfg.AcquireSleep) // the final sleep before the guard fails
+	return false
+}
+
+// choose picks the lowest-lb_value backend: Available first, then Busy;
+// Error and already-tried backends are excluded.
+func (b *Balancer) choose(tried map[*Backend]bool) *Backend {
+	now := time.Now()
+	pick := func(state BackendState) *Backend {
+		var best *Backend
+		bestVal := 0.0
+		for _, be := range b.backends {
+			if tried[be] {
+				continue
+			}
+			be.mu.Lock()
+			be.lazyRecover(now)
+			st, val := be.state, be.lbValue
+			be.mu.Unlock()
+			if st != state {
+				continue
+			}
+			if best == nil || val < bestVal {
+				best, bestVal = be, val
+			}
+		}
+		return best
+	}
+	if be := pick(BackendAvailable); be != nil {
+		return be
+	}
+	return pick(BackendBusy)
+}
+
+func (b *Balancer) noteDispatch(be *Backend) {
+	be.mu.Lock()
+	defer be.mu.Unlock()
+	be.consecFails = 0
+	if be.state != BackendAvailable {
+		be.state = BackendAvailable
+		be.recoverAt = time.Time{}
+	}
+	be.dispatched++
+	switch b.policy {
+	case PolicyTotalRequest, PolicyCurrentLoad:
+		be.lbValue += 1 / be.weightLocked()
+	case PolicyTotalTraffic:
+		// Accounted on completion, per Algorithm 3.
+	}
+}
+
+func (b *Balancer) noteComplete(be *Backend, requestBytes, responseBytes int64) {
+	be.mu.Lock()
+	defer be.mu.Unlock()
+	be.completed++
+	be.consecFails = 0
+	if be.state != BackendAvailable {
+		be.state = BackendAvailable
+		be.recoverAt = time.Time{}
+	}
+	switch b.policy {
+	case PolicyTotalTraffic:
+		be.lbValue += float64(requestBytes+responseBytes) / be.weightLocked()
+	case PolicyCurrentLoad:
+		if unit := 1 / be.weightLocked(); be.lbValue >= unit {
+			be.lbValue -= unit
+		} else {
+			be.lbValue = 0
+		}
+	}
+}
+
+func (b *Balancer) noteFailure(be *Backend) {
+	now := time.Now()
+	be.mu.Lock()
+	defer be.mu.Unlock()
+	if be.consecFails == 0 {
+		be.firstFail = now
+	}
+	be.consecFails++
+	if be.consecFails >= b.cfg.ErrorThreshold && now.Sub(be.firstFail) >= b.cfg.ErrorAfter {
+		be.state = BackendError
+		be.recoverAt = now.Add(b.cfg.ErrorRecovery)
+		return
+	}
+	if be.state == BackendAvailable {
+		be.state = BackendBusy
+		be.recoverAt = now.Add(b.cfg.BusyRecovery)
+	}
+}

@@ -1,0 +1,162 @@
+package httpcluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"millibalance/internal/stats"
+)
+
+// LoadGenConfig sizes a closed-loop client population.
+type LoadGenConfig struct {
+	// Clients is the number of concurrent closed-loop clients.
+	Clients int
+	// ThinkTime is the fixed think time between a response and the
+	// next request.
+	ThinkTime time.Duration
+	// Path is the request path.
+	Path string
+}
+
+// timelineWindow buckets the wall-clock latency timeline.
+const timelineWindow = 100 * time.Millisecond
+
+// LoadStats collects client-observed outcomes, safe for concurrent use.
+type LoadStats struct {
+	mu       sync.Mutex
+	start    time.Time
+	hist     stats.Histogram
+	timeline *stats.Series
+	failures uint64
+	over     map[time.Duration]uint64
+}
+
+// newLoadStats tracks the given latency thresholds.
+func newLoadStats(thresholds ...time.Duration) *LoadStats {
+	over := make(map[time.Duration]uint64, len(thresholds))
+	for _, th := range thresholds {
+		over[th] = 0
+	}
+	return &LoadStats{
+		start:    time.Now(),
+		timeline: stats.NewSeries(timelineWindow),
+		over:     over,
+	}
+}
+
+func (s *LoadStats) record(d time.Duration, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hist.Record(d)
+	s.timeline.Add(time.Since(s.start), stats.DurationToMillis(d))
+	if !ok {
+		s.failures++
+	}
+	for th := range s.over {
+		if d >= th {
+			s.over[th]++
+		}
+	}
+}
+
+// Timeline returns the per-100ms-wall-window latency series in
+// milliseconds, for plotting the stall's effect over the run. Call it
+// after RunLoad returns; the series is not safe for use concurrently
+// with recording.
+func (s *LoadStats) Timeline() *stats.Series {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.timeline
+}
+
+// Total reports the number of completed requests.
+func (s *LoadStats) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hist.Count()
+}
+
+// Failures reports non-2xx or transport-failed requests.
+func (s *LoadStats) Failures() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failures
+}
+
+// Mean reports the mean latency.
+func (s *LoadStats) Mean() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hist.Mean()
+}
+
+// Quantile reports a latency quantile.
+func (s *LoadStats) Quantile(q float64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hist.Quantile(q)
+}
+
+// Max reports the largest latency.
+func (s *LoadStats) Max() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hist.Max()
+}
+
+// CountOver reports how many requests met or exceeded a tracked
+// threshold.
+func (s *LoadStats) CountOver(th time.Duration) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.over[th]
+}
+
+// RunLoad drives closed-loop clients against baseURL until the context
+// is cancelled, tracking the given latency thresholds.
+func RunLoad(ctx context.Context, baseURL string, cfg LoadGenConfig, thresholds ...time.Duration) *LoadStats {
+	if cfg.Clients < 1 {
+		cfg.Clients = 1
+	}
+	if cfg.Path == "" {
+		cfg.Path = "/"
+	}
+	out := newLoadStats(thresholds...)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			for ctx.Err() == nil {
+				start := time.Now()
+				ok := doRequest(ctx, client, baseURL+cfg.Path)
+				out.record(time.Since(start), ok)
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(cfg.ThinkTime):
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func doRequest(ctx context.Context, client *http.Client, url string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer func() { _ = resp.Body.Close() }()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode < 400
+}

@@ -1,0 +1,318 @@
+package httpcluster
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AppServerConfig sizes a loopback application server.
+type AppServerConfig struct {
+	// Name identifies the server.
+	Name string
+	// Workers bounds concurrently served requests (Tomcat maxThreads).
+	Workers int
+	// ServiceTime is the nominal per-request service time.
+	ServiceTime time.Duration
+	// DBURL, when non-empty, makes each request issue DBQueries round
+	// trips to the database stub.
+	DBURL     string
+	DBQueries int
+	// ResponseBytes sizes the response payload.
+	ResponseBytes int
+}
+
+// AppServer is a real HTTP application server whose progress can be
+// frozen by Stall — the loopback equivalent of a dirty-page-flush
+// millibottleneck. Service time is consumed in slices with a stall gate
+// between them, so an open stall window freezes in-flight requests too,
+// matching the simulated CPU model.
+type AppServer struct {
+	cfg      AppServerConfig
+	ln       net.Listener
+	srv      *http.Server
+	workers  chan struct{}
+	stallMu  sync.RWMutex
+	served   atomic.Uint64
+	inflight atomic.Int64
+	client   *http.Client
+	payload  []byte
+	wg       sync.WaitGroup
+}
+
+// StartAppServer launches the server on an ephemeral loopback port.
+func StartAppServer(cfg AppServerConfig) (*AppServer, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.ServiceTime <= 0 {
+		cfg.ServiceTime = 2 * time.Millisecond
+	}
+	if cfg.ResponseBytes <= 0 {
+		cfg.ResponseBytes = 2048
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("httpcluster: listen: %w", err)
+	}
+	a := &AppServer{
+		cfg:     cfg,
+		ln:      ln,
+		workers: make(chan struct{}, cfg.Workers),
+		client:  &http.Client{Timeout: 5 * time.Second},
+		payload: []byte(strings.Repeat("x", cfg.ResponseBytes)),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", a.handle)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	a.adminMux(mux)
+	a.srv = &http.Server{Handler: mux}
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		// ErrServerClosed is the normal shutdown path.
+		_ = a.srv.Serve(ln)
+	}()
+	return a, nil
+}
+
+// URL returns the server's base URL.
+func (a *AppServer) URL() string { return "http://" + a.ln.Addr().String() }
+
+// Name returns the configured name.
+func (a *AppServer) Name() string { return a.cfg.Name }
+
+// Served reports completed requests.
+func (a *AppServer) Served() uint64 { return a.served.Load() }
+
+// InFlight reports requests currently inside the server.
+func (a *AppServer) InFlight() int { return int(a.inflight.Load()) }
+
+// Stall freezes request progress for d: in-flight requests pause at the
+// next stall gate and new requests block at the first. It returns
+// immediately.
+func (a *AppServer) Stall(d time.Duration) {
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		a.stallMu.Lock()
+		time.Sleep(d)
+		a.stallMu.Unlock()
+	}()
+}
+
+// Close shuts the server down.
+func (a *AppServer) Close() error {
+	err := a.srv.Close()
+	a.wg.Wait()
+	return err
+}
+
+// stallGate blocks while a stall window is open.
+func (a *AppServer) stallGate() {
+	a.stallMu.RLock()
+	//lint:ignore SA2001 the lock is a pure gate: acquiring it at all is the wait
+	a.stallMu.RUnlock()
+}
+
+const serviceSlices = 8
+
+func (a *AppServer) handle(w http.ResponseWriter, r *http.Request) {
+	a.inflight.Add(1)
+	defer a.inflight.Add(-1)
+	a.workers <- struct{}{}
+	defer func() { <-a.workers }()
+
+	slice := a.cfg.ServiceTime / serviceSlices
+	for i := 0; i < serviceSlices; i++ {
+		a.stallGate()
+		time.Sleep(slice)
+	}
+	for i := 0; i < a.cfg.DBQueries && a.cfg.DBURL != ""; i++ {
+		resp, err := a.client.Get(a.cfg.DBURL + "/query")
+		if err != nil {
+			http.Error(w, "db error: "+err.Error(), http.StatusBadGateway)
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}
+	a.stallGate()
+	a.served.Add(1)
+	w.Header().Set("X-App-Server", a.cfg.Name)
+	_, _ = w.Write(a.payload)
+}
+
+// DBServer is the database stub: each query burns a fixed service time
+// and returns a small payload.
+type DBServer struct {
+	ln      net.Listener
+	srv     *http.Server
+	queries atomic.Uint64
+	wg      sync.WaitGroup
+}
+
+// StartDBServer launches the stub on an ephemeral loopback port.
+// queryTime is the per-query service time.
+func StartDBServer(queryTime time.Duration) (*DBServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("httpcluster: listen: %w", err)
+	}
+	d := &DBServer{ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, _ *http.Request) {
+		time.Sleep(queryTime)
+		d.queries.Add(1)
+		fmt.Fprintln(w, `{"rows":1}`)
+	})
+	d.srv = &http.Server{Handler: mux}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		_ = d.srv.Serve(ln)
+	}()
+	return d, nil
+}
+
+// URL returns the stub's base URL.
+func (d *DBServer) URL() string { return "http://" + d.ln.Addr().String() }
+
+// Queries reports served queries.
+func (d *DBServer) Queries() uint64 { return d.queries.Load() }
+
+// Close shuts the stub down.
+func (d *DBServer) Close() error {
+	err := d.srv.Close()
+	d.wg.Wait()
+	return err
+}
+
+// ProxyConfig sizes the web-tier reverse proxy.
+type ProxyConfig struct {
+	// Workers bounds concurrently proxied requests (Apache
+	// MaxClients); excess requests queue on the semaphore like
+	// connections in an accept backlog.
+	Workers int
+	// Policy, Mechanism and LB configure the balancer.
+	Policy    Policy
+	Mechanism Mechanism
+	LB        Config
+}
+
+// Proxy is the web tier: an HTTP server that forwards each request to
+// the backend its balancer picks, holding a worker slot for the full
+// request lifetime (including any time the original get_endpoint spends
+// polling a stalled backend).
+type Proxy struct {
+	cfg     ProxyConfig
+	bal     *Balancer
+	ln      net.Listener
+	srv     *http.Server
+	workers chan struct{}
+	client  *http.Client
+	served  atomic.Uint64
+	errors  atomic.Uint64
+	wg      sync.WaitGroup
+}
+
+// StartProxy launches the proxy over the given backends.
+func StartProxy(cfg ProxyConfig, backends []*Backend) (*Proxy, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 64
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("httpcluster: listen: %w", err)
+	}
+	p := &Proxy{
+		cfg:     cfg,
+		bal:     NewBalancer(cfg.Policy, cfg.Mechanism, backends, cfg.LB),
+		ln:      ln,
+		workers: make(chan struct{}, cfg.Workers),
+		client:  &http.Client{Timeout: 10 * time.Second},
+	}
+	p.srv = &http.Server{Handler: p.adminHandler(p.handle)}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		_ = p.srv.Serve(ln)
+	}()
+	return p, nil
+}
+
+// URL returns the proxy's base URL.
+func (p *Proxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// Balancer exposes the proxy's balancer for inspection.
+func (p *Proxy) Balancer() *Balancer { return p.bal }
+
+// Served and Errors report response counters.
+func (p *Proxy) Served() uint64 { return p.served.Load() }
+
+// Errors reports requests answered with an error.
+func (p *Proxy) Errors() uint64 { return p.errors.Load() }
+
+// Close shuts the proxy down.
+func (p *Proxy) Close() error {
+	err := p.srv.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
+	p.workers <- struct{}{}
+	defer func() { <-p.workers }()
+
+	reqBytes := r.ContentLength
+	if reqBytes < 0 {
+		reqBytes = 0
+	}
+	session := ""
+	if cookie, err := r.Cookie("JSESSIONID"); err == nil {
+		session = cookie.Value
+	}
+	be, release, err := p.bal.AcquireSession(session, reqBytes)
+	if err != nil {
+		p.errors.Add(1)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	resp, err := p.client.Get(be.URL() + r.URL.Path)
+	if err != nil {
+		release(0)
+		p.errors.Add(1)
+		http.Error(w, "upstream: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer func() { _ = resp.Body.Close() }()
+	w.Header().Set("X-Backend", be.Name())
+	w.WriteHeader(resp.StatusCode)
+	n, _ := io.Copy(w, resp.Body)
+	release(n)
+	p.served.Add(1)
+}
+
+// ParseBackendList parses "name=url,name=url" into backends with the
+// given endpoint pool size, for CLI use.
+func ParseBackendList(spec string, endpoints int) ([]*Backend, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("httpcluster: empty backend list")
+	}
+	var out []*Backend
+	for _, part := range strings.Split(spec, ",") {
+		name, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("httpcluster: bad backend %q (want name=url)", part)
+		}
+		out = append(out, NewBackend(name, url, endpoints))
+	}
+	return out, nil
+}

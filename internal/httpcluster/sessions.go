@@ -1,0 +1,99 @@
+package httpcluster
+
+import (
+	"sync"
+)
+
+// Sticky sessions and weights for the wall-clock balancer, mirroring
+// internal/lb's mod_jk features. Sessions are identified by an opaque
+// string (typically a cookie value); weights are mod_jk's lbfactor.
+
+// SetWeight assigns the backend's lbfactor (values ≤ 0 mean 1): a
+// weight-2 backend receives twice a weight-1 backend's traffic because
+// its lb_value increments are halved.
+func (b *Backend) SetWeight(w float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if w <= 0 {
+		w = 1
+	}
+	b.weight = w
+}
+
+// Weight returns the backend's lbfactor.
+func (b *Backend) Weight() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.weightLocked()
+}
+
+func (b *Backend) weightLocked() float64 {
+	if b.weight == 0 {
+		return 1
+	}
+	return b.weight
+}
+
+// sessionTable maps session keys to their pinned backend.
+type sessionTable struct {
+	mu sync.Mutex
+	m  map[string]*Backend
+}
+
+func (t *sessionTable) get(key string) *Backend {
+	if key == "" {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[key]
+}
+
+func (t *sessionTable) bind(key string, be *Backend) {
+	if key == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = make(map[string]*Backend)
+	}
+	t.m[key] = be
+}
+
+func (t *sessionTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// Sessions reports the number of bound sessions.
+func (b *Balancer) Sessions() int { return b.sessions.len() }
+
+// AcquireSession is Acquire with mod_jk sticky-session semantics: when
+// sticky sessions are enabled and the session key is non-empty, the
+// request goes to the backend the session first landed on unless it is
+// in Error or its endpoint acquisition fails — in which case the
+// balancer falls back to normal selection and rebinds.
+func (b *Balancer) AcquireSession(sessionKey string, requestBytes int64) (*Backend, func(int64), error) {
+	if b.cfg.StickySessions && sessionKey != "" {
+		if be := b.sessions.get(sessionKey); be != nil && be.State() != BackendError {
+			if b.onAssign != nil {
+				b.onAssign(be)
+			}
+			if b.acquireEndpoint(be) {
+				b.noteDispatch(be)
+				return be, func(responseBytes int64) {
+					b.noteComplete(be, requestBytes, responseBytes)
+					be.endpoints <- struct{}{}
+				}, nil
+			}
+			b.noteFailure(be)
+		}
+	}
+	be, release, err := b.Acquire(requestBytes)
+	if err == nil && b.cfg.StickySessions {
+		b.sessions.bind(sessionKey, be)
+	}
+	return be, release, err
+}

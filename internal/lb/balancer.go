@@ -1,0 +1,357 @@
+package lb
+
+import (
+	"time"
+
+	"millibalance/internal/sim"
+)
+
+// Config tunes the 3-state machine around the policy and mechanism.
+type Config struct {
+	// BusyRecovery is how long a candidate stays Busy before being
+	// probed again (default 100 ms). A completed response readmits it
+	// immediately.
+	BusyRecovery sim.Time
+	// ErrorThreshold is the number of consecutive endpoint-acquisition
+	// failures that escalate Busy to Error (default 3, mirroring
+	// mod_jk's retry ladder).
+	ErrorThreshold int
+	// ErrorAfter additionally requires the consecutive failures to span
+	// at least this long before escalating (default 2 s). Millibottle-
+	// necks last tens to hundreds of milliseconds and can fail dozens
+	// of concurrent acquisitions at once; only failures that persist
+	// well beyond that horizon indicate a genuinely failed server.
+	ErrorAfter sim.Time
+	// ErrorRecovery is how long an Error candidate is excluded before
+	// being tentatively readmitted (default 10 s).
+	ErrorRecovery sim.Time
+	// MaxAttempts bounds how many distinct candidates one sweep may
+	// try (default: all of them). A sweep never retries a candidate it
+	// already failed on.
+	MaxAttempts int
+	// Sweeps is how many full candidate sweeps a dispatch makes before
+	// rejecting (mod_jk's balancer-level retries; default 3). The
+	// caller's worker thread stays occupied across sweeps.
+	Sweeps int
+	// SweepPause separates consecutive sweeps (default 100 ms).
+	SweepPause sim.Time
+	// MaintainInterval runs the policy's Maintain hook (if it
+	// implements Maintainer) on every candidate at this period —
+	// mod_jk's global maintain, which decays lb_values. Zero disables
+	// maintenance.
+	MaintainInterval sim.Time
+	// StickySessions pins each session (RequestInfo.SessionID) to the
+	// backend it first landed on, overriding the policy unless that
+	// backend is in Error or already failed this dispatch — mod_jk's
+	// sticky_session behaviour.
+	StickySessions bool
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults(candidates int) Config {
+	if c.BusyRecovery <= 0 {
+		c.BusyRecovery = 100 * time.Millisecond
+	}
+	if c.ErrorThreshold <= 0 {
+		c.ErrorThreshold = 3
+	}
+	if c.ErrorAfter <= 0 {
+		c.ErrorAfter = 2 * time.Second
+	}
+	if c.ErrorRecovery <= 0 {
+		c.ErrorRecovery = 10 * time.Second
+	}
+	if c.MaxAttempts <= 0 || c.MaxAttempts > candidates {
+		c.MaxAttempts = candidates
+	}
+	if c.Sweeps <= 0 {
+		c.Sweeps = 3
+	}
+	if c.SweepPause <= 0 {
+		c.SweepPause = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Balancer is the lower level of the two-level scheduler: it picks the
+// Available candidate with the lowest lb_value, runs the configured
+// endpoint-acquisition mechanism, and maintains the 3-state machine.
+// One balancer instance lives in each web-tier server (each Apache runs
+// its own mod_jk with private endpoint pools and lb_values).
+type Balancer struct {
+	eng    *sim.Engine
+	policy Policy
+	mech   Mechanism
+	cfg    Config
+	cands  []*Candidate
+
+	rejects    uint64
+	sessions   map[uint64]*Candidate
+	onAssign   func(*Candidate)
+	onDispatch func(*Candidate)
+	onReject   func()
+}
+
+// New returns a balancer over the candidates. Policy, mechanism and at
+// least one candidate are required.
+func New(eng *sim.Engine, policy Policy, mech Mechanism, cands []*Candidate, cfg Config) *Balancer {
+	if policy == nil || mech == nil {
+		panic("lb: New with nil policy or mechanism")
+	}
+	if len(cands) == 0 {
+		panic("lb: New with no candidates")
+	}
+	copied := make([]*Candidate, len(cands))
+	copy(copied, cands)
+	if _, ok := policy.(Maintainer); ok && cfg.MaintainInterval <= 0 {
+		// A maintaining policy is meaningless without maintenance; use
+		// a sub-second default so the decay reacts within a few
+		// millibottleneck lifetimes.
+		cfg.MaintainInterval = 500 * time.Millisecond
+	}
+	b := &Balancer{
+		eng:    eng,
+		policy: policy,
+		mech:   mech,
+		cfg:    cfg.withDefaults(len(cands)),
+		cands:  copied,
+	}
+	if m, ok := policy.(Maintainer); ok && b.cfg.MaintainInterval > 0 {
+		var tick func()
+		tick = func() {
+			for _, c := range b.cands {
+				m.Maintain(c)
+			}
+			eng.Schedule(b.cfg.MaintainInterval, tick)
+		}
+		eng.Schedule(b.cfg.MaintainInterval, tick)
+	}
+	return b
+}
+
+// Policy returns the active policy.
+func (b *Balancer) Policy() Policy { return b.policy }
+
+// Mechanism returns the active mechanism.
+func (b *Balancer) Mechanism() Mechanism { return b.mech }
+
+// Candidates returns the candidate list (shared, not a copy — callers
+// must not mutate it).
+func (b *Balancer) Candidates() []*Candidate { return b.cands }
+
+// Rejects reports how many dispatches failed on every attempt.
+func (b *Balancer) Rejects() uint64 { return b.rejects }
+
+// SetAssignHook registers a hook invoked every time the scheduler
+// chooses a candidate — including choices whose endpoint acquisition is
+// still polling or eventually fails. The paper's workload-distribution
+// plots (Fig. 6c, 7c, 9b, 13b) count requests by this routing decision,
+// which is what makes the pile-up on a stalled candidate visible while
+// the stuck workers are still inside get_endpoint.
+func (b *Balancer) SetAssignHook(hook func(*Candidate)) { b.onAssign = hook }
+
+// SetDispatchHook registers a hook invoked at each successful dispatch
+// (endpoint acquired and request actually sent).
+func (b *Balancer) SetDispatchHook(hook func(*Candidate)) { b.onDispatch = hook }
+
+// SetRejectHook registers a hook invoked when a dispatch is rejected.
+func (b *Balancer) SetRejectHook(hook func()) { b.onReject = hook }
+
+// Snapshot copies every candidate's balancer-visible state.
+func (b *Balancer) Snapshot() []Snapshot {
+	out := make([]Snapshot, len(b.cands))
+	for i, c := range b.cands {
+		out[i] = c.snapshot()
+	}
+	return out
+}
+
+// Dispatch picks a candidate, acquires an endpoint through the mechanism
+// and calls send(c, done) with the chosen candidate; the caller forwards
+// the request and must invoke done exactly once when the response
+// returns. When every attempt fails, reject runs instead. The caller's
+// worker thread is considered occupied until send or reject fires —
+// exactly the occupancy that lets the original mechanism propagate queue
+// amplification into the web tier.
+func (b *Balancer) Dispatch(info RequestInfo, send func(c *Candidate, done func()), reject func()) {
+	if send == nil || reject == nil {
+		panic("lb: Dispatch with nil callback")
+	}
+	b.attempt(info, send, reject, nil, 1)
+}
+
+func (b *Balancer) attempt(info RequestInfo, send func(*Candidate, func()), reject func(), tried map[*Candidate]bool, sweep int) {
+	c := b.sessionCandidate(info.SessionID, tried)
+	if c == nil {
+		c = b.choose(tried)
+	}
+	if c == nil {
+		b.nextSweep(info, send, reject, sweep)
+		return
+	}
+	if b.onAssign != nil {
+		b.onAssign(c)
+	}
+	b.mech.Acquire(c, func(ok bool) {
+		if !ok {
+			b.noteFailure(c)
+			if tried == nil {
+				tried = make(map[*Candidate]bool, len(b.cands))
+			}
+			tried[c] = true
+			if len(tried) >= b.cfg.MaxAttempts {
+				b.nextSweep(info, send, reject, sweep)
+				return
+			}
+			b.attempt(info, send, reject, tried, sweep)
+			return
+		}
+		b.dispatchTo(c, info, send)
+	})
+}
+
+// nextSweep pauses and re-sweeps the full candidate set, or rejects when
+// the sweep budget is spent.
+func (b *Balancer) nextSweep(info RequestInfo, send func(*Candidate, func()), reject func(), sweep int) {
+	if sweep >= b.cfg.Sweeps {
+		b.doReject(reject)
+		return
+	}
+	b.eng.Schedule(b.cfg.SweepPause, func() {
+		b.attempt(info, send, reject, nil, sweep+1)
+	})
+}
+
+func (b *Balancer) dispatchTo(c *Candidate, info RequestInfo, send func(*Candidate, func())) {
+	c.consecFails = 0
+	if c.state != StateAvailable {
+		// Returning an endpoint proves the candidate responsive again.
+		b.setAvailable(c)
+	}
+	b.policy.OnDispatch(c, info)
+	if b.cfg.StickySessions {
+		b.bindSession(info.SessionID, c)
+	}
+	c.dispatched++
+	c.inFlight++
+	if b.onDispatch != nil {
+		b.onDispatch(c)
+	}
+	finished := false
+	send(c, func() {
+		if finished {
+			panic("lb: request completion invoked twice")
+		}
+		finished = true
+		c.inFlight--
+		c.completed++
+		b.policy.OnComplete(c, info)
+		c.releaseEndpoint()
+		c.consecFails = 0
+		if c.state != StateAvailable {
+			b.setAvailable(c)
+		}
+	})
+}
+
+func (b *Balancer) doReject(reject func()) {
+	b.rejects++
+	if b.onReject != nil {
+		b.onReject()
+	}
+	reject()
+}
+
+// choose implements the lower-level scheduler: the Available candidate
+// with the lowest lb_value; if none is Available, the Busy candidate with
+// the lowest lb_value is retried (paper Section IV-A, step 3). Error
+// candidates and candidates this dispatch already failed on are
+// excluded. Ties break toward the earliest candidate, matching mod_jk's
+// first-found scan.
+func (b *Balancer) choose(tried map[*Candidate]bool) *Candidate {
+	if c := b.lowest(StateAvailable, tried); c != nil {
+		return c
+	}
+	return b.lowest(StateBusy, tried)
+}
+
+func (b *Balancer) lowest(s State, tried map[*Candidate]bool) *Candidate {
+	if chooser, ok := b.policy.(Chooser); ok {
+		var eligible []*Candidate
+		for _, c := range b.cands {
+			if c.state == s && !tried[c] {
+				eligible = append(eligible, c)
+			}
+		}
+		if len(eligible) == 0 {
+			return nil
+		}
+		return chooser.Choose(eligible, b.eng.Rand())
+	}
+	var best *Candidate
+	for _, c := range b.cands {
+		if c.state != s || tried[c] {
+			continue
+		}
+		if best == nil || c.lbValue < best.lbValue {
+			best = c
+		}
+	}
+	return best
+}
+
+// noteFailure records an endpoint-acquisition failure: Available → Busy,
+// and — when the consecutive failures both exceed the count threshold
+// and span longer than any millibottleneck could — Error.
+func (b *Balancer) noteFailure(c *Candidate) {
+	if c.consecFails == 0 {
+		c.firstFailAt = b.eng.Now()
+	}
+	c.consecFails++
+	if c.consecFails >= b.cfg.ErrorThreshold && b.eng.Now()-c.firstFailAt >= b.cfg.ErrorAfter {
+		b.setError(c)
+		return
+	}
+	if c.state == StateAvailable {
+		b.setBusy(c)
+	}
+}
+
+func (b *Balancer) setBusy(c *Candidate) {
+	c.state = StateBusy
+	b.stopTimers(c)
+	c.busyTimer = b.eng.Schedule(b.cfg.BusyRecovery, func() {
+		c.busyTimer = nil
+		if c.state == StateBusy {
+			c.state = StateAvailable
+		}
+	})
+}
+
+func (b *Balancer) setError(c *Candidate) {
+	c.state = StateError
+	b.stopTimers(c)
+	c.errorTimer = b.eng.Schedule(b.cfg.ErrorRecovery, func() {
+		c.errorTimer = nil
+		if c.state == StateError {
+			c.state = StateAvailable
+			c.consecFails = 0
+		}
+	})
+}
+
+func (b *Balancer) setAvailable(c *Candidate) {
+	c.state = StateAvailable
+	b.stopTimers(c)
+}
+
+func (b *Balancer) stopTimers(c *Candidate) {
+	if c.busyTimer != nil {
+		b.eng.Stop(c.busyTimer)
+		c.busyTimer = nil
+	}
+	if c.errorTimer != nil {
+		b.eng.Stop(c.errorTimer)
+		c.errorTimer = nil
+	}
+}

@@ -1,0 +1,109 @@
+package lb
+
+import (
+	"math/rand/v2"
+)
+
+// This file contains policies beyond the paper's three: the
+// recent_request policy implements the paper's closing suggestion of
+// "adding the consideration of recent utilization changes" by decaying
+// the cumulative counter (mod_jk's own worker.maintain does the same,
+// halving lb_values every maintain interval), and two_choices is the
+// classic power-of-two-choices baseline for comparison.
+
+// Maintainer is an optional Policy extension: when the balancer's
+// MaintainInterval is set, Maintain runs for every candidate at each
+// maintenance tick (mod_jk's global maintain).
+type Maintainer interface {
+	Maintain(c *Candidate)
+}
+
+// Chooser is an optional Policy extension overriding the lower-level
+// scheduler's min-lb_value selection. Choose picks among the eligible
+// candidates (all in the same state, never empty).
+type Chooser interface {
+	Choose(eligible []*Candidate, rng *rand.Rand) *Candidate
+}
+
+// RecentRequest ranks candidates by a *decaying* request counter:
+// dispatches increment the lb_value and each maintenance tick halves
+// it, so the ranking reflects recent — not lifetime — utilization. With
+// a sub-second maintain interval a stalled candidate's frozen counter
+// loses its misleading advantage within a few ticks, softening the
+// instability without tracking in-flight state.
+type RecentRequest struct{}
+
+// Name implements Policy.
+func (RecentRequest) Name() string { return "recent_request" }
+
+// OnDispatch implements Policy.
+func (RecentRequest) OnDispatch(c *Candidate, _ RequestInfo) { c.lbValue += LBMult }
+
+// OnComplete implements Policy.
+func (RecentRequest) OnComplete(*Candidate, RequestInfo) {}
+
+// Maintain implements Maintainer: the mod_jk halving decay.
+func (RecentRequest) Maintain(c *Candidate) { c.lbValue /= 2 }
+
+// TwoChoices is the power-of-two-choices baseline: sample two eligible
+// candidates uniformly and dispatch to the one with fewer in-flight
+// requests. Its lb_value bookkeeping equals current_load so snapshots
+// stay meaningful, but selection is randomized, which bounds herd
+// behaviour when many balancers share the same view.
+type TwoChoices struct{}
+
+// Name implements Policy.
+func (TwoChoices) Name() string { return "two_choices" }
+
+// OnDispatch implements Policy.
+func (TwoChoices) OnDispatch(c *Candidate, _ RequestInfo) { c.lbValue += LBMult }
+
+// OnComplete implements Policy.
+func (TwoChoices) OnComplete(c *Candidate, _ RequestInfo) {
+	if c.lbValue >= LBMult {
+		c.lbValue -= LBMult
+	} else {
+		c.lbValue = 0
+	}
+}
+
+// Choose implements Chooser.
+func (TwoChoices) Choose(eligible []*Candidate, rng *rand.Rand) *Candidate {
+	if len(eligible) == 1 {
+		return eligible[0]
+	}
+	i := rng.IntN(len(eligible))
+	j := rng.IntN(len(eligible) - 1)
+	if j >= i {
+		j++
+	}
+	a, b := eligible[i], eligible[j]
+	if b.lbValue < a.lbValue {
+		return b
+	}
+	return a
+}
+
+// RandomPolicy dispatches uniformly at random among eligible
+// candidates — the no-information baseline.
+type RandomPolicy struct{}
+
+// Name implements Policy.
+func (RandomPolicy) Name() string { return "random" }
+
+// OnDispatch implements Policy.
+func (RandomPolicy) OnDispatch(c *Candidate, _ RequestInfo) { c.lbValue += LBMult }
+
+// OnComplete implements Policy.
+func (RandomPolicy) OnComplete(c *Candidate, _ RequestInfo) {
+	if c.lbValue >= LBMult {
+		c.lbValue -= LBMult
+	} else {
+		c.lbValue = 0
+	}
+}
+
+// Choose implements Chooser.
+func (RandomPolicy) Choose(eligible []*Candidate, rng *rand.Rand) *Candidate {
+	return eligible[rng.IntN(len(eligible))]
+}

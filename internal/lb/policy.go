@@ -1,0 +1,122 @@
+package lb
+
+// RequestInfo carries the request attributes policies account for.
+type RequestInfo struct {
+	// RequestBytes and ResponseBytes are the message sizes exchanged
+	// with the backend — the total_traffic policy's accounting unit
+	// ("read + write sizes" in Algorithm 3).
+	RequestBytes  int64
+	ResponseBytes int64
+	// SessionID, when non-zero and the balancer has StickySessions
+	// enabled, pins the request to the backend the session first
+	// landed on (mod_jk's sticky_session).
+	SessionID uint64
+}
+
+// Policy is the upper level of the two-level scheduler: it maintains each
+// candidate's lb_value. The lower level (Balancer) always picks the
+// Available candidate with the lowest lb_value, so a policy expresses its
+// preference purely through the value updates.
+type Policy interface {
+	// Name identifies the policy in configs and reports.
+	Name() string
+	// OnDispatch runs when a request is sent to the candidate (after a
+	// successful endpoint acquisition).
+	OnDispatch(c *Candidate, info RequestInfo)
+	// OnComplete runs when the candidate's response returns.
+	OnComplete(c *Candidate, info RequestInfo)
+}
+
+// LBMult is the lb_value increment unit, matching mod_jk's lb_mult.
+const LBMult = 1.0
+
+// TotalRequest is mod_jk's default policy (Algorithm 2): rank candidates
+// by the accumulated number of requests served, fewest first. The
+// lb_value is incremented when the request is dispatched; completions do
+// not change it. Under a millibottleneck the stalled candidate stops
+// being dispatched to only while a worker is stuck inside get_endpoint —
+// its lb_value stays the lowest, so every new arrival keeps choosing it
+// (the paper's policy-level limitation).
+type TotalRequest struct{}
+
+// Name implements Policy.
+func (TotalRequest) Name() string { return "total_request" }
+
+// OnDispatch implements Policy.
+func (TotalRequest) OnDispatch(c *Candidate, _ RequestInfo) { c.lbValue += c.scaled(LBMult) }
+
+// OnComplete implements Policy.
+func (TotalRequest) OnComplete(*Candidate, RequestInfo) {}
+
+// TotalTraffic is mod_jk's traffic policy (Algorithm 3): rank candidates
+// by the accumulated bytes exchanged, fewest first. The lb_value grows by
+// the request plus response sizes when the response returns. A stalled
+// candidate returns no responses, so its lb_value freezes at the minimum
+// while healthy candidates' values keep growing — the same limitation,
+// expressed through completions.
+type TotalTraffic struct{}
+
+// Name implements Policy.
+func (TotalTraffic) Name() string { return "total_traffic" }
+
+// OnDispatch implements Policy.
+func (TotalTraffic) OnDispatch(*Candidate, RequestInfo) {}
+
+// OnComplete implements Policy.
+func (TotalTraffic) OnComplete(c *Candidate, info RequestInfo) {
+	c.lbValue += c.scaled(float64(info.RequestBytes+info.ResponseBytes) * LBMult)
+}
+
+// CurrentLoad is the paper's policy-level remedy (Algorithm 4): rank
+// candidates by the number of requests currently being served.
+// Dispatches increment the lb_value and completions decrement it (with a
+// floor at zero), so a candidate that stops completing — a
+// millibottleneck — accumulates the highest lb_value and stops being
+// chosen, without relying on the 3-state machine.
+type CurrentLoad struct{}
+
+// Name implements Policy.
+func (CurrentLoad) Name() string { return "current_load" }
+
+// OnDispatch implements Policy.
+func (CurrentLoad) OnDispatch(c *Candidate, _ RequestInfo) { c.lbValue += c.scaled(LBMult) }
+
+// OnComplete implements Policy.
+func (CurrentLoad) OnComplete(c *Candidate, _ RequestInfo) {
+	if c.lbValue >= c.scaled(LBMult) {
+		c.lbValue -= c.scaled(LBMult)
+	} else {
+		c.lbValue = 0
+	}
+}
+
+// PolicyByName returns the policy with the given name, used by CLI flags
+// and experiment configs. Beyond the paper's three policies it resolves
+// the extension policies in extensions.go.
+func PolicyByName(name string) (Policy, bool) {
+	switch name {
+	case "total_request":
+		return TotalRequest{}, true
+	case "total_traffic":
+		return TotalTraffic{}, true
+	case "current_load":
+		return CurrentLoad{}, true
+	case "recent_request":
+		return RecentRequest{}, true
+	case "two_choices":
+		return TwoChoices{}, true
+	case "random":
+		return RandomPolicy{}, true
+	default:
+		return nil, false
+	}
+}
+
+// PolicyNames lists the available policy names (the paper's three
+// first, then the extensions).
+func PolicyNames() []string {
+	return []string{
+		"total_request", "total_traffic", "current_load",
+		"recent_request", "two_choices", "random",
+	}
+}

@@ -1,0 +1,57 @@
+package lb
+
+// Session affinity (mod_jk's sticky_session) and per-worker weights
+// (lbfactor). Both interact with the paper's instability: a weighted
+// candidate attracts proportionally more traffic, and sticky sessions
+// bypass the policy entirely for bound clients — so a millibottleneck on
+// a sticky backend delays its pinned sessions no matter which policy is
+// active, which the sticky-session ablation bench quantifies.
+
+// SetWeight assigns mod_jk's lbfactor: a weight-2 candidate should
+// receive twice the traffic of a weight-1 candidate. Weights at or
+// below zero are treated as one. Policies divide their lb_value
+// increments by the weight, exactly like mod_jk's normalization.
+func (c *Candidate) SetWeight(w float64) {
+	if w <= 0 {
+		w = 1
+	}
+	c.weight = w
+}
+
+// Weight returns the candidate's lbfactor (default 1).
+func (c *Candidate) Weight() float64 {
+	if c.weight == 0 {
+		return 1
+	}
+	return c.weight
+}
+
+// scaled returns one lb_value increment unit normalized by weight.
+func (c *Candidate) scaled(delta float64) float64 { return delta / c.Weight() }
+
+// bindSession records a session→candidate binding.
+func (b *Balancer) bindSession(session uint64, c *Candidate) {
+	if session == 0 {
+		return
+	}
+	if b.sessions == nil {
+		b.sessions = make(map[uint64]*Candidate)
+	}
+	b.sessions[session] = c
+}
+
+// sessionCandidate returns the bound candidate for a session if it is
+// currently eligible (not Error, not already tried this sweep).
+func (b *Balancer) sessionCandidate(session uint64, tried map[*Candidate]bool) *Candidate {
+	if session == 0 || !b.cfg.StickySessions {
+		return nil
+	}
+	c, ok := b.sessions[session]
+	if !ok || c.state == StateError || tried[c] {
+		return nil
+	}
+	return c
+}
+
+// Sessions reports the number of bound sessions.
+func (b *Balancer) Sessions() int { return len(b.sessions) }

@@ -1,0 +1,179 @@
+package mbneck
+
+import (
+	"sort"
+	"time"
+
+	"millibalance/internal/stats"
+)
+
+// Span is a contiguous interval of saturated windows in a sampled
+// series.
+type Span struct {
+	Start time.Duration
+	End   time.Duration
+}
+
+// Duration returns the span length.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// Overlaps reports whether the span intersects [from, to) extended by
+// tolerance on both sides.
+func (s Span) Overlaps(from, to, tolerance time.Duration) bool {
+	return s.Start <= to+tolerance && s.End >= from-tolerance
+}
+
+// DetectSaturations returns the spans of consecutive windows whose mean
+// value reaches threshold — applied to a CPU-utilization series with
+// threshold ≈95 this finds the transient saturations of Fig. 2c/6b.
+func DetectSaturations(series *stats.Series, threshold float64) []Span {
+	var spans []Span
+	open := false
+	var start time.Duration
+	for i := 0; i < series.Len(); i++ {
+		w := series.At(i)
+		saturated := w.Count > 0 && w.Mean() >= threshold
+		switch {
+		case saturated && !open:
+			open = true
+			start = series.Start(i)
+		case !saturated && open:
+			open = false
+			spans = append(spans, Span{Start: start, End: series.Start(i)})
+		}
+	}
+	if open {
+		spans = append(spans, Span{Start: start, End: series.Start(series.Len())})
+	}
+	return spans
+}
+
+// FilterMillibottlenecks keeps only spans in the millibottleneck range:
+// longer than minDur (to drop single-sample noise) and shorter than
+// maxDur (a longer saturation is a conventional bottleneck, not a
+// millibottleneck).
+func FilterMillibottlenecks(spans []Span, minDur, maxDur time.Duration) []Span {
+	var out []Span
+	for _, s := range spans {
+		d := s.Duration()
+		if d >= minDur && d <= maxDur {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// QueuePeak is a window whose queue length stands out from the series
+// baseline.
+type QueuePeak struct {
+	Start time.Duration
+	Len   float64
+}
+
+// FindQueuePeaks returns windows whose maximum exceeds
+// mean + k×stddev of the per-window maxima (and an absolute floor),
+// the paper's "large spikes in the queue length graph".
+func FindQueuePeaks(series *stats.Series, k, floor float64) []QueuePeak {
+	var o stats.Online
+	for i := 0; i < series.Len(); i++ {
+		if w := series.At(i); w.Count > 0 {
+			o.Add(w.Max)
+		}
+	}
+	if o.N() == 0 {
+		return nil
+	}
+	threshold := o.Mean() + k*o.StdDev()
+	if threshold < floor {
+		threshold = floor
+	}
+	var peaks []QueuePeak
+	for i := 0; i < series.Len(); i++ {
+		w := series.At(i)
+		if w.Count > 0 && w.Max > threshold {
+			peaks = append(peaks, QueuePeak{Start: series.Start(i), Len: w.Max})
+		}
+	}
+	return peaks
+}
+
+// AttributeEvents reports the fraction of non-empty event windows (e.g.
+// VLRT requests per 50 ms) that overlap any of the given saturation
+// spans, each extended by tolerance — the paper's correlation step
+// linking VLRT clusters to millibottlenecks.
+func AttributeEvents(events *stats.Series, spans []Span, tolerance time.Duration) float64 {
+	total, attributed := 0, 0
+	for i := 0; i < events.Len(); i++ {
+		if events.At(i).Count == 0 {
+			continue
+		}
+		total++
+		from := events.Start(i)
+		to := from + events.Width()
+		for _, s := range spans {
+			if s.Overlaps(from, to, tolerance) {
+				attributed++
+				break
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(attributed) / float64(total)
+}
+
+// CorrelatePeaks returns the Pearson correlation between two series'
+// per-window maxima over their common prefix — used to link queue peaks
+// across tiers (the push-back wave of Fig. 2b) and queue peaks to CPU
+// saturation.
+func CorrelatePeaks(a, b *stats.Series) float64 {
+	return stats.Pearson(a.Maxes(), b.Maxes())
+}
+
+// Report summarizes a detection pass over one server.
+type Report struct {
+	// Saturations are the detected millibottleneck spans.
+	Saturations []Span
+	// QueuePeaks are the outstanding queue windows.
+	QueuePeaks []QueuePeak
+	// VLRTAttribution is the fraction of VLRT windows overlapping a
+	// saturation span.
+	VLRTAttribution float64
+}
+
+// Analyze runs the full per-server methodology: detect transient CPU
+// saturations, find queue peaks, and attribute VLRT windows to the
+// saturations.
+func Analyze(util, queue, vlrt *stats.Series, satThreshold float64, minDur, maxDur, tolerance time.Duration) Report {
+	sats := FilterMillibottlenecks(DetectSaturations(util, satThreshold), minDur, maxDur)
+	return Report{
+		Saturations:     sats,
+		QueuePeaks:      FindQueuePeaks(queue, 3, 10),
+		VLRTAttribution: AttributeEvents(vlrt, sats, tolerance),
+	}
+}
+
+// MergeSpans unions overlapping or adjacent spans (gap ≤ slack) from an
+// arbitrary list, returning them sorted by start time. Use it to fold
+// per-server saturation spans into cluster-wide millibottleneck windows.
+func MergeSpans(spans []Span, slack time.Duration) []Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	out := []Span{sorted[0]}
+	for _, s := range sorted[1:] {
+		last := &out[len(out)-1]
+		if s.Start <= last.End+slack {
+			if s.End > last.End {
+				last.End = s.End
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}

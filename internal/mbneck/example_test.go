@@ -1,0 +1,30 @@
+package mbneck_test
+
+import (
+	"fmt"
+	"time"
+
+	"millibalance/internal/mbneck"
+	"millibalance/internal/stats"
+)
+
+func ExampleDetectSaturations() {
+	// A CPU utilization series sampled in 50ms windows: healthy at 40%
+	// except one 150ms full saturation — a millibottleneck.
+	util := stats.NewSeries(50 * time.Millisecond)
+	for i := 0; i < 20; i++ {
+		v := 40.0
+		if i >= 6 && i <= 8 {
+			v = 100
+		}
+		util.Add(time.Duration(i)*50*time.Millisecond, v)
+	}
+	spans := mbneck.FilterMillibottlenecks(
+		mbneck.DetectSaturations(util, 95),
+		50*time.Millisecond, time.Second)
+	for _, s := range spans {
+		fmt.Printf("millibottleneck at %v lasting %v\n", s.Start, s.Duration())
+	}
+	// Output:
+	// millibottleneck at 300ms lasting 150ms
+}

@@ -1,0 +1,203 @@
+// Package mbneck provides millibottleneck tooling on both sides of the
+// experiment: injectors that create transient full-saturation windows
+// from the causes the paper catalogs (dirty-page flushing lives in
+// internal/resource as the writeback daemon; this package adds Java GC,
+// DVFS, VM-colocation and scripted stalls), and a detector implementing
+// the paper's diagnosis methodology — find sub-second 100%-utilization
+// windows and correlate them with queue peaks and VLRT windows.
+package mbneck
+
+import (
+	"millibalance/internal/sim"
+)
+
+// Stallable is a resource whose progress can be frozen for a window —
+// *resource.CPU satisfies it.
+type Stallable interface {
+	Stall(d sim.Time)
+}
+
+// Injector is a source of millibottlenecks that can be armed and
+// disarmed.
+type Injector interface {
+	// Name identifies the injector in configs and reports.
+	Name() string
+	// Start arms the injector.
+	Start()
+	// Stop disarms it; an in-progress stall runs out naturally.
+	Stop()
+}
+
+// PeriodicStalls stalls the target on a fixed period, modelling
+// clocked causes: full Java garbage collections and DVFS power-state
+// transitions (the paper's other VLRT sources). The paper's hardware
+// DVFS slows the clock rather than halting it; a short full stall is the
+// closest equivalent our frozen-progress CPU model exposes, and produces
+// the same queue signature.
+type PeriodicStalls struct {
+	eng    *sim.Engine
+	name   string
+	target Stallable
+	// Interval separates stall starts; Duration is each stall's length;
+	// Jitter (0..1) randomizes both uniformly.
+	Interval sim.Time
+	Duration sim.Time
+	Jitter   float64
+
+	timer  *sim.Timer
+	stalls int
+}
+
+// NewPeriodicStalls returns a periodic injector.
+func NewPeriodicStalls(eng *sim.Engine, name string, target Stallable, interval, duration sim.Time, jitter float64) *PeriodicStalls {
+	if target == nil {
+		panic("mbneck: nil stall target")
+	}
+	if interval <= 0 || duration <= 0 {
+		panic("mbneck: PeriodicStalls requires positive interval and duration")
+	}
+	return &PeriodicStalls{eng: eng, name: name, target: target, Interval: interval, Duration: duration, Jitter: jitter}
+}
+
+// Name implements Injector.
+func (p *PeriodicStalls) Name() string { return p.name }
+
+// Stalls reports how many stalls have fired.
+func (p *PeriodicStalls) Stalls() int { return p.stalls }
+
+// Start implements Injector.
+func (p *PeriodicStalls) Start() {
+	if p.timer != nil {
+		panic("mbneck: Start called twice")
+	}
+	p.arm()
+}
+
+func (p *PeriodicStalls) arm() {
+	p.timer = p.eng.Schedule(p.eng.Jitter(p.Interval, p.Jitter), func() {
+		p.stalls++
+		p.target.Stall(p.eng.Jitter(p.Duration, p.Jitter))
+		p.arm()
+	})
+}
+
+// Stop implements Injector.
+func (p *PeriodicStalls) Stop() {
+	if p.timer != nil {
+		p.eng.Stop(p.timer)
+		p.timer = nil
+	}
+}
+
+// RandomStalls stalls the target with exponential inter-arrivals and
+// exponential durations, modelling VM-colocation interference (a noisy
+// neighbour bursting onto the shared cores) and other unscheduled
+// causes.
+type RandomStalls struct {
+	eng          *sim.Engine
+	name         string
+	target       Stallable
+	MeanInterval sim.Time
+	MeanDuration sim.Time
+
+	timer  *sim.Timer
+	stalls int
+}
+
+// NewRandomStalls returns a random injector.
+func NewRandomStalls(eng *sim.Engine, name string, target Stallable, meanInterval, meanDuration sim.Time) *RandomStalls {
+	if target == nil {
+		panic("mbneck: nil stall target")
+	}
+	if meanInterval <= 0 || meanDuration <= 0 {
+		panic("mbneck: RandomStalls requires positive means")
+	}
+	return &RandomStalls{eng: eng, name: name, target: target, MeanInterval: meanInterval, MeanDuration: meanDuration}
+}
+
+// Name implements Injector.
+func (r *RandomStalls) Name() string { return r.name }
+
+// Stalls reports how many stalls have fired.
+func (r *RandomStalls) Stalls() int { return r.stalls }
+
+// Start implements Injector.
+func (r *RandomStalls) Start() {
+	if r.timer != nil {
+		panic("mbneck: Start called twice")
+	}
+	r.arm()
+}
+
+func (r *RandomStalls) arm() {
+	r.timer = r.eng.Schedule(r.eng.Exponential(r.MeanInterval), func() {
+		r.stalls++
+		r.target.Stall(r.eng.Exponential(r.MeanDuration))
+		r.arm()
+	})
+}
+
+// Stop implements Injector.
+func (r *RandomStalls) Stop() {
+	if r.timer != nil {
+		r.eng.Stop(r.timer)
+		r.timer = nil
+	}
+}
+
+// StallEvent is one scripted stall.
+type StallEvent struct {
+	At       sim.Time
+	Duration sim.Time
+}
+
+// ScriptedStalls plays back an exact stall schedule — the controlled
+// scenario used by the zoomed-in experiments (Fig. 6/7/9/10/11/13 zoom
+// into a window around one known millibottleneck).
+type ScriptedStalls struct {
+	eng    *sim.Engine
+	name   string
+	target Stallable
+	events []StallEvent
+	timers []*sim.Timer
+	fired  int
+}
+
+// NewScriptedStalls returns a scripted injector; the events are copied.
+func NewScriptedStalls(eng *sim.Engine, name string, target Stallable, events []StallEvent) *ScriptedStalls {
+	if target == nil {
+		panic("mbneck: nil stall target")
+	}
+	copied := make([]StallEvent, len(events))
+	copy(copied, events)
+	return &ScriptedStalls{eng: eng, name: name, target: target, events: copied}
+}
+
+// Name implements Injector.
+func (s *ScriptedStalls) Name() string { return s.name }
+
+// Fired reports how many scripted stalls have fired.
+func (s *ScriptedStalls) Fired() int { return s.fired }
+
+// Start implements Injector.
+func (s *ScriptedStalls) Start() {
+	if s.timers != nil {
+		panic("mbneck: Start called twice")
+	}
+	s.timers = make([]*sim.Timer, 0, len(s.events))
+	for _, ev := range s.events {
+		ev := ev
+		s.timers = append(s.timers, s.eng.At(ev.At, func() {
+			s.fired++
+			s.target.Stall(ev.Duration)
+		}))
+	}
+}
+
+// Stop implements Injector.
+func (s *ScriptedStalls) Stop() {
+	for _, tm := range s.timers {
+		s.eng.Stop(tm)
+	}
+	s.timers = nil
+}

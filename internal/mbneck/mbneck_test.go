@@ -1,0 +1,331 @@
+package mbneck
+
+import (
+	"testing"
+	"time"
+
+	"millibalance/internal/sim"
+	"millibalance/internal/stats"
+)
+
+// recorder implements Stallable and logs stall calls.
+type recorder struct {
+	eng    *sim.Engine
+	stalls []StallEvent
+}
+
+func (r *recorder) Stall(d sim.Time) {
+	r.stalls = append(r.stalls, StallEvent{At: r.eng.Now(), Duration: d})
+}
+
+func TestPeriodicStallsFireOnInterval(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	rec := &recorder{eng: eng}
+	inj := NewPeriodicStalls(eng, "gc", rec, time.Second, 100*time.Millisecond, 0)
+	inj.Start()
+	eng.Run(3500 * time.Millisecond)
+	if len(rec.stalls) != 3 {
+		t.Fatalf("stalls = %v, want 3", rec.stalls)
+	}
+	for i, s := range rec.stalls {
+		if s.At != sim.Time(i+1)*time.Second || s.Duration != 100*time.Millisecond {
+			t.Fatalf("stall %d = %+v", i, s)
+		}
+	}
+	if inj.Stalls() != 3 || inj.Name() != "gc" {
+		t.Fatalf("Stalls=%d Name=%q", inj.Stalls(), inj.Name())
+	}
+}
+
+func TestPeriodicStallsStop(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	rec := &recorder{eng: eng}
+	inj := NewPeriodicStalls(eng, "gc", rec, time.Second, 50*time.Millisecond, 0)
+	inj.Start()
+	eng.Run(1500 * time.Millisecond)
+	inj.Stop()
+	eng.Run(10 * time.Second)
+	if len(rec.stalls) != 1 {
+		t.Fatalf("stalls after Stop = %d", len(rec.stalls))
+	}
+}
+
+func TestPeriodicStallsJitterBounds(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	rec := &recorder{eng: eng}
+	inj := NewPeriodicStalls(eng, "gc", rec, time.Second, 100*time.Millisecond, 0.2)
+	inj.Start()
+	eng.Run(30 * time.Second)
+	if len(rec.stalls) < 20 {
+		t.Fatalf("only %d stalls", len(rec.stalls))
+	}
+	for _, s := range rec.stalls {
+		if s.Duration < 80*time.Millisecond || s.Duration > 120*time.Millisecond {
+			t.Fatalf("jittered duration %v out of ±20%%", s.Duration)
+		}
+	}
+}
+
+func TestPeriodicStallsValidation(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("nil target", func() { NewPeriodicStalls(eng, "x", nil, 1, 1, 0) })
+	mustPanic("zero interval", func() { NewPeriodicStalls(eng, "x", &recorder{eng: eng}, 0, 1, 0) })
+	mustPanic("double start", func() {
+		i := NewPeriodicStalls(eng, "x", &recorder{eng: eng}, 1, 1, 0)
+		i.Start()
+		i.Start()
+	})
+}
+
+func TestRandomStallsStatistics(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	rec := &recorder{eng: eng}
+	inj := NewRandomStalls(eng, "vm", rec, time.Second, 100*time.Millisecond)
+	inj.Start()
+	eng.Run(200 * time.Second)
+	n := len(rec.stalls)
+	if n < 150 || n > 260 {
+		t.Fatalf("stall count %d for mean interval 1s over 200s", n)
+	}
+	var sum time.Duration
+	for _, s := range rec.stalls {
+		sum += s.Duration
+	}
+	mean := sum / time.Duration(n)
+	if mean < 80*time.Millisecond || mean > 125*time.Millisecond {
+		t.Fatalf("mean stall duration %v, want ~100ms", mean)
+	}
+	inj.Stop()
+}
+
+func TestScriptedStallsExactPlayback(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	rec := &recorder{eng: eng}
+	script := []StallEvent{
+		{At: 500 * time.Millisecond, Duration: 120 * time.Millisecond},
+		{At: 2 * time.Second, Duration: 80 * time.Millisecond},
+	}
+	inj := NewScriptedStalls(eng, "scripted", rec, script)
+	inj.Start()
+	eng.Run(5 * time.Second)
+	if len(rec.stalls) != 2 {
+		t.Fatalf("stalls = %v", rec.stalls)
+	}
+	for i := range script {
+		if rec.stalls[i] != script[i] {
+			t.Fatalf("stall %d = %+v, want %+v", i, rec.stalls[i], script[i])
+		}
+	}
+	if inj.Fired() != 2 {
+		t.Fatalf("Fired = %d", inj.Fired())
+	}
+}
+
+func TestScriptedStallsStopCancelsRemaining(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	rec := &recorder{eng: eng}
+	inj := NewScriptedStalls(eng, "scripted", rec, []StallEvent{
+		{At: time.Second, Duration: time.Millisecond},
+		{At: 10 * time.Second, Duration: time.Millisecond},
+	})
+	inj.Start()
+	eng.Run(2 * time.Second)
+	inj.Stop()
+	eng.Run(20 * time.Second)
+	if len(rec.stalls) != 1 {
+		t.Fatalf("stalls = %d after Stop", len(rec.stalls))
+	}
+}
+
+func TestScriptedStallsCopiesEvents(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	rec := &recorder{eng: eng}
+	script := []StallEvent{{At: time.Second, Duration: 50 * time.Millisecond}}
+	inj := NewScriptedStalls(eng, "scripted", rec, script)
+	script[0].Duration = time.Hour // must not affect the injector
+	inj.Start()
+	eng.Run(2 * time.Second)
+	if rec.stalls[0].Duration != 50*time.Millisecond {
+		t.Fatal("ScriptedStalls did not copy its event slice")
+	}
+}
+
+func satSeries(values []float64) *stats.Series {
+	s := stats.NewSeries(50 * time.Millisecond)
+	for i, v := range values {
+		s.Add(time.Duration(i)*50*time.Millisecond, v)
+	}
+	return s
+}
+
+func TestDetectSaturations(t *testing.T) {
+	// Windows: 40,50,100,100,60,100,40
+	s := satSeries([]float64{40, 50, 100, 100, 60, 100, 40})
+	spans := DetectSaturations(s, 95)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Start != 100*time.Millisecond || spans[0].End != 200*time.Millisecond {
+		t.Fatalf("span 0 = %+v", spans[0])
+	}
+	if spans[1].Start != 250*time.Millisecond || spans[1].End != 300*time.Millisecond {
+		t.Fatalf("span 1 = %+v", spans[1])
+	}
+}
+
+func TestDetectSaturationsOpenEnded(t *testing.T) {
+	s := satSeries([]float64{40, 100, 100})
+	spans := DetectSaturations(s, 95)
+	if len(spans) != 1 || spans[0].End != 150*time.Millisecond {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestFilterMillibottlenecks(t *testing.T) {
+	spans := []Span{
+		{Start: 0, End: 50 * time.Millisecond},               // exactly min
+		{Start: 0, End: 500 * time.Millisecond},              // in range
+		{Start: 0, End: 5 * time.Second},                     // too long: conventional bottleneck
+		{Start: 0, End: 10 * time.Millisecond},               // too short
+		{Start: time.Second, End: time.Second + time.Second}, // exactly max
+	}
+	got := FilterMillibottlenecks(spans, 50*time.Millisecond, time.Second)
+	if len(got) != 3 {
+		t.Fatalf("filtered = %+v", got)
+	}
+}
+
+func TestFindQueuePeaks(t *testing.T) {
+	// Mostly small queues with one huge spike.
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = 5
+	}
+	vals[40] = 800
+	peaks := FindQueuePeaks(satSeries(vals), 3, 10)
+	if len(peaks) != 1 {
+		t.Fatalf("peaks = %+v", peaks)
+	}
+	if peaks[0].Start != 2*time.Second || peaks[0].Len != 800 {
+		t.Fatalf("peak = %+v", peaks[0])
+	}
+}
+
+func TestFindQueuePeaksFloorSuppressesNoise(t *testing.T) {
+	// Tiny values with tiny variance must not produce peaks below the
+	// absolute floor.
+	vals := []float64{0, 1, 0, 1, 2, 0, 1}
+	if peaks := FindQueuePeaks(satSeries(vals), 1, 10); len(peaks) != 0 {
+		t.Fatalf("noise produced peaks: %+v", peaks)
+	}
+}
+
+func TestFindQueuePeaksEmpty(t *testing.T) {
+	if peaks := FindQueuePeaks(stats.NewSeries(time.Millisecond), 3, 10); peaks != nil {
+		t.Fatalf("empty series peaks = %v", peaks)
+	}
+}
+
+func TestAttributeEvents(t *testing.T) {
+	vlrt := stats.NewSeries(50 * time.Millisecond)
+	vlrt.Incr(120 * time.Millisecond) // overlaps the span below
+	vlrt.Incr(900 * time.Millisecond) // does not
+	spans := []Span{{Start: 100 * time.Millisecond, End: 200 * time.Millisecond}}
+	if got := AttributeEvents(vlrt, spans, 0); got != 0.5 {
+		t.Fatalf("attribution = %v, want 0.5", got)
+	}
+	// With a generous tolerance both windows attribute.
+	if got := AttributeEvents(vlrt, spans, time.Second); got != 1 {
+		t.Fatalf("attribution with tolerance = %v, want 1", got)
+	}
+	if got := AttributeEvents(stats.NewSeries(vlrt.Width()), spans, 0); got != 0 {
+		t.Fatalf("empty attribution = %v", got)
+	}
+}
+
+func TestSpanOverlaps(t *testing.T) {
+	s := Span{Start: 100 * time.Millisecond, End: 200 * time.Millisecond}
+	if !s.Overlaps(150*time.Millisecond, 160*time.Millisecond, 0) {
+		t.Fatal("contained interval does not overlap")
+	}
+	if s.Overlaps(300*time.Millisecond, 400*time.Millisecond, 0) {
+		t.Fatal("disjoint interval overlaps")
+	}
+	if !s.Overlaps(300*time.Millisecond, 400*time.Millisecond, 150*time.Millisecond) {
+		t.Fatal("tolerance not applied")
+	}
+	if s.Duration() != 100*time.Millisecond {
+		t.Fatalf("Duration = %v", s.Duration())
+	}
+}
+
+func TestCorrelatePeaks(t *testing.T) {
+	a := satSeries([]float64{1, 1, 50, 1, 1, 40, 1})
+	b := satSeries([]float64{2, 2, 60, 2, 2, 55, 2})
+	if r := CorrelatePeaks(a, b); r < 0.9 {
+		t.Fatalf("correlation = %v for co-moving peaks", r)
+	}
+	c := satSeries([]float64{50, 1, 1, 1, 50, 1, 1})
+	if r := CorrelatePeaks(a, c); r > 0.5 {
+		t.Fatalf("correlation = %v for unrelated peaks", r)
+	}
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	utilVals := make([]float64, 40)
+	queueVals := make([]float64, 40)
+	for i := range utilVals {
+		utilVals[i] = 40
+		queueVals[i] = 5
+	}
+	utilVals[1], utilVals[2] = 100, 100
+	queueVals[1], queueVals[2] = 400, 500
+	util := satSeries(utilVals)
+	queue := satSeries(queueVals)
+	vlrt := stats.NewSeries(50 * time.Millisecond)
+	vlrt.Incr(80 * time.Millisecond)
+	rep := Analyze(util, queue, vlrt, 95, 50*time.Millisecond, time.Second, 50*time.Millisecond)
+	if len(rep.Saturations) != 1 {
+		t.Fatalf("saturations = %+v", rep.Saturations)
+	}
+	if len(rep.QueuePeaks) == 0 {
+		t.Fatalf("no queue peaks found")
+	}
+	if rep.VLRTAttribution != 1 {
+		t.Fatalf("attribution = %v", rep.VLRTAttribution)
+	}
+}
+
+func TestMergeSpans(t *testing.T) {
+	spans := []Span{
+		{Start: 500 * time.Millisecond, End: 600 * time.Millisecond},
+		{Start: 100 * time.Millisecond, End: 200 * time.Millisecond},
+		{Start: 180 * time.Millisecond, End: 250 * time.Millisecond}, // overlaps first
+		{Start: 260 * time.Millisecond, End: 300 * time.Millisecond}, // within slack
+	}
+	got := MergeSpans(spans, 20*time.Millisecond)
+	if len(got) != 2 {
+		t.Fatalf("merged = %+v", got)
+	}
+	if got[0].Start != 100*time.Millisecond || got[0].End != 300*time.Millisecond {
+		t.Fatalf("merged[0] = %+v", got[0])
+	}
+	if got[1].Start != 500*time.Millisecond {
+		t.Fatalf("merged[1] = %+v", got[1])
+	}
+	if MergeSpans(nil, 0) != nil {
+		t.Fatal("nil input not nil output")
+	}
+	// Input untouched.
+	if spans[0].Start != 500*time.Millisecond {
+		t.Fatal("input mutated")
+	}
+}

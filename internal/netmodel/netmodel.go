@@ -1,0 +1,154 @@
+// Package netmodel models the slice of TCP behaviour that matters for the
+// paper's very-long-response-time (VLRT) mechanics: a bounded listen
+// backlog that drops connection attempts when full, client-side
+// retransmission of dropped attempts on a fixed schedule (the source of
+// the paper's 1 s / 2 s / 3 s response-time clusters, Fig. 4), and a
+// fixed-latency LAN link.
+package netmodel
+
+import (
+	"time"
+
+	"millibalance/internal/sim"
+)
+
+// RetransmitSchedule lists the delays between successive connection
+// attempts after drops. When the schedule is exhausted the request fails.
+type RetransmitSchedule []sim.Time
+
+// DefaultRetransmitSchedule mirrors the retransmission timing observed in
+// the paper's environment: three retries spaced one second apart, which
+// stamps dropped requests into response-time clusters at ≈1 s, 2 s, 3 s.
+func DefaultRetransmitSchedule() RetransmitSchedule {
+	return RetransmitSchedule{time.Second, time.Second, time.Second}
+}
+
+// Listener is a bounded accept queue (listen backlog). Connections that
+// arrive while the backlog is full are dropped — the paper's
+// "Cross-Tier Queue Overflow".
+type Listener struct {
+	backlog int
+	queue   sim.FIFO[func()]
+	drops   uint64
+	offered uint64
+}
+
+// NewListener returns a listener with the given backlog capacity.
+// A negative capacity is treated as zero (every queued offer drops).
+func NewListener(backlog int) *Listener {
+	if backlog < 0 {
+		backlog = 0
+	}
+	return &Listener{backlog: backlog}
+}
+
+// Backlog returns the queue capacity.
+func (l *Listener) Backlog() int { return l.backlog }
+
+// Len reports how many connections are waiting to be accepted.
+func (l *Listener) Len() int { return l.queue.Len() }
+
+// Drops reports how many offers have been dropped.
+func (l *Listener) Drops() uint64 { return l.drops }
+
+// Offered reports how many offers have been made.
+func (l *Listener) Offered() uint64 { return l.offered }
+
+// Offer enqueues accept to run when the connection is accepted. It
+// reports false — and drops the connection — when the backlog is full.
+func (l *Listener) Offer(accept func()) bool {
+	l.offered++
+	if l.queue.Len() >= l.backlog {
+		l.drops++
+		return false
+	}
+	l.queue.Push(accept)
+	return true
+}
+
+// Accept dequeues and runs the oldest waiting connection, reporting
+// whether one was waiting.
+func (l *Listener) Accept() bool {
+	accept, ok := l.queue.Pop()
+	if !ok {
+		return false
+	}
+	accept()
+	return true
+}
+
+// Retransmitter retries dropped connection attempts on a schedule.
+type Retransmitter struct {
+	eng      *sim.Engine
+	schedule RetransmitSchedule
+
+	retransmits uint64
+	failures    uint64
+}
+
+// NewRetransmitter returns a retransmitter using the given schedule; a
+// nil schedule uses the default.
+func NewRetransmitter(eng *sim.Engine, schedule RetransmitSchedule) *Retransmitter {
+	if schedule == nil {
+		schedule = DefaultRetransmitSchedule()
+	}
+	return &Retransmitter{eng: eng, schedule: schedule}
+}
+
+// Retransmits reports how many retry attempts have been scheduled.
+func (r *Retransmitter) Retransmits() uint64 { return r.retransmits }
+
+// Failures reports how many sends exhausted the schedule and failed.
+func (r *Retransmitter) Failures() uint64 { return r.failures }
+
+// Send runs attempt, which reports whether the connection was admitted.
+// On a drop it retries after the next schedule delay; when the schedule
+// is exhausted it calls onFail (which may be nil).
+func (r *Retransmitter) Send(attempt func() bool, onFail func()) {
+	r.sendFrom(0, attempt, onFail)
+}
+
+func (r *Retransmitter) sendFrom(tries int, attempt func() bool, onFail func()) {
+	if attempt() {
+		return
+	}
+	if tries >= len(r.schedule) {
+		r.failures++
+		if onFail != nil {
+			onFail()
+		}
+		return
+	}
+	r.retransmits++
+	r.eng.Schedule(r.schedule[tries], func() {
+		r.sendFrom(tries+1, attempt, onFail)
+	})
+}
+
+// Link is a fixed-latency network hop. Bandwidth is not modelled; the
+// paper's gigabit LAN never saturates.
+type Link struct {
+	eng     *sim.Engine
+	latency sim.Time
+}
+
+// NewLink returns a link with the given one-way latency (clamped at
+// zero).
+func NewLink(eng *sim.Engine, latency sim.Time) *Link {
+	if latency < 0 {
+		latency = 0
+	}
+	return &Link{eng: eng, latency: latency}
+}
+
+// Latency returns the one-way latency.
+func (l *Link) Latency() sim.Time { return l.latency }
+
+// Deliver runs fn after one link traversal.
+func (l *Link) Deliver(fn func()) {
+	if l.latency == 0 {
+		fn()
+		return
+	}
+	l.eng.Schedule(l.latency, fn)
+}

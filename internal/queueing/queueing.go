@@ -1,0 +1,78 @@
+// Package queueing provides closed-form M/M/c results. The test suite
+// uses them to validate the simulator's queueing behaviour against
+// theory: a simulated station with Poisson arrivals and exponential
+// service must reproduce the analytic waiting times before any of the
+// paper's conclusions drawn from it can be trusted.
+package queueing
+
+import (
+	"math"
+)
+
+// ErlangC returns the probability that an arriving customer must wait
+// in an M/M/c system with offered load a = λ/μ (in Erlangs) and c
+// servers. It returns 1 for an overloaded system (a >= c) and NaN for
+// invalid inputs.
+func ErlangC(c int, a float64) float64 {
+	if c < 1 || a < 0 {
+		return math.NaN()
+	}
+	if a == 0 {
+		return 0
+	}
+	if a >= float64(c) {
+		return 1
+	}
+	// Iteratively: inv_{k} built from the Erlang-B recursion, then the
+	// Erlang-C correction.
+	b := 1.0 // Erlang B with 0 servers
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := a / float64(c)
+	return b / (1 - rho + rho*b)
+}
+
+// MeanWait returns the expected queueing delay (time waiting for a
+// server, excluding service) in an M/M/c system with arrival rate
+// lambda and per-server service rate mu, both in the same time unit.
+// It returns +Inf for an overloaded system.
+func MeanWait(c int, lambda, mu float64) float64 {
+	if c < 1 || lambda < 0 || mu <= 0 {
+		return math.NaN()
+	}
+	a := lambda / mu
+	if a >= float64(c) {
+		return math.Inf(1)
+	}
+	pw := ErlangC(c, a)
+	return pw / (float64(c)*mu - lambda)
+}
+
+// MeanResponse returns the expected total response time (wait plus
+// service) in an M/M/c system.
+func MeanResponse(c int, lambda, mu float64) float64 {
+	w := MeanWait(c, lambda, mu)
+	if math.IsNaN(w) || math.IsInf(w, 1) {
+		return w
+	}
+	return w + 1/mu
+}
+
+// MM1MeanResponse is the single-server special case: 1/(μ−λ).
+func MM1MeanResponse(lambda, mu float64) float64 {
+	if mu <= lambda {
+		return math.Inf(1)
+	}
+	return 1 / (mu - lambda)
+}
+
+// MM1MeanQueueLength is the expected number in an M/M/1 system:
+// ρ/(1−ρ).
+func MM1MeanQueueLength(lambda, mu float64) float64 {
+	if mu <= lambda {
+		return math.Inf(1)
+	}
+	rho := lambda / mu
+	return rho / (1 - rho)
+}

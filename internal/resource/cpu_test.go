@@ -1,0 +1,238 @@
+package resource
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"millibalance/internal/sim"
+)
+
+func newCPU(cores int) (*sim.Engine, *CPU) {
+	eng := sim.NewEngine(1, 2)
+	return eng, NewCPU(eng, cores)
+}
+
+func TestCPUSingleBurst(t *testing.T) {
+	eng, cpu := newCPU(1)
+	var doneAt sim.Time
+	cpu.Submit(10*time.Millisecond, func() { doneAt = eng.Now() })
+	eng.Run(time.Second)
+	if doneAt != 10*time.Millisecond {
+		t.Fatalf("burst completed at %v, want 10ms", doneAt)
+	}
+}
+
+func TestCPUConcurrencyLimitedToCores(t *testing.T) {
+	eng, cpu := newCPU(2)
+	var done []sim.Time
+	for i := 0; i < 4; i++ {
+		cpu.Submit(10*time.Millisecond, func() { done = append(done, eng.Now()) })
+	}
+	if cpu.Running() != 2 || cpu.QueueLen() != 2 {
+		t.Fatalf("Running=%d QueueLen=%d, want 2/2", cpu.Running(), cpu.QueueLen())
+	}
+	eng.Run(time.Second)
+	want := []sim.Time{10 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond, 20 * time.Millisecond}
+	if len(done) != 4 {
+		t.Fatalf("completions: %v", done)
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestCPUZeroDemand(t *testing.T) {
+	eng, cpu := newCPU(1)
+	fired := false
+	cpu.Submit(0, func() { fired = true })
+	eng.Run(0)
+	if !fired {
+		t.Fatal("zero-demand burst did not complete immediately")
+	}
+}
+
+func TestCPUNegativeDemandClamped(t *testing.T) {
+	eng, cpu := newCPU(1)
+	var doneAt sim.Time = -1
+	cpu.Submit(-time.Second, func() { doneAt = eng.Now() })
+	eng.Run(time.Second)
+	if doneAt != 0 {
+		t.Fatalf("negative-demand burst completed at %v", doneAt)
+	}
+}
+
+func TestCPUNilDonePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit(nil) did not panic")
+		}
+	}()
+	_, cpu := newCPU(1)
+	cpu.Submit(time.Millisecond, nil)
+}
+
+func TestCPUMinimumOneCore(t *testing.T) {
+	_, cpu := newCPU(0)
+	if cpu.Cores() != 1 {
+		t.Fatalf("Cores = %d, want 1", cpu.Cores())
+	}
+}
+
+func TestStallDelaysRunningBurst(t *testing.T) {
+	eng, cpu := newCPU(1)
+	var doneAt sim.Time
+	cpu.Submit(10*time.Millisecond, func() { doneAt = eng.Now() })
+	eng.Schedule(5*time.Millisecond, func() { cpu.Stall(100 * time.Millisecond) })
+	eng.Run(time.Second)
+	if doneAt != 110*time.Millisecond {
+		t.Fatalf("stalled burst completed at %v, want 110ms", doneAt)
+	}
+}
+
+func TestStallDelaysBurstSubmittedDuringStall(t *testing.T) {
+	eng, cpu := newCPU(1)
+	var doneAt sim.Time
+	eng.Schedule(0, func() { cpu.Stall(100 * time.Millisecond) })
+	eng.Schedule(20*time.Millisecond, func() {
+		cpu.Submit(10*time.Millisecond, func() { doneAt = eng.Now() })
+	})
+	eng.Run(time.Second)
+	// Submitted at 20ms, stall ends at 100ms, then 10ms of work.
+	if doneAt != 110*time.Millisecond {
+		t.Fatalf("burst during stall completed at %v, want 110ms", doneAt)
+	}
+}
+
+func TestOverlappingStallsAccumulate(t *testing.T) {
+	eng, cpu := newCPU(1)
+	var doneAt sim.Time
+	cpu.Submit(10*time.Millisecond, func() { doneAt = eng.Now() })
+	eng.Schedule(time.Millisecond, func() { cpu.Stall(50 * time.Millisecond) })
+	eng.Schedule(2*time.Millisecond, func() { cpu.Stall(30 * time.Millisecond) })
+	eng.Run(time.Second)
+	if doneAt != 90*time.Millisecond {
+		t.Fatalf("doubly stalled burst completed at %v, want 90ms", doneAt)
+	}
+	if cpu.Stalled() {
+		t.Fatal("still stalled after window passed")
+	}
+}
+
+func TestStallZeroOrNegativeIgnored(t *testing.T) {
+	eng, cpu := newCPU(1)
+	cpu.Stall(0)
+	cpu.Stall(-time.Second)
+	if cpu.Stalled() {
+		t.Fatal("zero stall opened a window")
+	}
+	var doneAt sim.Time
+	cpu.Submit(time.Millisecond, func() { doneAt = eng.Now() })
+	eng.Run(time.Second)
+	if doneAt != time.Millisecond {
+		t.Fatalf("burst completed at %v", doneAt)
+	}
+}
+
+func TestStalledAndStallEnd(t *testing.T) {
+	eng, cpu := newCPU(1)
+	eng.Schedule(10*time.Millisecond, func() {
+		cpu.Stall(40 * time.Millisecond)
+		if !cpu.Stalled() {
+			t.Error("Stalled() = false during stall")
+		}
+		if cpu.StallEnd() != 50*time.Millisecond {
+			t.Errorf("StallEnd = %v, want 50ms", cpu.StallEnd())
+		}
+	})
+	eng.Run(time.Second)
+	if cpu.Stalled() || cpu.StallEnd() != 0 {
+		t.Fatal("stall window did not close")
+	}
+}
+
+func TestBusyCoresDuringStall(t *testing.T) {
+	eng, cpu := newCPU(4)
+	eng.Schedule(0, func() {
+		cpu.Submit(100*time.Millisecond, func() {})
+		if cpu.BusyCores() != 1 {
+			t.Errorf("BusyCores = %d, want 1", cpu.BusyCores())
+		}
+		cpu.Stall(10 * time.Millisecond)
+		if cpu.BusyCores() != 4 {
+			t.Errorf("BusyCores during stall = %d, want 4", cpu.BusyCores())
+		}
+	})
+	eng.Run(time.Second)
+}
+
+func TestBusyCoreTimeIntegral(t *testing.T) {
+	eng, cpu := newCPU(2)
+	// One 10ms burst on a 2-core CPU: integral should be 10ms.
+	cpu.Submit(10*time.Millisecond, func() {})
+	eng.Run(20 * time.Millisecond)
+	if got := cpu.BusyCoreTime(); got != 10*time.Millisecond {
+		t.Fatalf("BusyCoreTime = %v, want 10ms", got)
+	}
+}
+
+func TestBusyCoreTimeDuringStallCountsAllCores(t *testing.T) {
+	eng, cpu := newCPU(4)
+	eng.Schedule(0, func() { cpu.Stall(10 * time.Millisecond) })
+	eng.Run(20 * time.Millisecond)
+	if got := cpu.BusyCoreTime(); got != 40*time.Millisecond {
+		t.Fatalf("BusyCoreTime = %v, want 40ms (4 cores × 10ms)", got)
+	}
+}
+
+func TestQueuedBurstsRunAfterStall(t *testing.T) {
+	eng, cpu := newCPU(1)
+	var order []int
+	cpu.Submit(10*time.Millisecond, func() { order = append(order, 1) })
+	cpu.Submit(10*time.Millisecond, func() { order = append(order, 2) })
+	eng.Schedule(5*time.Millisecond, func() { cpu.Stall(100 * time.Millisecond) })
+	eng.Run(time.Second)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestCompletionMaySubmitMore(t *testing.T) {
+	eng, cpu := newCPU(1)
+	var doneAt sim.Time
+	cpu.Submit(5*time.Millisecond, func() {
+		cpu.Submit(5*time.Millisecond, func() { doneAt = eng.Now() })
+	})
+	eng.Run(time.Second)
+	if doneAt != 10*time.Millisecond {
+		t.Fatalf("chained burst completed at %v", doneAt)
+	}
+}
+
+// Property: total busy core time equals the sum of all burst demands plus
+// the stall contribution, for any workload that fits entirely before the
+// horizon (work conservation).
+func TestQuickCPUWorkConservation(t *testing.T) {
+	f := func(demandsRaw []uint8, coresRaw uint8) bool {
+		cores := int(coresRaw%4) + 1
+		eng := sim.NewEngine(9, 10)
+		cpu := NewCPU(eng, cores)
+		var totalDemand sim.Time
+		completed := 0
+		for _, d := range demandsRaw {
+			demand := sim.Time(d) * time.Millisecond
+			totalDemand += demand
+			cpu.Submit(demand, func() { completed++ })
+		}
+		eng.Run(time.Hour)
+		if completed != len(demandsRaw) {
+			return false
+		}
+		return cpu.BusyCoreTime() == totalDemand
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+package resource
+
+import (
+	"time"
+
+	"millibalance/internal/sim"
+)
+
+// Disk models a storage device with a finite effective write rate. Only
+// the write path matters for the paper's millibottlenecks (log flushing).
+type Disk struct {
+	// WriteRate is the effective sequential write rate in bytes per
+	// second, including seek amortization.
+	WriteRate float64
+}
+
+// WriteDuration returns how long writing the given number of bytes takes.
+// A non-positive rate or byte count yields zero.
+func (d Disk) WriteDuration(bytes int64) sim.Time {
+	if bytes <= 0 || d.WriteRate <= 0 {
+		return 0
+	}
+	return sim.Time(float64(bytes) / d.WriteRate * float64(time.Second))
+}
+
+// WritebackConfig configures the page-cache writeback daemon.
+type WritebackConfig struct {
+	// Interval is how often the daemon wakes to flush accumulated dirty
+	// pages (kernel pdflush wakeup; paper environment ≈5 s). The
+	// paper's millibottleneck-free baseline raises this to 600 s.
+	Interval sim.Time
+	// Phase offsets the first wakeup, desynchronizing the flush cycles
+	// of servers that boot together (real flushers drift apart; in
+	// lockstep the whole tier would stall at once).
+	Phase sim.Time
+	// DirtyThreshold triggers an immediate background flush when the
+	// dirty byte count exceeds it, independent of the interval. Zero
+	// disables threshold-triggered flushing.
+	DirtyThreshold int64
+	// Disk absorbs the flushed bytes; flush duration is
+	// Disk.WriteDuration(dirtyBytes).
+	Disk Disk
+	// MaxStall caps the stall imposed by one flush. Zero means no cap.
+	// It models the bounded write burst a real flusher issues.
+	MaxStall sim.Time
+	// SlowFlushProb is the probability that a flush hits a degraded
+	// disk (seek storm, contending foreground I/O) and takes
+	// SlowFlushFactor times longer — the heavy tail of real flush
+	// durations. Zero disables it.
+	SlowFlushProb   float64
+	SlowFlushFactor float64
+}
+
+// DefaultWritebackConfig mirrors the paper's millibottleneck-prone
+// environment: 5 s flush interval against a disk whose effective write
+// rate turns a few seconds of accumulated logs into a 100–300 ms stall.
+func DefaultWritebackConfig() WritebackConfig {
+	return WritebackConfig{
+		Interval: 5 * time.Second,
+		Disk:     Disk{WriteRate: 50 << 20}, // 50 MiB/s effective
+		MaxStall: 500 * time.Millisecond,
+	}
+}
+
+// DisabledWritebackConfig mirrors the paper's remedy for its baseline:
+// a large dirty-page allowance and a 600 s flush interval, so no flush
+// (and hence no millibottleneck) occurs within an experiment.
+func DisabledWritebackConfig() WritebackConfig {
+	cfg := DefaultWritebackConfig()
+	cfg.Interval = 600 * time.Second
+	cfg.DirtyThreshold = 0
+	return cfg
+}
+
+// Writeback is the per-server writeback daemon. Completed requests dirty
+// pages (server access logs); at each interval wake — or earlier, past
+// the dirty threshold — the daemon flushes them, saturating the disk and
+// stalling the server's CPU for the flush duration. Flush events are the
+// millibottleneck source reproduced from the paper (Fig. 2c–e).
+type Writeback struct {
+	eng   *sim.Engine
+	cfg   WritebackConfig
+	stall func(sim.Time)
+
+	dirty      int64
+	flushStart sim.Time
+	flushEnd   sim.Time
+	flushBytes int64
+	flushing   bool
+
+	flushes     int
+	bytesEver   int64
+	stallTotal  sim.Time
+	wakeTimer   *sim.Timer
+	onFlushHook func(start, duration sim.Time, bytes int64)
+}
+
+// NewWriteback returns a daemon attached to the engine. stall is invoked
+// at each flush start with the stall duration — typically CPU.Stall of
+// the owning server. It must be non-nil.
+func NewWriteback(eng *sim.Engine, cfg WritebackConfig, stall func(sim.Time)) *Writeback {
+	if stall == nil {
+		panic("resource: NewWriteback with nil stall hook")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultWritebackConfig().Interval
+	}
+	return &Writeback{eng: eng, cfg: cfg, stall: stall}
+}
+
+// Start arms the periodic wakeup: the first wake fires after Phase (or
+// after Interval when Phase is zero), then every Interval. It may be
+// called once.
+func (w *Writeback) Start() {
+	if w.wakeTimer != nil {
+		panic("resource: Writeback.Start called twice")
+	}
+	if w.cfg.Phase > 0 {
+		w.wakeTimer = w.eng.Schedule(w.cfg.Phase, func() {
+			w.Flush()
+			w.scheduleWake()
+		})
+		return
+	}
+	w.scheduleWake()
+}
+
+// Stop disarms the periodic wakeup; an in-progress flush completes.
+func (w *Writeback) Stop() {
+	if w.wakeTimer != nil {
+		w.eng.Stop(w.wakeTimer)
+		w.wakeTimer = nil
+	}
+}
+
+// OnFlush registers a hook called at each flush start with its start
+// time, duration and byte count, used by the metrics layer.
+func (w *Writeback) OnFlush(hook func(start, duration sim.Time, bytes int64)) {
+	w.onFlushHook = hook
+}
+
+func (w *Writeback) scheduleWake() {
+	w.wakeTimer = w.eng.Schedule(w.cfg.Interval, func() {
+		w.Flush()
+		w.scheduleWake()
+	})
+}
+
+// AddDirty records newly dirtied bytes (e.g. one request's log lines).
+// Crossing the dirty threshold triggers an immediate flush.
+func (w *Writeback) AddDirty(bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	w.dirty += bytes
+	w.bytesEver += bytes
+	if w.cfg.DirtyThreshold > 0 && w.dirty >= w.cfg.DirtyThreshold && !w.flushing {
+		w.Flush()
+	}
+}
+
+// Flush writes out all currently dirty bytes, stalling the owning server
+// for the write duration (capped at MaxStall). It is a no-op while a
+// flush is in progress or when nothing is dirty.
+func (w *Writeback) Flush() {
+	if w.flushing || w.dirty == 0 {
+		return
+	}
+	bytes := w.dirty
+	w.dirty = 0
+	dur := w.cfg.Disk.WriteDuration(bytes)
+	if w.cfg.SlowFlushProb > 0 && w.cfg.SlowFlushFactor > 1 && w.eng.Bernoulli(w.cfg.SlowFlushProb) {
+		dur = sim.Time(float64(dur) * w.cfg.SlowFlushFactor)
+	}
+	if w.cfg.MaxStall > 0 && dur > w.cfg.MaxStall {
+		dur = w.cfg.MaxStall
+	}
+	if dur <= 0 {
+		return
+	}
+	now := w.eng.Now()
+	w.flushing = true
+	w.flushStart = now
+	w.flushEnd = now + dur
+	w.flushBytes = bytes
+	w.flushes++
+	w.stallTotal += dur
+	if w.onFlushHook != nil {
+		w.onFlushHook(now, dur, bytes)
+	}
+	w.stall(dur)
+	w.eng.Schedule(dur, func() {
+		w.flushing = false
+		w.flushBytes = 0
+		// Bytes dirtied during the flush wait for the next wake unless
+		// they already exceed the threshold.
+		if w.cfg.DirtyThreshold > 0 && w.dirty >= w.cfg.DirtyThreshold {
+			w.Flush()
+		}
+	})
+}
+
+// DirtyBytes reports the current dirty byte count, interpolating the
+// drain of an in-progress flush so samplers see the paper's abrupt-drop
+// signature (Fig. 2e).
+func (w *Writeback) DirtyBytes() int64 {
+	pending := w.dirty
+	if w.flushing {
+		total := w.flushEnd - w.flushStart
+		if total > 0 {
+			elapsed := w.eng.Now() - w.flushStart
+			remainingFrac := 1 - float64(elapsed)/float64(total)
+			if remainingFrac < 0 {
+				remainingFrac = 0
+			}
+			pending += int64(float64(w.flushBytes) * remainingFrac)
+		}
+	}
+	return pending
+}
+
+// Flushing reports whether a flush (and its iowait saturation) is in
+// progress right now.
+func (w *Writeback) Flushing() bool { return w.flushing && w.eng.Now() < w.flushEnd }
+
+// Flushes reports how many flushes have started.
+func (w *Writeback) Flushes() int { return w.flushes }
+
+// TotalStall reports the cumulative stall time imposed by flushes.
+func (w *Writeback) TotalStall() sim.Time { return w.stallTotal }
+
+// TotalDirtied reports the cumulative bytes ever dirtied.
+func (w *Writeback) TotalDirtied() int64 { return w.bytesEver }

@@ -1,0 +1,271 @@
+package resource
+
+import (
+	"testing"
+	"time"
+
+	"millibalance/internal/sim"
+)
+
+func TestDiskWriteDuration(t *testing.T) {
+	d := Disk{WriteRate: 1 << 20} // 1 MiB/s
+	if got := d.WriteDuration(1 << 20); got != time.Second {
+		t.Fatalf("WriteDuration(1MiB) = %v, want 1s", got)
+	}
+	if got := d.WriteDuration(0); got != 0 {
+		t.Fatalf("WriteDuration(0) = %v", got)
+	}
+	if got := d.WriteDuration(-5); got != 0 {
+		t.Fatalf("WriteDuration(-5) = %v", got)
+	}
+	if got := (Disk{}).WriteDuration(100); got != 0 {
+		t.Fatalf("zero-rate WriteDuration = %v", got)
+	}
+}
+
+func newWriteback(cfg WritebackConfig) (*sim.Engine, *Writeback, *[]sim.Time) {
+	eng := sim.NewEngine(1, 2)
+	stalls := &[]sim.Time{}
+	wb := NewWriteback(eng, cfg, func(d sim.Time) { *stalls = append(*stalls, d) })
+	return eng, wb, stalls
+}
+
+func TestWritebackPeriodicFlushStalls(t *testing.T) {
+	cfg := WritebackConfig{
+		Interval: 5 * time.Second,
+		Disk:     Disk{WriteRate: 10 << 20},
+	}
+	eng, wb, stalls := newWriteback(cfg)
+	wb.Start()
+	// Dirty 1 MiB before the first wake: flush takes 100ms.
+	eng.Schedule(time.Second, func() { wb.AddDirty(1 << 20) })
+	eng.Run(6 * time.Second)
+	if len(*stalls) != 1 {
+		t.Fatalf("stalls = %v, want one", *stalls)
+	}
+	if (*stalls)[0] != 100*time.Millisecond {
+		t.Fatalf("stall duration = %v, want 100ms", (*stalls)[0])
+	}
+	if wb.Flushes() != 1 {
+		t.Fatalf("Flushes = %d", wb.Flushes())
+	}
+}
+
+func TestWritebackNoDirtyNoFlush(t *testing.T) {
+	eng, wb, stalls := newWriteback(WritebackConfig{Interval: time.Second, Disk: Disk{WriteRate: 1 << 20}})
+	wb.Start()
+	eng.Run(10 * time.Second)
+	if len(*stalls) != 0 || wb.Flushes() != 0 {
+		t.Fatalf("flushed with nothing dirty: %v", *stalls)
+	}
+}
+
+func TestWritebackThresholdTriggersEarly(t *testing.T) {
+	cfg := WritebackConfig{
+		Interval:       time.Hour,
+		DirtyThreshold: 1 << 20,
+		Disk:           Disk{WriteRate: 10 << 20},
+	}
+	eng, wb, stalls := newWriteback(cfg)
+	wb.Start()
+	eng.Schedule(time.Second, func() { wb.AddDirty(2 << 20) })
+	eng.Run(2 * time.Second)
+	if len(*stalls) != 1 {
+		t.Fatalf("threshold did not trigger flush: %v", *stalls)
+	}
+}
+
+func TestWritebackMaxStallCap(t *testing.T) {
+	cfg := WritebackConfig{
+		Interval: time.Second,
+		Disk:     Disk{WriteRate: 1 << 20},
+		MaxStall: 50 * time.Millisecond,
+	}
+	eng, wb, stalls := newWriteback(cfg)
+	wb.Start()
+	wb.AddDirty(100 << 20) // would be 100s uncapped
+	eng.Run(2 * time.Second)
+	if len(*stalls) == 0 || (*stalls)[0] != 50*time.Millisecond {
+		t.Fatalf("stalls = %v, want capped 50ms", *stalls)
+	}
+}
+
+func TestWritebackDirtyDuringFlushWaitsForNextWake(t *testing.T) {
+	cfg := WritebackConfig{
+		Interval: time.Second,
+		Disk:     Disk{WriteRate: 1 << 20}, // 1 MiB -> 1s flush
+	}
+	eng, wb, stalls := newWriteback(cfg)
+	wb.Start()
+	wb.AddDirty(1 << 20)
+	// Flush starts at 1s, runs until 2s; dirty more at 1.5s.
+	eng.Schedule(1500*time.Millisecond, func() { wb.AddDirty(512 << 10) })
+	eng.Run(3500 * time.Millisecond)
+	if len(*stalls) != 2 {
+		t.Fatalf("stalls = %v, want two flushes", *stalls)
+	}
+}
+
+func TestWritebackDirtyBytesInterpolatesDrain(t *testing.T) {
+	cfg := WritebackConfig{
+		Interval: time.Second,
+		Disk:     Disk{WriteRate: 1 << 20},
+	}
+	eng, wb, _ := newWriteback(cfg)
+	wb.Start()
+	wb.AddDirty(1 << 20)
+	if wb.DirtyBytes() != 1<<20 {
+		t.Fatalf("DirtyBytes before flush = %d", wb.DirtyBytes())
+	}
+	var midFlush, postFlush int64
+	eng.Schedule(1500*time.Millisecond, func() { midFlush = wb.DirtyBytes() })
+	eng.Schedule(2100*time.Millisecond, func() { postFlush = wb.DirtyBytes() })
+	eng.Run(3 * time.Second)
+	if midFlush <= 0 || midFlush >= 1<<20 {
+		t.Fatalf("mid-flush DirtyBytes = %d, want strictly between 0 and 1MiB", midFlush)
+	}
+	if postFlush != 0 {
+		t.Fatalf("post-flush DirtyBytes = %d, want 0", postFlush)
+	}
+}
+
+func TestWritebackFlushingIndicator(t *testing.T) {
+	cfg := WritebackConfig{Interval: time.Second, Disk: Disk{WriteRate: 1 << 20}}
+	eng, wb, _ := newWriteback(cfg)
+	wb.Start()
+	wb.AddDirty(1 << 20)
+	var during, after bool
+	eng.Schedule(1500*time.Millisecond, func() { during = wb.Flushing() })
+	eng.Schedule(2500*time.Millisecond, func() { after = wb.Flushing() })
+	eng.Run(3 * time.Second)
+	if !during {
+		t.Fatal("Flushing() = false mid-flush")
+	}
+	if after {
+		t.Fatal("Flushing() = true after flush end")
+	}
+}
+
+func TestWritebackOnFlushHook(t *testing.T) {
+	cfg := WritebackConfig{Interval: time.Second, Disk: Disk{WriteRate: 10 << 20}}
+	eng, wb, _ := newWriteback(cfg)
+	var gotStart, gotDur sim.Time
+	var gotBytes int64
+	wb.OnFlush(func(start, dur sim.Time, bytes int64) {
+		gotStart, gotDur, gotBytes = start, dur, bytes
+	})
+	wb.Start()
+	wb.AddDirty(1 << 20)
+	eng.Run(2 * time.Second)
+	if gotStart != time.Second || gotDur != 100*time.Millisecond || gotBytes != 1<<20 {
+		t.Fatalf("hook got start=%v dur=%v bytes=%d", gotStart, gotDur, gotBytes)
+	}
+}
+
+func TestWritebackStop(t *testing.T) {
+	cfg := WritebackConfig{Interval: time.Second, Disk: Disk{WriteRate: 1 << 20}}
+	eng, wb, stalls := newWriteback(cfg)
+	wb.Start()
+	wb.AddDirty(1 << 20)
+	wb.Stop()
+	eng.Run(10 * time.Second)
+	if len(*stalls) != 0 {
+		t.Fatalf("flush fired after Stop: %v", *stalls)
+	}
+}
+
+func TestWritebackStartTwicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Start did not panic")
+		}
+	}()
+	_, wb, _ := newWriteback(WritebackConfig{Interval: time.Second})
+	wb.Start()
+	wb.Start()
+}
+
+func TestWritebackNilStallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil stall hook did not panic")
+		}
+	}()
+	NewWriteback(sim.NewEngine(1, 2), WritebackConfig{}, nil)
+}
+
+func TestWritebackNegativeAddIgnored(t *testing.T) {
+	_, wb, _ := newWriteback(WritebackConfig{Interval: time.Second, Disk: Disk{WriteRate: 1}})
+	wb.AddDirty(-100)
+	if wb.DirtyBytes() != 0 || wb.TotalDirtied() != 0 {
+		t.Fatal("negative AddDirty recorded")
+	}
+}
+
+func TestWritebackCounters(t *testing.T) {
+	cfg := WritebackConfig{Interval: time.Second, Disk: Disk{WriteRate: 10 << 20}}
+	eng, wb, _ := newWriteback(cfg)
+	wb.Start()
+	wb.AddDirty(1 << 20)
+	eng.Schedule(2*time.Second, func() { wb.AddDirty(1 << 20) })
+	eng.Run(5 * time.Second)
+	if wb.Flushes() != 2 {
+		t.Fatalf("Flushes = %d, want 2", wb.Flushes())
+	}
+	if wb.TotalDirtied() != 2<<20 {
+		t.Fatalf("TotalDirtied = %d", wb.TotalDirtied())
+	}
+	if wb.TotalStall() != 200*time.Millisecond {
+		t.Fatalf("TotalStall = %v, want 200ms", wb.TotalStall())
+	}
+}
+
+func TestDisabledConfigProducesNoFlushInExperimentWindow(t *testing.T) {
+	eng, wb, stalls := newWriteback(DisabledWritebackConfig())
+	wb.Start()
+	// Dirty continuously for a 3-minute experiment.
+	for s := 0; s < 180; s++ {
+		s := s
+		eng.Schedule(sim.Time(s)*time.Second, func() { wb.AddDirty(1 << 20) })
+	}
+	eng.Run(180 * time.Second)
+	if len(*stalls) != 0 {
+		t.Fatalf("disabled writeback flushed: %v", *stalls)
+	}
+}
+
+func TestDefaultConfigsAreSane(t *testing.T) {
+	def := DefaultWritebackConfig()
+	if def.Interval != 5*time.Second || def.Disk.WriteRate <= 0 {
+		t.Fatalf("DefaultWritebackConfig = %+v", def)
+	}
+	dis := DisabledWritebackConfig()
+	if dis.Interval <= def.Interval {
+		t.Fatalf("DisabledWritebackConfig interval %v not longer than default %v", dis.Interval, def.Interval)
+	}
+}
+
+func TestWritebackPhaseOffsetsFirstWake(t *testing.T) {
+	cfg := WritebackConfig{
+		Interval: time.Second,
+		Phase:    300 * time.Millisecond,
+		Disk:     Disk{WriteRate: 10 << 20},
+	}
+	eng, wb, stalls := newWriteback(cfg)
+	wb.Start()
+	wb.AddDirty(1 << 20)
+	eng.Run(250 * time.Millisecond)
+	if len(*stalls) != 0 {
+		t.Fatal("flushed before the phase offset")
+	}
+	eng.Run(350 * time.Millisecond)
+	if len(*stalls) != 1 {
+		t.Fatalf("first wake not at phase: %v", *stalls)
+	}
+	// Subsequent wakes every Interval after the phase (next at 1.3s).
+	eng.At(1200*time.Millisecond, func() { wb.AddDirty(1 << 20) })
+	eng.Run(1400 * time.Millisecond)
+	if len(*stalls) != 2 {
+		t.Fatalf("second wake missing: %v", *stalls)
+	}
+}

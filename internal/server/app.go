@@ -1,0 +1,112 @@
+package server
+
+import (
+	"millibalance/internal/resource"
+	"millibalance/internal/sim"
+	"millibalance/internal/workload"
+)
+
+// AppConfig configures an application (Tomcat-like) server.
+type AppConfig struct {
+	// Name identifies the server in metrics.
+	Name string
+	// Cores is the CPU core count.
+	Cores int
+	// Workers is the servlet thread pool size (Tomcat maxThreads; 210
+	// in the paper's configuration).
+	Workers int
+	// DBConns is the connection pool to the database (48 in the
+	// paper's configuration).
+	DBConns int
+	// LinkLatency is the one-way latency to the database tier.
+	LinkLatency sim.Time
+	// Writeback configures the page-cache writeback daemon that flushes
+	// this server's access/servlet logs — the paper's millibottleneck
+	// source.
+	Writeback resource.WritebackConfig
+}
+
+// App is the application tier server. Each request occupies a servlet
+// thread, runs a CPU burst, issues its interaction's database queries,
+// runs a response-serialization burst, appends to the access logs
+// (dirtying pages) and returns. A writeback flush stalls the CPU,
+// freezing burst progress — requests keep arriving and occupying threads
+// while nothing completes, which is what exhausts the web tier's
+// endpoint pools during a millibottleneck.
+type App struct {
+	eng     *sim.Engine
+	name    string
+	cpu     *resource.CPU
+	workers *sim.Pool
+	wb      *resource.Writeback
+	queries *queryRunner
+	served  uint64
+}
+
+// NewApp returns an application server wired to the given database.
+func NewApp(eng *sim.Engine, cfg AppConfig, db *DB) *App {
+	if db == nil {
+		panic("server: NewApp with nil DB")
+	}
+	if cfg.Cores < 1 {
+		cfg.Cores = 1
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.DBConns < 1 {
+		cfg.DBConns = 1
+	}
+	a := &App{
+		eng:     eng,
+		name:    cfg.Name,
+		cpu:     resource.NewCPU(eng, cfg.Cores),
+		workers: sim.NewPool(cfg.Workers),
+	}
+	a.wb = resource.NewWriteback(eng, cfg.Writeback, a.cpu.Stall)
+	a.wb.Start()
+	a.queries = &queryRunner{eng: eng, db: db, conns: sim.NewPool(cfg.DBConns), link: cfg.LinkLatency}
+	return a
+}
+
+// Name returns the server name.
+func (a *App) Name() string { return a.name }
+
+// CPU exposes the CPU for metrics sampling and stall injection.
+func (a *App) CPU() *resource.CPU { return a.cpu }
+
+// Writeback exposes the writeback daemon for metrics (dirty-page series,
+// flush events) and configuration checks.
+func (a *App) Writeback() *resource.Writeback { return a.wb }
+
+// Served reports the number of completed requests.
+func (a *App) Served() uint64 { return a.served }
+
+// QueuedRequests reports requests inside the server: waiting for a
+// servlet thread plus in service.
+func (a *App) QueuedRequests() int { return a.workers.Waiting() + a.workers.InUse() }
+
+// Handle processes one interaction and calls done when the response is
+// ready to travel back. The servlet demand is split 70/30 around the
+// database phase so that a mid-request stall also freezes response
+// serialization.
+func (a *App) Handle(it *workload.Interaction, done func()) {
+	if it == nil || done == nil {
+		panic("server: App.Handle with nil interaction or done")
+	}
+	a.workers.Acquire(func() {
+		demand := sampleDemand(a.eng, it.AppDemand)
+		pre := demand * 7 / 10
+		post := demand - pre
+		a.cpu.Submit(pre, func() {
+			a.queries.run(it, func() {
+				a.cpu.Submit(post, func() {
+					a.wb.AddDirty(it.LogBytes)
+					a.served++
+					a.workers.Release()
+					done()
+				})
+			})
+		})
+	})
+}

@@ -1,0 +1,198 @@
+package server
+
+import (
+	"millibalance/internal/lb"
+	"millibalance/internal/netmodel"
+	"millibalance/internal/resource"
+	"millibalance/internal/sim"
+	"millibalance/internal/workload"
+)
+
+// WebConfig configures a web (Apache-like) server.
+type WebConfig struct {
+	// Name identifies the server in metrics.
+	Name string
+	// Cores is the CPU core count.
+	Cores int
+	// Workers is the worker-thread limit (Apache MaxClients; 200 in the
+	// paper's configuration).
+	Workers int
+	// AcceptBacklog is the listen queue capacity; connections arriving
+	// with a full backlog are dropped and retransmitted by the client.
+	AcceptBacklog int
+	// ConnPoolSize is the endpoint pool per application server (mod_jk
+	// connection_pool_size; 25 in the paper's configuration).
+	ConnPoolSize int
+	// Policy and Mechanism select the balancer behaviour; LB tunes the
+	// 3-state machine.
+	Policy    lb.Policy
+	Mechanism lb.Mechanism
+	LB        lb.Config
+	// LinkLatency is the one-way latency to the application tier.
+	LinkLatency sim.Time
+	// LogBytesPerRequest is appended to the web server's own access log
+	// per response; flushed by Writeback (the Apache-side
+	// millibottleneck source of Fig. 2).
+	LogBytesPerRequest int64
+	// Writeback configures the web server's writeback daemon.
+	Writeback resource.WritebackConfig
+}
+
+// Web is the web tier server: it accepts client connections into a
+// bounded backlog, runs each request on a worker thread, and forwards it
+// to an application server chosen by its private mod_jk-style balancer.
+// The worker thread stays occupied until the response (or rejection)
+// goes back to the client — including any time the original get_endpoint
+// mechanism spends polling a stalled backend, which is how queue
+// amplification reaches this tier.
+type Web struct {
+	eng      *sim.Engine
+	name     string
+	cpu      *resource.CPU
+	workers  *sim.Pool
+	listener *netmodel.Listener
+	balancer *lb.Balancer
+	apps     map[string]*App
+	wb       *resource.Writeback
+	link     sim.Time
+	logBytes int64
+
+	served uint64
+	errors uint64
+}
+
+// NewWeb returns a web server balancing across the given application
+// servers.
+func NewWeb(eng *sim.Engine, cfg WebConfig, apps []*App) *Web {
+	if len(apps) == 0 {
+		panic("server: NewWeb with no application servers")
+	}
+	if cfg.Policy == nil || cfg.Mechanism == nil {
+		panic("server: NewWeb with nil policy or mechanism")
+	}
+	if cfg.Cores < 1 {
+		cfg.Cores = 1
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.ConnPoolSize < 1 {
+		cfg.ConnPoolSize = 1
+	}
+	w := &Web{
+		eng:      eng,
+		name:     cfg.Name,
+		cpu:      resource.NewCPU(eng, cfg.Cores),
+		workers:  sim.NewPool(cfg.Workers),
+		listener: netmodel.NewListener(cfg.AcceptBacklog),
+		apps:     make(map[string]*App, len(apps)),
+		link:     cfg.LinkLatency,
+		logBytes: cfg.LogBytesPerRequest,
+	}
+	w.wb = resource.NewWriteback(eng, cfg.Writeback, w.cpu.Stall)
+	w.wb.Start()
+	cands := make([]*lb.Candidate, 0, len(apps))
+	for _, a := range apps {
+		w.apps[a.Name()] = a
+		cands = append(cands, lb.NewCandidate(a.Name(), sim.NewPool(cfg.ConnPoolSize)))
+	}
+	w.balancer = lb.New(eng, cfg.Policy, cfg.Mechanism, cands, cfg.LB)
+	return w
+}
+
+// Name returns the server name.
+func (w *Web) Name() string { return w.name }
+
+// CPU exposes the CPU for metrics sampling and stall injection.
+func (w *Web) CPU() *resource.CPU { return w.cpu }
+
+// Writeback exposes the writeback daemon.
+func (w *Web) Writeback() *resource.Writeback { return w.wb }
+
+// Balancer exposes the balancer for metrics (lb_value snapshots,
+// dispatch-distribution hooks).
+func (w *Web) Balancer() *lb.Balancer { return w.balancer }
+
+// Served reports successfully answered requests.
+func (w *Web) Served() uint64 { return w.served }
+
+// Errors reports requests answered with an error (all backends
+// unavailable).
+func (w *Web) Errors() uint64 { return w.errors }
+
+// Drops reports connections dropped at the accept queue.
+func (w *Web) Drops() uint64 { return w.listener.Drops() }
+
+// QueuedRequests reports requests inside the server: waiting in the
+// accept backlog plus held by worker threads.
+func (w *Web) QueuedRequests() int { return w.listener.Len() + w.workers.InUse() }
+
+// BacklogLen reports connections waiting in the accept queue.
+func (w *Web) BacklogLen() int { return w.listener.Len() }
+
+// ActiveWorkers reports worker threads currently occupied.
+func (w *Web) ActiveWorkers() int { return w.workers.InUse() }
+
+// TryAccept admits a client request. It reports false when the accept
+// queue overflows, in which case the caller (the client's transport)
+// retransmits on its schedule.
+func (w *Web) TryAccept(req *workload.Request) bool {
+	if w.workers.TryAcquire() {
+		w.handle(req)
+		return true
+	}
+	return w.listener.Offer(func() { w.handle(req) })
+}
+
+// handle runs with a worker token held.
+func (w *Web) handle(req *workload.Request) {
+	it := req.Interaction
+	w.cpu.Submit(sampleDemand(w.eng, it.WebDemand), func() {
+		info := lb.RequestInfo{
+			RequestBytes:  it.RequestBytes,
+			ResponseBytes: it.ResponseBytes,
+			// Session identity (ignored unless the balancer has sticky
+			// sessions enabled); +1 keeps client 0 distinguishable from
+			// "no session".
+			SessionID: uint64(req.ClientID) + 1,
+		}
+		w.balancer.Dispatch(info,
+			func(c *lb.Candidate, done func()) {
+				req.Backend = c.Name()
+				app := w.apps[c.Name()]
+				w.eng.Schedule(w.link, func() { // forward to the app tier
+					app.Handle(it, func() {
+						w.eng.Schedule(w.link, func() { // response back
+							done()
+							w.respond(req, true)
+						})
+					})
+				})
+			},
+			func() { w.respond(req, false) })
+	})
+}
+
+// respond finishes the request toward the client and frees (or hands
+// over) the worker thread.
+func (w *Web) respond(req *workload.Request, ok bool) {
+	req.Web = w.name
+	if ok {
+		w.served++
+	} else {
+		w.errors++
+	}
+	if w.logBytes > 0 {
+		w.wb.AddDirty(w.logBytes)
+	}
+	req.Finish(workload.Outcome{
+		OK:           ok,
+		ResponseTime: w.eng.Now() - req.IssuedAt,
+		Retransmits:  req.Retransmits,
+	})
+	// Hand the worker token to the oldest backlogged connection, if
+	// any; otherwise release it.
+	if !w.listener.Accept() {
+		w.workers.Release()
+	}
+}

@@ -1,0 +1,202 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, a cancellable timer heap, a seeded random source, and
+// small event-driven concurrency primitives (token pools and FIFO queues)
+// used by the n-tier server models.
+//
+// The engine is single-threaded by design. All simulated activity is
+// expressed as callbacks scheduled at virtual times; two events scheduled
+// for the same instant fire in schedule order, so a run with a fixed seed
+// is exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// Time is a virtual timestamp measured from the start of the simulation.
+// It reuses time.Duration so call sites can write 50*time.Millisecond.
+type Time = time.Duration
+
+// Timer is a handle to a scheduled event. The zero value is not useful;
+// timers are created by Engine.Schedule and Engine.At.
+type Timer struct {
+	at    Time
+	seq   uint64
+	index int // position in the heap, -1 once fired or stopped
+	fn    func()
+}
+
+// When reports the virtual time the timer is set to fire at.
+func (t *Timer) When() Time { return t.at }
+
+// Stopped reports whether the timer has fired or been stopped.
+func (t *Timer) Stopped() bool { return t.index == -1 }
+
+// Engine is a discrete-event simulator. The zero value is not ready for
+// use; construct one with NewEngine.
+type Engine struct {
+	now    Time
+	heap   timerHeap
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose random
+// source is a PCG seeded with the two given words. The same seeds replay
+// the same run.
+func NewEngine(seed1, seed2 uint64) *Engine {
+	return &Engine{rng: rand.New(rand.NewPCG(seed1, seed2))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Fired reports how many events have been dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many timers are currently scheduled.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule arranges for fn to run after delay of virtual time. A negative
+// delay is treated as zero. The returned timer may be stopped before it
+// fires.
+func (e *Engine) Schedule(delay Time, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At arranges for fn to run at virtual time t. Times in the past are
+// clamped to now.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil function")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	tm := &Timer{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.heap, tm)
+	return tm
+}
+
+// Stop cancels a scheduled timer. It reports whether the timer was still
+// pending (false if it had already fired or been stopped).
+func (e *Engine) Stop(t *Timer) bool {
+	if t == nil || t.index == -1 {
+		return false
+	}
+	heap.Remove(&e.heap, t.index)
+	t.index = -1
+	t.fn = nil
+	return true
+}
+
+// Reschedule moves a pending timer to fire at now+delay. It reports
+// whether the timer was still pending and thus moved.
+func (e *Engine) Reschedule(t *Timer, delay Time) bool {
+	if t == nil || t.index == -1 {
+		return false
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	t.at = e.now + delay
+	e.seq++
+	t.seq = e.seq
+	heap.Fix(&e.heap, t.index)
+	return true
+}
+
+// Step dispatches the next pending event, advancing the clock to its
+// timestamp. It reports false when no events remain or the engine has
+// been halted.
+func (e *Engine) Step() bool {
+	if e.halted || len(e.heap) == 0 {
+		return false
+	}
+	tm := heap.Pop(&e.heap).(*Timer)
+	tm.index = -1
+	e.now = tm.at
+	fn := tm.fn
+	tm.fn = nil
+	e.fired++
+	fn()
+	return true
+}
+
+// Run dispatches events until the clock would pass until, then sets the
+// clock to exactly until. Events scheduled at until itself are dispatched.
+func (e *Engine) Run(until Time) {
+	for !e.halted && len(e.heap) > 0 && e.heap[0].at <= until {
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll dispatches events until none remain or maxEvents have fired.
+// It returns an error if the event budget is exhausted, which usually
+// indicates a self-rescheduling loop that was not shut down.
+func (e *Engine) RunAll(maxEvents uint64) error {
+	start := e.fired
+	for e.Step() {
+		if e.fired-start >= maxEvents {
+			return fmt.Errorf("sim: event budget of %d exhausted at t=%v with %d timers pending",
+				maxEvents, e.now, len(e.heap))
+		}
+	}
+	return nil
+}
+
+// Halt stops the engine: Step and Run become no-ops. Pending timers are
+// kept so callers can inspect them.
+func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether Halt has been called.
+func (e *Engine) Halted() bool { return e.halted }
+
+// timerHeap is a min-heap ordered by (at, seq) so same-instant events fire
+// in schedule order.
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) Push(x any) {
+	tm := x.(*Timer)
+	tm.index = len(*h)
+	*h = append(*h, tm)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return tm
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestExponentialMean(t *testing.T) {
+	e := NewEngine(1, 2)
+	const n = 200000
+	mean := 5 * time.Millisecond
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(e.Exponential(mean))
+	}
+	got := sum / n
+	if math.Abs(got-float64(mean)) > 0.03*float64(mean) {
+		t.Fatalf("sample mean %v, want ~%v", Time(got), mean)
+	}
+}
+
+func TestExponentialNonPositiveMean(t *testing.T) {
+	e := NewEngine(1, 2)
+	if d := e.Exponential(0); d != 0 {
+		t.Fatalf("Exponential(0) = %v, want 0", d)
+	}
+	if d := e.Exponential(-time.Second); d != 0 {
+		t.Fatalf("Exponential(-1s) = %v, want 0", d)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	e := NewEngine(1, 2)
+	lo, hi := 2*time.Millisecond, 9*time.Millisecond
+	for i := 0; i < 10000; i++ {
+		d := e.Uniform(lo, hi)
+		if d < lo || d >= hi {
+			t.Fatalf("Uniform out of range: %v", d)
+		}
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	e := NewEngine(1, 2)
+	if d := e.Uniform(5, 5); d != 5 {
+		t.Fatalf("Uniform(5,5) = %v, want 5", d)
+	}
+	if d := e.Uniform(9, 3); d != 9 {
+		t.Fatalf("Uniform(9,3) = %v, want lo", d)
+	}
+}
+
+func TestNormalTruncatedAtZero(t *testing.T) {
+	e := NewEngine(1, 2)
+	for i := 0; i < 10000; i++ {
+		if d := e.Normal(time.Millisecond, 10*time.Millisecond); d < 0 {
+			t.Fatalf("Normal produced negative duration %v", d)
+		}
+	}
+}
+
+func TestNormalMean(t *testing.T) {
+	e := NewEngine(1, 2)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(e.Normal(20*time.Millisecond, 2*time.Millisecond))
+	}
+	got := sum / n
+	want := float64(20 * time.Millisecond)
+	if math.Abs(got-want) > 0.02*want {
+		t.Fatalf("sample mean %v, want ~20ms", Time(got))
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	e := NewEngine(1, 2)
+	xm, maxVal := time.Millisecond, 100*time.Millisecond
+	for i := 0; i < 10000; i++ {
+		d := e.Pareto(xm, 1.5, maxVal)
+		if d < xm || d > maxVal {
+			t.Fatalf("Pareto out of [xm, max]: %v", d)
+		}
+	}
+}
+
+func TestParetoDegenerateShape(t *testing.T) {
+	e := NewEngine(1, 2)
+	if d := e.Pareto(time.Millisecond, 0, time.Second); d != time.Millisecond {
+		t.Fatalf("Pareto with alpha=0 = %v, want xm", d)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	e := NewEngine(1, 2)
+	for i := 0; i < 100; i++ {
+		if e.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !e.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	e := NewEngine(1, 2)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if e.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate = %.3f", rate)
+	}
+}
+
+func TestPickWeightedProportions(t *testing.T) {
+	e := NewEngine(1, 2)
+	weights := []float64{1, 2, 0, 7}
+	counts := make([]int, len(weights))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[e.PickWeighted(weights)]++
+	}
+	if counts[2] != 0 {
+		t.Fatalf("zero-weight index picked %d times", counts[2])
+	}
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		got := float64(counts[i]) / n
+		want := w / 10
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("index %d frequency %.3f, want %.3f", i, got, want)
+		}
+	}
+}
+
+func TestPickWeightedAllZero(t *testing.T) {
+	e := NewEngine(1, 2)
+	if i := e.PickWeighted([]float64{0, 0, 0}); i != 0 {
+		t.Fatalf("all-zero weights picked %d, want 0", i)
+	}
+}
+
+func TestPickWeightedNegativeIgnored(t *testing.T) {
+	e := NewEngine(1, 2)
+	for i := 0; i < 1000; i++ {
+		if got := e.PickWeighted([]float64{-5, 1, -2}); got != 1 {
+			t.Fatalf("negative weight index picked: %d", got)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	e := NewEngine(1, 2)
+	d := 100 * time.Millisecond
+	for i := 0; i < 10000; i++ {
+		j := e.Jitter(d, 0.2)
+		if j < 80*time.Millisecond || j > 120*time.Millisecond {
+			t.Fatalf("Jitter out of ±20%%: %v", j)
+		}
+	}
+	if j := e.Jitter(d, 0); j != d {
+		t.Fatalf("Jitter with frac=0 changed value: %v", j)
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	if Seconds(1.5) != 1500*time.Millisecond {
+		t.Fatalf("Seconds(1.5) = %v", Seconds(1.5))
+	}
+	if s := ToSeconds(250 * time.Millisecond); s != 0.25 {
+		t.Fatalf("ToSeconds = %v", s)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	e := NewEngine(1, 2)
+	for i := 0; i < 10000; i++ {
+		if d := e.LogNormal(13, 0.5); d <= 0 {
+			t.Fatalf("LogNormal produced non-positive %v", d)
+		}
+	}
+}

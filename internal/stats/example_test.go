@@ -1,0 +1,46 @@
+package stats_test
+
+import (
+	"fmt"
+	"time"
+
+	"millibalance/internal/stats"
+)
+
+func ExampleHistogram() {
+	var h stats.Histogram
+	for i := 0; i < 99; i++ {
+		h.Record(2 * time.Millisecond)
+	}
+	h.Record(1200 * time.Millisecond) // one VLRT straggler
+	fmt.Println("count:", h.Count())
+	fmt.Println("mean:", h.Mean())
+	fmt.Println("VLRT(>=1s):", h.CountAtOrAbove(time.Second))
+	// Output:
+	// count: 100
+	// mean: 13.98ms
+	// VLRT(>=1s): 1
+}
+
+func ExampleSeries() {
+	s := stats.NewSeries(50 * time.Millisecond)
+	s.Add(10*time.Millisecond, 5)  // window 0
+	s.Add(20*time.Millisecond, 15) // window 0
+	s.Add(60*time.Millisecond, 40) // window 1
+	fmt.Println("windows:", s.Len())
+	fmt.Printf("window 0 mean: %.0f\n", s.At(0).Mean())
+	idx, peak := s.PeakWindow()
+	fmt.Printf("peak: window %d = %.0f\n", idx, peak)
+	// Output:
+	// windows: 2
+	// window 0 mean: 10
+	// peak: window 1 = 40
+}
+
+func ExamplePearson() {
+	queue := []float64{1, 1, 50, 1, 1}
+	cpu := []float64{20, 20, 100, 20, 20}
+	fmt.Printf("r = %.2f\n", stats.Pearson(queue, cpu))
+	// Output:
+	// r = 1.00
+}

@@ -1,0 +1,209 @@
+// Package stats provides the statistical primitives the experiment harness
+// renders figures and tables from: a log-bucketed latency histogram,
+// fixed-width windowed time series, online moment accumulators, and
+// Pearson correlation.
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// numBuckets covers values up to 2^63 microseconds without the bucket
+// bounds overflowing uint64 — far beyond the largest time.Duration
+// (~2^63 nanoseconds) that can be recorded.
+const numBuckets = 3712
+
+// Histogram is a log-bucketed latency histogram with ~1.6% relative
+// resolution (64 sub-buckets per power of two) and exact count, sum, min
+// and max. Values are recorded at microsecond granularity; negative
+// durations count as zero. The zero value is an empty histogram ready
+// for use.
+type Histogram struct {
+	counts [numBuckets]uint64
+	total  uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+// bucketIndex maps a microsecond value to its bucket. Values below 128
+// map directly; larger values keep their top seven bits, yielding
+// contiguous, monotonically ordered buckets.
+func bucketIndex(us uint64) int {
+	if us < 128 {
+		return int(us)
+	}
+	shift := bits.Len64(us) - 7
+	idx := shift*64 + int(us>>shift)
+	if idx >= numBuckets {
+		return numBuckets - 1
+	}
+	return idx
+}
+
+// bucketLower returns the smallest microsecond value mapping to bucket i.
+func bucketLower(i int) uint64 {
+	if i < 128 {
+		return uint64(i)
+	}
+	shift := i/64 - 1
+	top := uint64(i%64 + 64)
+	return top << shift
+}
+
+// bucketUpper returns the exclusive upper microsecond bound of bucket i.
+func bucketUpper(i int) uint64 {
+	if i < 127 {
+		return uint64(i) + 1
+	}
+	shift := i/64 - 1
+	top := uint64(i%64+64) + 1
+	return top << shift
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64((d + 999) / 1000) // round ns up to whole microseconds
+	h.counts[bucketIndex(us)]++
+	h.total++
+	h.sum += d
+	if h.total == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Sum reports the exact sum of recorded observations.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Mean reports the exact mean, or zero for an empty histogram.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Min reports the smallest recorded observation (zero when empty).
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max reports the largest recorded observation (zero when empty).
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) with the
+// histogram's bucket resolution. It returns zero for an empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			mid := (bucketLower(i) + bucketUpper(i)) / 2
+			d := time.Duration(mid) * time.Microsecond
+			if d > h.max {
+				d = h.max
+			}
+			if d < h.min {
+				d = h.min
+			}
+			return d
+		}
+	}
+	return h.max
+}
+
+// CountAtOrAbove estimates how many observations were >= d, with bucket
+// resolution (buckets straddling d count entirely if their midpoint is
+// at or above d).
+func (h *Histogram) CountAtOrAbove(d time.Duration) uint64 {
+	if d <= 0 {
+		return h.total
+	}
+	us := uint64(d / 1000)
+	var n uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if (bucketLower(i)+bucketUpper(i))/2 >= us {
+			n += c
+		}
+	}
+	return n
+}
+
+// CountBelow estimates how many observations were < d, with bucket
+// resolution.
+func (h *Histogram) CountBelow(d time.Duration) uint64 {
+	return h.total - h.CountAtOrAbove(d)
+}
+
+// Merge adds all of other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
+// Bucket is one non-empty histogram bucket, for rendering distributions.
+type Bucket struct {
+	// Lower and Upper bound the bucket: observations fell in [Lower, Upper).
+	Lower time.Duration
+	Upper time.Duration
+	Count uint64
+}
+
+// Buckets returns the non-empty buckets in increasing order.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		out = append(out, Bucket{
+			Lower: time.Duration(bucketLower(i)) * time.Microsecond,
+			Upper: time.Duration(bucketUpper(i)) * time.Microsecond,
+			Count: c,
+		})
+	}
+	return out
+}
+
+// String summarizes the histogram for logs and test failures.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.total, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.max)
+}

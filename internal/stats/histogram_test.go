@@ -1,0 +1,244 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram not zeroed: %v", h.String())
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.Record(5 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 5*time.Millisecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 5*time.Millisecond || h.Max() != 5*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramNegativeClampedToZero(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative record mishandled: min=%v max=%v n=%d", h.Min(), h.Max(), h.Count())
+	}
+}
+
+func TestHistogramExactMean(t *testing.T) {
+	var h Histogram
+	durations := []time.Duration{time.Millisecond, 3 * time.Millisecond, 8 * time.Millisecond}
+	for _, d := range durations {
+		h.Record(d)
+	}
+	if h.Mean() != 4*time.Millisecond {
+		t.Fatalf("Mean = %v, want 4ms", h.Mean())
+	}
+	if h.Sum() != 12*time.Millisecond {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+}
+
+func TestBucketBoundsContiguousAndMonotonic(t *testing.T) {
+	for i := 0; i < numBuckets-1; i++ {
+		if bucketUpper(i) != bucketLower(i+1) {
+			t.Fatalf("bucket %d upper %d != bucket %d lower %d",
+				i, bucketUpper(i), i+1, bucketLower(i+1))
+		}
+		if bucketLower(i) >= bucketUpper(i) {
+			t.Fatalf("bucket %d empty range [%d,%d)", i, bucketLower(i), bucketUpper(i))
+		}
+	}
+}
+
+func TestBucketIndexRoundTrip(t *testing.T) {
+	for _, us := range []uint64{0, 1, 17, 127, 128, 255, 256, 999, 1000, 1_000_000, 1 << 40} {
+		i := bucketIndex(us)
+		if us < bucketLower(i) || us >= bucketUpper(i) {
+			t.Fatalf("value %d mapped to bucket %d [%d,%d)", us, i, bucketLower(i), bucketUpper(i))
+		}
+	}
+}
+
+// Property: any microsecond value lands in a bucket whose bounds contain
+// it, and the relative width of that bucket is at most ~1.6%.
+func TestQuickBucketAccuracy(t *testing.T) {
+	f := func(us uint64) bool {
+		us %= uint64(1) << 50
+		i := bucketIndex(us)
+		lo, hi := bucketLower(i), bucketUpper(i)
+		if us < lo || us >= hi {
+			return false
+		}
+		if lo >= 128 {
+			rel := float64(hi-lo) / float64(lo)
+			if rel > 0.016 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	// 1..1000 ms uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 500 * time.Millisecond},
+		{0.9, 900 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		err := math.Abs(float64(got-tc.want)) / float64(tc.want)
+		if err > 0.02 {
+			t.Fatalf("Quantile(%v) = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	h.Record(time.Second)
+	if h.Quantile(0) != time.Millisecond {
+		t.Fatalf("Quantile(0) = %v", h.Quantile(0))
+	}
+	if h.Quantile(1) != time.Second {
+		t.Fatalf("Quantile(1) = %v", h.Quantile(1))
+	}
+}
+
+// Property: quantiles are monotonically non-decreasing in q and bounded
+// by min and max; total bucket counts equal Count().
+func TestQuickQuantileMonotonic(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Record(time.Duration(v) * time.Microsecond)
+		}
+		var bucketTotal uint64
+		for _, b := range h.Buckets() {
+			bucketTotal += b.Count
+		}
+		if bucketTotal != h.Count() {
+			return false
+		}
+		prev := time.Duration(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < prev || v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountAtOrAbove(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Record(5 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(2 * time.Second)
+	}
+	if got := h.CountAtOrAbove(time.Second); got != 10 {
+		t.Fatalf("CountAtOrAbove(1s) = %d, want 10", got)
+	}
+	if got := h.CountBelow(10 * time.Millisecond); got != 90 {
+		t.Fatalf("CountBelow(10ms) = %d, want 90", got)
+	}
+	if got := h.CountAtOrAbove(0); got != 100 {
+		t.Fatalf("CountAtOrAbove(0) = %d, want 100", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Millisecond)
+	a.Record(2 * time.Millisecond)
+	b.Record(10 * time.Second)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	if a.Max() != 10*time.Second {
+		t.Fatalf("Max = %v", a.Max())
+	}
+	if a.Min() != time.Millisecond {
+		t.Fatalf("Min = %v", a.Min())
+	}
+	if a.Sum() != 10*time.Second+3*time.Millisecond {
+		t.Fatalf("Sum = %v", a.Sum())
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	var a, b Histogram
+	b.Record(7 * time.Millisecond)
+	a.Merge(&b)
+	if a.Min() != 7*time.Millisecond || a.Max() != 7*time.Millisecond {
+		t.Fatalf("merge into empty: min=%v max=%v", a.Min(), a.Max())
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestBucketsOrdered(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{time.Second, time.Microsecond, 50 * time.Millisecond} {
+		h.Record(d)
+	}
+	bs := h.Buckets()
+	if len(bs) != 3 {
+		t.Fatalf("Buckets len = %d, want 3", len(bs))
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i].Lower < bs[i-1].Upper {
+			t.Fatalf("buckets out of order: %+v", bs)
+		}
+	}
+}
+
+func TestRecordRoundsSubMicrosecondUp(t *testing.T) {
+	var h Histogram
+	h.Record(500 * time.Nanosecond)
+	bs := h.Buckets()
+	if len(bs) != 1 || bs[0].Lower != time.Microsecond {
+		t.Fatalf("sub-microsecond value bucketed as %+v", bs)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	if s := h.String(); s == "" {
+		t.Fatal("String returned empty")
+	}
+}

@@ -1,0 +1,286 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Window aggregates the observations that fell into one fixed-width time
+// window of a Series.
+type Window struct {
+	Count uint64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Mean returns the window's mean observation, or zero when empty.
+func (w Window) Mean() float64 {
+	if w.Count == 0 {
+		return 0
+	}
+	return w.Sum / float64(w.Count)
+}
+
+// Series is a time series bucketed into fixed-width windows, used for the
+// paper's 50 ms-granularity plots (VLRT counts, queue lengths, CPU
+// utilization). Windows are created on demand; missing windows read as
+// empty. The zero value is unusable; construct with NewSeries.
+type Series struct {
+	width   time.Duration
+	windows []Window
+}
+
+// NewSeries returns a series with the given window width. Width must be
+// positive.
+func NewSeries(width time.Duration) *Series {
+	if width <= 0 {
+		panic("stats: NewSeries requires a positive width")
+	}
+	return &Series{width: width}
+}
+
+// Width returns the window width.
+func (s *Series) Width() time.Duration { return s.width }
+
+// index returns the window index for time t, growing the window slice.
+func (s *Series) index(t time.Duration) int {
+	if t < 0 {
+		t = 0
+	}
+	i := int(t / s.width)
+	for len(s.windows) <= i {
+		s.windows = append(s.windows, Window{})
+	}
+	return i
+}
+
+// Add records observation v at time t.
+func (s *Series) Add(t time.Duration, v float64) {
+	w := &s.windows[s.index(t)]
+	if w.Count == 0 || v < w.Min {
+		w.Min = v
+	}
+	if w.Count == 0 || v > w.Max {
+		w.Max = v
+	}
+	w.Count++
+	w.Sum += v
+}
+
+// Incr records a unit event at time t (for event-count plots such as
+// "VLRT requests per 50 ms window").
+func (s *Series) Incr(t time.Duration) { s.Add(t, 1) }
+
+// Len reports the number of windows that exist (up to the latest
+// observation).
+func (s *Series) Len() int { return len(s.windows) }
+
+// At returns the window with index i; out-of-range indices read as empty.
+func (s *Series) At(i int) Window {
+	if i < 0 || i >= len(s.windows) {
+		return Window{}
+	}
+	return s.windows[i]
+}
+
+// Start returns the start time of window i.
+func (s *Series) Start(i int) time.Duration { return time.Duration(i) * s.width }
+
+// Counts returns the per-window observation counts.
+func (s *Series) Counts() []uint64 {
+	out := make([]uint64, len(s.windows))
+	for i, w := range s.windows {
+		out[i] = w.Count
+	}
+	return out
+}
+
+// Means returns the per-window means (zero for empty windows).
+func (s *Series) Means() []float64 {
+	out := make([]float64, len(s.windows))
+	for i, w := range s.windows {
+		out[i] = w.Mean()
+	}
+	return out
+}
+
+// Maxes returns the per-window maxima (zero for empty windows).
+func (s *Series) Maxes() []float64 {
+	out := make([]float64, len(s.windows))
+	for i, w := range s.windows {
+		out[i] = w.Max
+	}
+	return out
+}
+
+// PeakWindow returns the index and value of the window with the largest
+// maximum. It returns (-1, 0) for an empty series.
+func (s *Series) PeakWindow() (int, float64) {
+	idx, peak := -1, 0.0
+	for i, w := range s.windows {
+		if w.Count > 0 && (idx == -1 || w.Max > peak) {
+			idx, peak = i, w.Max
+		}
+	}
+	return idx, peak
+}
+
+// Slice returns the window means between from (inclusive) and to
+// (exclusive) times, for zooming into an interval of interest.
+func (s *Series) Slice(from, to time.Duration) []float64 {
+	if to < from {
+		from, to = to, from
+	}
+	lo := int(from / s.width)
+	hi := int((to + s.width - 1) / s.width)
+	var out []float64
+	for i := lo; i < hi; i++ {
+		out = append(out, s.At(i).Mean())
+	}
+	return out
+}
+
+// Online accumulates count, mean and variance in one pass using
+// Welford's algorithm. The zero value is ready for use.
+type Online struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (o *Online) Add(v float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = v, v
+	} else {
+		if v < o.min {
+			o.min = v
+		}
+		if v > o.max {
+			o.max = v
+		}
+	}
+	delta := v - o.mean
+	o.mean += delta / float64(o.n)
+	o.m2 += delta * (v - o.mean)
+}
+
+// N reports the number of observations.
+func (o *Online) N() uint64 { return o.n }
+
+// Mean reports the running mean (zero when empty).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Min reports the smallest observation (zero when empty).
+func (o *Online) Min() float64 { return o.min }
+
+// Max reports the largest observation (zero when empty).
+func (o *Online) Max() float64 { return o.max }
+
+// Variance reports the population variance (zero for n < 2).
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n)
+}
+
+// StdDev reports the population standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// series. It returns zero when the series are shorter than two points or
+// either has zero variance.
+func Pearson(x, y []float64) float64 {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	if n < 2 {
+		return 0
+	}
+	var sx, sy Online
+	for i := 0; i < n; i++ {
+		sx.Add(x[i])
+		sy.Add(y[i])
+	}
+	if sx.Variance() == 0 || sy.Variance() == 0 {
+		return 0
+	}
+	var cov float64
+	for i := 0; i < n; i++ {
+		cov += (x[i] - sx.Mean()) * (y[i] - sy.Mean())
+	}
+	cov /= float64(n)
+	return cov / (sx.StdDev() * sy.StdDev())
+}
+
+// ExactQuantile returns the q-quantile of the given sample by nearest-rank
+// on a sorted copy. It is intended for small samples in tests and
+// summaries.
+func ExactQuantile(sample []float64, q float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// DurationToMillis converts a duration to fractional milliseconds, the
+// unit the paper's response-time plots use.
+func DurationToMillis(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// Summary is a compact latency digest rendered by CLIs and reports.
+type Summary struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	P999  time.Duration
+	Max   time.Duration
+}
+
+// Summarize digests a histogram.
+func Summarize(h *Histogram) Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return "n=" + strconv.FormatUint(s.Count, 10) +
+		" mean=" + s.Mean.String() +
+		" p50=" + s.P50.String() +
+		" p90=" + s.P90.String() +
+		" p99=" + s.P99.String() +
+		" p99.9=" + s.P999.String() +
+		" max=" + s.Max.String()
+}

@@ -1,0 +1,287 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesWindowing(t *testing.T) {
+	s := NewSeries(50 * time.Millisecond)
+	s.Add(10*time.Millisecond, 1)
+	s.Add(49*time.Millisecond, 3)
+	s.Add(50*time.Millisecond, 5)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	w0 := s.At(0)
+	if w0.Count != 2 || w0.Sum != 4 || w0.Min != 1 || w0.Max != 3 {
+		t.Fatalf("window 0 = %+v", w0)
+	}
+	if got := s.At(1).Mean(); got != 5 {
+		t.Fatalf("window 1 mean = %v", got)
+	}
+}
+
+func TestSeriesNegativeTimeClamped(t *testing.T) {
+	s := NewSeries(time.Millisecond)
+	s.Add(-time.Second, 2)
+	if s.At(0).Count != 1 {
+		t.Fatal("negative time not clamped into window 0")
+	}
+}
+
+func TestSeriesOutOfRangeReadsEmpty(t *testing.T) {
+	s := NewSeries(time.Millisecond)
+	if w := s.At(99); w.Count != 0 {
+		t.Fatalf("out-of-range window = %+v", w)
+	}
+	if w := s.At(-1); w.Count != 0 {
+		t.Fatalf("negative window = %+v", w)
+	}
+}
+
+func TestSeriesIncrCounts(t *testing.T) {
+	s := NewSeries(50 * time.Millisecond)
+	for i := 0; i < 7; i++ {
+		s.Incr(20 * time.Millisecond)
+	}
+	s.Incr(60 * time.Millisecond)
+	counts := s.Counts()
+	if counts[0] != 7 || counts[1] != 1 {
+		t.Fatalf("Counts = %v", counts)
+	}
+}
+
+func TestSeriesStart(t *testing.T) {
+	s := NewSeries(50 * time.Millisecond)
+	if s.Start(3) != 150*time.Millisecond {
+		t.Fatalf("Start(3) = %v", s.Start(3))
+	}
+}
+
+func TestSeriesPeakWindow(t *testing.T) {
+	s := NewSeries(time.Millisecond)
+	s.Add(0, 5)
+	s.Add(3*time.Millisecond, 50)
+	s.Add(5*time.Millisecond, 20)
+	idx, peak := s.PeakWindow()
+	if idx != 3 || peak != 50 {
+		t.Fatalf("PeakWindow = %d,%v", idx, peak)
+	}
+}
+
+func TestSeriesPeakWindowEmpty(t *testing.T) {
+	s := NewSeries(time.Millisecond)
+	if idx, _ := s.PeakWindow(); idx != -1 {
+		t.Fatalf("PeakWindow on empty = %d", idx)
+	}
+}
+
+func TestSeriesSlice(t *testing.T) {
+	s := NewSeries(10 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i)*10*time.Millisecond, float64(i))
+	}
+	got := s.Slice(20*time.Millisecond, 50*time.Millisecond)
+	want := []float64{2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSeriesSliceReversedBounds(t *testing.T) {
+	s := NewSeries(10 * time.Millisecond)
+	s.Add(0, 1)
+	if got := s.Slice(30*time.Millisecond, 0); len(got) != 3 {
+		t.Fatalf("reversed Slice len = %d", len(got))
+	}
+}
+
+func TestNewSeriesPanicsOnZeroWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSeries(0) did not panic")
+		}
+	}()
+	NewSeries(0)
+}
+
+// Property: sum of window counts equals number of Add calls, and each
+// window's Min <= Mean <= Max.
+func TestQuickSeriesConservation(t *testing.T) {
+	f := func(points []uint16) bool {
+		s := NewSeries(7 * time.Millisecond)
+		for _, p := range points {
+			s.Add(time.Duration(p)*time.Millisecond, float64(p%97))
+		}
+		var total uint64
+		for i := 0; i < s.Len(); i++ {
+			w := s.At(i)
+			total += w.Count
+			if w.Count > 0 && (w.Min > w.Mean() || w.Mean() > w.Max) {
+				return false
+			}
+		}
+		return total == uint64(len(points))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineMoments(t *testing.T) {
+	var o Online
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		o.Add(v)
+	}
+	if o.N() != 8 {
+		t.Fatalf("N = %d", o.N())
+	}
+	if o.Mean() != 5 {
+		t.Fatalf("Mean = %v", o.Mean())
+	}
+	if math.Abs(o.StdDev()-2) > 1e-9 {
+		t.Fatalf("StdDev = %v, want 2", o.StdDev())
+	}
+	if o.Min() != 2 || o.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", o.Min(), o.Max())
+	}
+}
+
+func TestOnlineEmptyAndSingle(t *testing.T) {
+	var o Online
+	if o.Variance() != 0 || o.Mean() != 0 {
+		t.Fatal("empty Online not zeroed")
+	}
+	o.Add(42)
+	if o.Variance() != 0 {
+		t.Fatalf("single-sample variance = %v", o.Variance())
+	}
+	if o.Mean() != 42 {
+		t.Fatalf("Mean = %v", o.Mean())
+	}
+}
+
+// Property: Online mean/variance match the naive two-pass computation.
+func TestQuickOnlineMatchesNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var o Online
+		var sum float64
+		for _, v := range raw {
+			o.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		var m2 float64
+		for _, v := range raw {
+			d := float64(v) - mean
+			m2 += d * d
+		}
+		variance := m2 / float64(len(raw))
+		return math.Abs(o.Mean()-mean) < 1e-6 && math.Abs(o.Variance()-variance) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(x, y); math.Abs(r-1) > 1e-9 {
+		t.Fatalf("Pearson = %v, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(x, neg); math.Abs(r+1) > 1e-9 {
+		t.Fatalf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if r := Pearson([]float64{1}, []float64{2}); r != 0 {
+		t.Fatalf("Pearson on single point = %v", r)
+	}
+	if r := Pearson([]float64{3, 3, 3}, []float64{1, 2, 3}); r != 0 {
+		t.Fatalf("Pearson with zero variance = %v", r)
+	}
+	if r := Pearson(nil, nil); r != 0 {
+		t.Fatalf("Pearson(nil,nil) = %v", r)
+	}
+}
+
+func TestPearsonUnequalLengthsUsesPrefix(t *testing.T) {
+	x := []float64{1, 2, 3, 100, 200}
+	y := []float64{2, 4, 6}
+	if r := Pearson(x, y); math.Abs(r-1) > 1e-9 {
+		t.Fatalf("Pearson on prefix = %v, want 1", r)
+	}
+}
+
+// Property: Pearson is always within [-1, 1].
+func TestQuickPearsonBounded(t *testing.T) {
+	f := func(x, y []int8) bool {
+		xf := make([]float64, len(x))
+		yf := make([]float64, len(y))
+		for i, v := range x {
+			xf[i] = float64(v)
+		}
+		for i, v := range y {
+			yf[i] = float64(v)
+		}
+		r := Pearson(xf, yf)
+		return r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactQuantile(t *testing.T) {
+	sample := []float64{9, 1, 5, 3, 7}
+	if q := ExactQuantile(sample, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := ExactQuantile(sample, 1); q != 9 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := ExactQuantile(sample, 0.5); q != 5 {
+		t.Fatalf("q0.5 = %v", q)
+	}
+	if q := ExactQuantile(nil, 0.5); q != 0 {
+		t.Fatalf("nil sample = %v", q)
+	}
+	// Input must not be mutated.
+	if sample[0] != 9 {
+		t.Fatal("ExactQuantile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := Summarize(&h)
+	if s.Count != 100 || s.Max != 100*time.Millisecond {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 < 45*time.Millisecond || s.P50 > 55*time.Millisecond {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.String() == "" || s.Mean != 50500*time.Microsecond {
+		t.Fatalf("summary = %v", s)
+	}
+	if s.P99 < s.P90 || s.P999 < s.P99 {
+		t.Fatalf("quantiles not ordered: %+v", s)
+	}
+}

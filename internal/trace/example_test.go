@@ -1,0 +1,20 @@
+package trace_test
+
+import (
+	"os"
+	"time"
+
+	"millibalance/internal/trace"
+)
+
+func ExampleLog_WriteCSV() {
+	log := trace.NewLog(10)
+	log.Append(trace.Entry{
+		Time: 100 * time.Millisecond, RequestID: 1, Interaction: "ViewStory",
+		Web: "apache1", Backend: "tomcat2", OK: true, ResponseTime: 3 * time.Millisecond,
+	})
+	_ = log.WriteCSV(os.Stdout)
+	// Output:
+	// t_sec,id,client,interaction,web,backend,ok,rt_ms,retransmits
+	// 0.100000,1,0,ViewStory,apache1,tomcat2,true,3.000,0
+}

@@ -1,0 +1,251 @@
+// Package trace implements the access-log side of the paper's
+// methodology. The paper verifies its load balancers by analyzing the
+// Apache and Tomcat logs — which web server handled each request, which
+// application server it was forwarded to, and how long it took. This
+// package collects the equivalent per-request entries from an
+// experiment, exports them as CSV or JSON Lines, and provides the
+// analyses the paper performs on them: per-web-server workload
+// distribution across backends, per-interaction latency, and slow-
+// request extraction.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Entry is one access-log line: a completed (or failed) client request.
+type Entry struct {
+	// Time is the completion instant in virtual time.
+	Time time.Duration `json:"t"`
+	// RequestID is the client-side request identifier.
+	RequestID uint64 `json:"id"`
+	// ClientID identifies the issuing client.
+	ClientID int `json:"client"`
+	// Interaction is the RUBBoS interaction name.
+	Interaction string `json:"interaction"`
+	// Web and Backend identify the servers that handled the request;
+	// both are empty for requests that never reached the web tier
+	// (dropped until the retransmission schedule ran out).
+	Web     string `json:"web,omitempty"`
+	Backend string `json:"backend,omitempty"`
+	// OK reports whether a successful response was returned.
+	OK bool `json:"ok"`
+	// ResponseTime is the client-observed latency.
+	ResponseTime time.Duration `json:"rt"`
+	// Retransmits counts dropped connection attempts.
+	Retransmits int `json:"retx,omitempty"`
+}
+
+// Log is a bounded in-memory access log. When the capacity is reached,
+// further entries are counted but not stored, so a runaway experiment
+// cannot exhaust memory. The zero value is unusable; construct with
+// NewLog.
+type Log struct {
+	capacity int
+	entries  []Entry
+	dropped  uint64
+}
+
+// NewLog returns a log bounded at capacity entries (minimum one).
+func NewLog(capacity int) *Log {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Log{capacity: capacity}
+}
+
+// Append records one entry (or counts it as truncated past capacity).
+func (l *Log) Append(e Entry) {
+	if len(l.entries) >= l.capacity {
+		l.dropped++
+		return
+	}
+	l.entries = append(l.entries, e)
+}
+
+// Len reports stored entries.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Truncated reports entries discarded because the log was full.
+func (l *Log) Truncated() uint64 { return l.dropped }
+
+// Entries returns the stored entries (shared slice; treat as
+// read-only).
+func (l *Log) Entries() []Entry { return l.entries }
+
+// WriteCSV writes the log as CSV with a header row.
+func (l *Log) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "t_sec,id,client,interaction,web,backend,ok,rt_ms,retransmits\n"); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, e := range l.entries {
+		row := fmt.Sprintf("%.6f,%d,%d,%s,%s,%s,%s,%.3f,%d\n",
+			e.Time.Seconds(), e.RequestID, e.ClientID, e.Interaction,
+			e.Web, e.Backend, strconv.FormatBool(e.OK),
+			float64(e.ResponseTime)/float64(time.Millisecond), e.Retransmits)
+		if _, err := io.WriteString(w, row); err != nil {
+			return fmt.Errorf("trace: write row: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteJSONL writes the log as JSON Lines.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range l.entries {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("trace: encode entry: %w", err)
+		}
+	}
+	return nil
+}
+
+// FilterWindow returns the entries completing within [from, to).
+func FilterWindow(entries []Entry, from, to time.Duration) []Entry {
+	var out []Entry
+	for _, e := range entries {
+		if e.Time >= from && e.Time < to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// DistributionByBackend counts entries per backend — the log-derived
+// workload distribution the paper plots.
+func DistributionByBackend(entries []Entry) map[string]int {
+	out := map[string]int{}
+	for _, e := range entries {
+		if e.Backend != "" {
+			out[e.Backend]++
+		}
+	}
+	return out
+}
+
+// DistributionByWebAndBackend counts entries per (web, backend) pair —
+// the paper's Section II-B validation that every web server spreads its
+// load evenly.
+func DistributionByWebAndBackend(entries []Entry) map[string]map[string]int {
+	out := map[string]map[string]int{}
+	for _, e := range entries {
+		if e.Web == "" || e.Backend == "" {
+			continue
+		}
+		m, ok := out[e.Web]
+		if !ok {
+			m = map[string]int{}
+			out[e.Web] = m
+		}
+		m[e.Backend]++
+	}
+	return out
+}
+
+// SpreadByWeb reports, per web server, the relative spread of its
+// backend shares: (max - min) / max of the per-backend counts. Zero
+// means perfectly even.
+func SpreadByWeb(entries []Entry) map[string]float64 {
+	out := map[string]float64{}
+	for web, perBackend := range DistributionByWebAndBackend(entries) {
+		first := true
+		var minC, maxC int
+		for _, c := range perBackend {
+			if first {
+				minC, maxC = c, c
+				first = false
+				continue
+			}
+			if c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		if maxC > 0 {
+			out[web] = float64(maxC-minC) / float64(maxC)
+		}
+	}
+	return out
+}
+
+// InteractionStats aggregates latency per interaction.
+type InteractionStats struct {
+	Interaction string
+	Count       int
+	Mean        time.Duration
+	Max         time.Duration
+}
+
+// ByInteraction aggregates entries per interaction name, sorted by
+// descending mean latency.
+func ByInteraction(entries []Entry) []InteractionStats {
+	type acc struct {
+		n   int
+		sum time.Duration
+		max time.Duration
+	}
+	accs := map[string]*acc{}
+	for _, e := range entries {
+		a, ok := accs[e.Interaction]
+		if !ok {
+			a = &acc{}
+			accs[e.Interaction] = a
+		}
+		a.n++
+		a.sum += e.ResponseTime
+		if e.ResponseTime > a.max {
+			a.max = e.ResponseTime
+		}
+	}
+	out := make([]InteractionStats, 0, len(accs))
+	for name, a := range accs {
+		out = append(out, InteractionStats{
+			Interaction: name,
+			Count:       a.n,
+			Mean:        a.sum / time.Duration(a.n),
+			Max:         a.max,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mean != out[j].Mean {
+			return out[i].Mean > out[j].Mean
+		}
+		return out[i].Interaction < out[j].Interaction
+	})
+	return out
+}
+
+// Slowest returns the n slowest entries, slowest first.
+func Slowest(entries []Entry, n int) []Entry {
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ResponseTime > sorted[j].ResponseTime })
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}
+
+// VLRTBackends counts, per backend, how many VLRT (≥ threshold) entries
+// it served — pointing the finger at the server behind the long tail.
+func VLRTBackends(entries []Entry, threshold time.Duration) map[string]int {
+	out := map[string]int{}
+	for _, e := range entries {
+		if e.ResponseTime >= threshold {
+			key := e.Backend
+			if key == "" {
+				key = "(dropped)"
+			}
+			out[key]++
+		}
+	}
+	return out
+}

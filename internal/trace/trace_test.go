@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleEntries() []Entry {
+	return []Entry{
+		{Time: 100 * time.Millisecond, RequestID: 1, ClientID: 0, Interaction: "ViewStory",
+			Web: "apache1", Backend: "tomcat1", OK: true, ResponseTime: 2 * time.Millisecond},
+		{Time: 150 * time.Millisecond, RequestID: 2, ClientID: 1, Interaction: "ViewStory",
+			Web: "apache1", Backend: "tomcat2", OK: true, ResponseTime: 4 * time.Millisecond},
+		{Time: 200 * time.Millisecond, RequestID: 3, ClientID: 2, Interaction: "StoreComment",
+			Web: "apache2", Backend: "tomcat1", OK: true, ResponseTime: 1100 * time.Millisecond, Retransmits: 1},
+		{Time: 900 * time.Millisecond, RequestID: 4, ClientID: 3, Interaction: "SearchForm",
+			OK: false, ResponseTime: 3 * time.Second, Retransmits: 3},
+	}
+}
+
+func TestLogAppendAndCapacity(t *testing.T) {
+	l := NewLog(2)
+	for _, e := range sampleEntries() {
+		l.Append(e)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.Truncated() != 2 {
+		t.Fatalf("Truncated = %d", l.Truncated())
+	}
+	if l.Entries()[0].RequestID != 1 {
+		t.Fatal("kept wrong entries")
+	}
+}
+
+func TestNewLogMinimumCapacity(t *testing.T) {
+	l := NewLog(-5)
+	l.Append(Entry{})
+	l.Append(Entry{})
+	if l.Len() != 1 || l.Truncated() != 1 {
+		t.Fatalf("Len=%d Truncated=%d", l.Len(), l.Truncated())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	l := NewLog(10)
+	for _, e := range sampleEntries() {
+		l.Append(e)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("%d CSV lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "t_sec,id,client") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "apache1") || !strings.Contains(lines[1], "tomcat1") {
+		t.Fatalf("row = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "1100.000") {
+		t.Fatalf("rt_ms missing: %q", lines[3])
+	}
+}
+
+func TestWriteJSONLRoundTrips(t *testing.T) {
+	l := NewLog(10)
+	for _, e := range sampleEntries() {
+		l.Append(e)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&buf)
+	var got []Entry
+	for dec.More() {
+		var e Entry
+		if err := dec.Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, e)
+	}
+	if len(got) != 4 {
+		t.Fatalf("decoded %d entries", len(got))
+	}
+	if got[2] != sampleEntries()[2] {
+		t.Fatalf("round trip mismatch: %+v", got[2])
+	}
+}
+
+func TestFilterWindow(t *testing.T) {
+	entries := sampleEntries()
+	got := FilterWindow(entries, 120*time.Millisecond, 300*time.Millisecond)
+	if len(got) != 2 || got[0].RequestID != 2 || got[1].RequestID != 3 {
+		t.Fatalf("filtered %+v", got)
+	}
+}
+
+func TestDistributionByBackend(t *testing.T) {
+	dist := DistributionByBackend(sampleEntries())
+	if dist["tomcat1"] != 2 || dist["tomcat2"] != 1 {
+		t.Fatalf("dist = %v", dist)
+	}
+	if _, ok := dist[""]; ok {
+		t.Fatal("empty backend counted")
+	}
+}
+
+func TestDistributionByWebAndBackend(t *testing.T) {
+	dist := DistributionByWebAndBackend(sampleEntries())
+	if dist["apache1"]["tomcat1"] != 1 || dist["apache1"]["tomcat2"] != 1 || dist["apache2"]["tomcat1"] != 1 {
+		t.Fatalf("dist = %v", dist)
+	}
+}
+
+func TestSpreadByWeb(t *testing.T) {
+	entries := []Entry{
+		{Web: "w", Backend: "a"}, {Web: "w", Backend: "a"},
+		{Web: "w", Backend: "a"}, {Web: "w", Backend: "a"},
+		{Web: "w", Backend: "b"}, {Web: "w", Backend: "b"},
+	}
+	spread := SpreadByWeb(entries)
+	if got := spread["w"]; got != 0.5 {
+		t.Fatalf("spread = %v, want 0.5 (4 vs 2)", got)
+	}
+	even := SpreadByWeb([]Entry{{Web: "w", Backend: "a"}, {Web: "w", Backend: "b"}})
+	if even["w"] != 0 {
+		t.Fatalf("even spread = %v", even["w"])
+	}
+}
+
+func TestByInteraction(t *testing.T) {
+	stats := ByInteraction(sampleEntries())
+	if len(stats) != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].Interaction != "SearchForm" || stats[0].Mean != 3*time.Second {
+		t.Fatalf("slowest first: %+v", stats[0])
+	}
+	for _, s := range stats {
+		if s.Interaction == "ViewStory" {
+			if s.Count != 2 || s.Mean != 3*time.Millisecond || s.Max != 4*time.Millisecond {
+				t.Fatalf("ViewStory = %+v", s)
+			}
+		}
+	}
+}
+
+func TestSlowest(t *testing.T) {
+	top := Slowest(sampleEntries(), 2)
+	if len(top) != 2 || top[0].RequestID != 4 || top[1].RequestID != 3 {
+		t.Fatalf("Slowest = %+v", top)
+	}
+	all := Slowest(sampleEntries(), 99)
+	if len(all) != 4 {
+		t.Fatalf("Slowest(99) = %d entries", len(all))
+	}
+	// Input order untouched.
+	if sampleEntries()[0].RequestID != 1 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestVLRTBackends(t *testing.T) {
+	got := VLRTBackends(sampleEntries(), time.Second)
+	if got["tomcat1"] != 1 {
+		t.Fatalf("tomcat1 VLRT = %d", got["tomcat1"])
+	}
+	if got["(dropped)"] != 1 {
+		t.Fatalf("dropped VLRT = %d", got["(dropped)"])
+	}
+}

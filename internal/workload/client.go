@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"millibalance/internal/sim"
+)
+
+// Outcome is the result of one request as seen by its client.
+type Outcome struct {
+	// OK reports whether a response was received.
+	OK bool
+	// ResponseTime is the client-observed latency (issue to response,
+	// including retransmission delays). Meaningful also for failures,
+	// where it is the time until the client gave up.
+	ResponseTime sim.Time
+	// Retransmits counts connection attempts beyond the first.
+	Retransmits int
+}
+
+// Request is one client request travelling through the n-tier system.
+type Request struct {
+	// ID is unique per generator group.
+	ID uint64
+	// ClientID identifies the issuing client within its group.
+	ClientID int
+	// Interaction is the RUBBoS interaction being requested.
+	Interaction *Interaction
+	// IssuedAt is when the client first sent the request.
+	IssuedAt sim.Time
+	// Retransmits is incremented by the transport on each retry.
+	Retransmits int
+	// Web and Backend are filled in by the web tier as the request
+	// flows — the identity an access-log line would carry. They stay
+	// empty for requests that never reached a server.
+	Web     string
+	Backend string
+
+	done     func(Outcome)
+	finished bool
+}
+
+// NewRequest builds a standalone request outside a client Group, for
+// tests and direct library use. done may be nil; Finish then only marks
+// completion.
+func NewRequest(id uint64, clientID int, it *Interaction, issuedAt sim.Time, done func(Outcome)) *Request {
+	return &Request{ID: id, ClientID: clientID, Interaction: it, IssuedAt: issuedAt, done: done}
+}
+
+// Finish delivers the outcome to the client. Finishing twice panics:
+// it would mean a request completed through two paths at once.
+func (r *Request) Finish(o Outcome) {
+	if r.finished {
+		panic("workload: Request finished twice")
+	}
+	r.finished = true
+	if r.done != nil {
+		r.done(o)
+	}
+}
+
+// Finished reports whether the request already completed.
+func (r *Request) Finished() bool { return r.finished }
+
+// SubmitFunc delivers a request into the system under test. The system
+// must eventually call req.Finish exactly once.
+type SubmitFunc func(req *Request)
+
+// BurstConfig modulates client think times with a square wave to model
+// bursty workloads (one of the paper's millibottleneck causes). During
+// the first DutyCycle fraction of each Period, think times are divided
+// by Factor.
+type BurstConfig struct {
+	Period    sim.Time
+	DutyCycle float64
+	Factor    float64
+}
+
+// active reports whether t falls inside a burst window.
+func (b *BurstConfig) active(t sim.Time) bool {
+	if b == nil || b.Period <= 0 || b.Factor <= 1 {
+		return false
+	}
+	phase := float64(t%b.Period) / float64(b.Period)
+	return phase < b.DutyCycle
+}
+
+// ClientConfig configures a closed-loop client group.
+type ClientConfig struct {
+	// ThinkTime is the mean exponential think time between a response
+	// and the next request (RUBBoS uses ~7 s).
+	ThinkTime sim.Time
+	// Mix is the interaction mix to navigate.
+	Mix Mix
+	// Burst optionally modulates think times.
+	Burst *BurstConfig
+	// FollowProb is the probability of following a natural successor
+	// link instead of sampling the stationary mix (default 0.5).
+	FollowProb float64
+	// OnOutcome, when set, observes every request outcome before the
+	// client schedules its next think — the metrics layer's tap point.
+	OnOutcome func(*Request, Outcome)
+}
+
+// Group is a set of closed-loop clients sharing one configuration and
+// target. Each client navigates the mix independently: issue a request,
+// wait for its outcome, think, repeat.
+type Group struct {
+	eng    *sim.Engine
+	cfg    ClientConfig
+	submit SubmitFunc
+
+	clients []*client
+	nextID  uint64
+	issued  uint64
+	stopped bool
+}
+
+type client struct {
+	id  int
+	nav *Navigator
+}
+
+// NewGroup creates n clients. The submit function must be non-nil; the
+// mix must be non-empty.
+func NewGroup(eng *sim.Engine, n int, cfg ClientConfig, submit SubmitFunc) *Group {
+	if submit == nil {
+		panic("workload: NewGroup with nil submit")
+	}
+	if len(cfg.Mix.Interactions) == 0 {
+		panic("workload: NewGroup with empty mix")
+	}
+	if cfg.FollowProb == 0 {
+		cfg.FollowProb = 0.5
+	}
+	g := &Group{eng: eng, cfg: cfg, submit: submit}
+	byName := indexMix(cfg.Mix)
+	for i := 0; i < n; i++ {
+		g.clients = append(g.clients, &client{id: i, nav: newNavigator(eng, cfg.Mix, cfg.FollowProb, byName)})
+	}
+	return g
+}
+
+// Size returns the number of clients.
+func (g *Group) Size() int { return len(g.clients) }
+
+// Issued reports how many requests have been issued so far.
+func (g *Group) Issued() uint64 { return g.issued }
+
+// Start begins the closed loops. Clients first think (a random fraction
+// of one think time, to desynchronize) and then issue their first
+// request.
+func (g *Group) Start() {
+	for _, c := range g.clients {
+		c := c
+		ramp := g.eng.Uniform(0, g.thinkNow())
+		g.eng.Schedule(ramp, func() { g.issue(c) })
+	}
+}
+
+// Stop halts issuing; in-flight requests still complete.
+func (g *Group) Stop() { g.stopped = true }
+
+func (g *Group) thinkNow() sim.Time {
+	think := g.cfg.ThinkTime
+	if think <= 0 {
+		think = 1
+	}
+	if g.cfg.Burst.active(g.eng.Now()) {
+		think = sim.Time(float64(think) / g.cfg.Burst.Factor)
+	}
+	return think
+}
+
+func (g *Group) issue(c *client) {
+	if g.stopped {
+		return
+	}
+	g.nextID++
+	g.issued++
+	var req *Request
+	req = &Request{
+		ID:          g.nextID,
+		ClientID:    c.id,
+		Interaction: c.nav.Next(),
+		IssuedAt:    g.eng.Now(),
+		done: func(o Outcome) {
+			if g.cfg.OnOutcome != nil {
+				g.cfg.OnOutcome(req, o)
+			}
+			g.eng.Schedule(g.eng.Exponential(g.thinkNow()), func() { g.issue(c) })
+		},
+	}
+	g.submit(req)
+}

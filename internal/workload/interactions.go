@@ -1,0 +1,167 @@
+// Package workload models the RUBBoS bulletin-board benchmark used by
+// the paper: 24 web interactions navigated by a Markov chain, issued by
+// closed-loop clients with exponential think times, in browse-only and
+// read/write mixes. Service demands are expressed as mean CPU bursts and
+// database query counts; the server models sample around them.
+package workload
+
+import (
+	"time"
+
+	"millibalance/internal/sim"
+)
+
+// Interaction describes one RUBBoS web interaction: its resource demands
+// on each tier and the message sizes the total_traffic policy accounts.
+type Interaction struct {
+	// Name is the servlet name.
+	Name string
+	// Write marks interactions that update the database (excluded from
+	// the browse-only mix).
+	Write bool
+	// WebDemand is the mean web-tier CPU burst (parsing, proxying).
+	WebDemand sim.Time
+	// AppDemand is the mean application-tier CPU burst (servlet logic,
+	// templating).
+	AppDemand sim.Time
+	// DBQueries is how many database round trips the servlet issues.
+	DBQueries int
+	// DBDemand is the mean database CPU burst per query.
+	DBDemand sim.Time
+	// RequestBytes and ResponseBytes size the messages between the web
+	// and application tiers (the total_traffic policy's accounting
+	// unit).
+	RequestBytes  int64
+	ResponseBytes int64
+	// LogBytes is how much the application server appends to its
+	// access/servlet logs per request — the dirty pages that the
+	// writeback daemon later flushes.
+	LogBytes int64
+}
+
+const (
+	us = time.Microsecond
+	kb = int64(1024)
+)
+
+// Interactions is the full RUBBoS-like interaction set (24 servlets).
+// Demands are calibrated so the paper topology at its workload runs the
+// busiest server at moderate (<50%) average CPU, as in Fig. 5, with
+// end-to-end baseline response times of a few milliseconds.
+var Interactions = []Interaction{
+	{Name: "StoriesOfTheDay", WebDemand: 480 * us, AppDemand: 900 * us, DBQueries: 2, DBDemand: 90 * us, RequestBytes: 300, ResponseBytes: 12 * kb, LogBytes: 700},
+	{Name: "RegisterUserForm", WebDemand: 320 * us, AppDemand: 300 * us, DBQueries: 0, DBDemand: 0, RequestBytes: 250, ResponseBytes: 4 * kb, LogBytes: 400},
+	{Name: "RegisterUser", Write: true, WebDemand: 400 * us, AppDemand: 800 * us, DBQueries: 3, DBDemand: 120 * us, RequestBytes: 600, ResponseBytes: 3 * kb, LogBytes: 900},
+	{Name: "BrowseCategories", WebDemand: 400 * us, AppDemand: 600 * us, DBQueries: 1, DBDemand: 80 * us, RequestBytes: 280, ResponseBytes: 6 * kb, LogBytes: 500},
+	{Name: "BrowseStoriesByCategory", WebDemand: 480 * us, AppDemand: 1000 * us, DBQueries: 2, DBDemand: 110 * us, RequestBytes: 320, ResponseBytes: 14 * kb, LogBytes: 800},
+	{Name: "OlderStories", WebDemand: 480 * us, AppDemand: 950 * us, DBQueries: 2, DBDemand: 100 * us, RequestBytes: 300, ResponseBytes: 13 * kb, LogBytes: 750},
+	{Name: "ViewStory", WebDemand: 480 * us, AppDemand: 1100 * us, DBQueries: 3, DBDemand: 90 * us, RequestBytes: 310, ResponseBytes: 16 * kb, LogBytes: 850},
+	{Name: "ViewComment", WebDemand: 440 * us, AppDemand: 850 * us, DBQueries: 2, DBDemand: 85 * us, RequestBytes: 300, ResponseBytes: 9 * kb, LogBytes: 650},
+	{Name: "PostCommentForm", WebDemand: 360 * us, AppDemand: 400 * us, DBQueries: 1, DBDemand: 70 * us, RequestBytes: 280, ResponseBytes: 5 * kb, LogBytes: 450},
+	{Name: "StoreComment", Write: true, WebDemand: 440 * us, AppDemand: 900 * us, DBQueries: 3, DBDemand: 130 * us, RequestBytes: 1200, ResponseBytes: 3 * kb, LogBytes: 1000},
+	{Name: "ModerateCommentForm", WebDemand: 360 * us, AppDemand: 450 * us, DBQueries: 1, DBDemand: 75 * us, RequestBytes: 280, ResponseBytes: 5 * kb, LogBytes: 450},
+	{Name: "StoreModerateLog", Write: true, WebDemand: 400 * us, AppDemand: 700 * us, DBQueries: 2, DBDemand: 110 * us, RequestBytes: 500, ResponseBytes: 2 * kb, LogBytes: 800},
+	{Name: "SubmitStoryForm", WebDemand: 360 * us, AppDemand: 350 * us, DBQueries: 0, DBDemand: 0, RequestBytes: 260, ResponseBytes: 4 * kb, LogBytes: 400},
+	{Name: "StoreStory", Write: true, WebDemand: 480 * us, AppDemand: 1000 * us, DBQueries: 3, DBDemand: 140 * us, RequestBytes: 2 * kb, ResponseBytes: 3 * kb, LogBytes: 1200},
+	{Name: "SearchForm", WebDemand: 320 * us, AppDemand: 300 * us, DBQueries: 0, DBDemand: 0, RequestBytes: 250, ResponseBytes: 4 * kb, LogBytes: 380},
+	{Name: "SearchInStories", WebDemand: 480 * us, AppDemand: 1200 * us, DBQueries: 2, DBDemand: 150 * us, RequestBytes: 350, ResponseBytes: 11 * kb, LogBytes: 800},
+	{Name: "SearchInComments", WebDemand: 480 * us, AppDemand: 1150 * us, DBQueries: 2, DBDemand: 150 * us, RequestBytes: 350, ResponseBytes: 10 * kb, LogBytes: 780},
+	{Name: "SearchInUsers", WebDemand: 440 * us, AppDemand: 800 * us, DBQueries: 1, DBDemand: 120 * us, RequestBytes: 340, ResponseBytes: 7 * kb, LogBytes: 600},
+	{Name: "AuthorLoginForm", WebDemand: 320 * us, AppDemand: 250 * us, DBQueries: 0, DBDemand: 0, RequestBytes: 240, ResponseBytes: 3 * kb, LogBytes: 350},
+	{Name: "AuthorLogin", WebDemand: 400 * us, AppDemand: 600 * us, DBQueries: 1, DBDemand: 90 * us, RequestBytes: 420, ResponseBytes: 4 * kb, LogBytes: 550},
+	{Name: "AuthorTasks", WebDemand: 400 * us, AppDemand: 700 * us, DBQueries: 2, DBDemand: 90 * us, RequestBytes: 300, ResponseBytes: 8 * kb, LogBytes: 600},
+	{Name: "ReviewStories", WebDemand: 440 * us, AppDemand: 900 * us, DBQueries: 2, DBDemand: 100 * us, RequestBytes: 300, ResponseBytes: 12 * kb, LogBytes: 700},
+	{Name: "AcceptStory", Write: true, WebDemand: 400 * us, AppDemand: 750 * us, DBQueries: 2, DBDemand: 120 * us, RequestBytes: 450, ResponseBytes: 2 * kb, LogBytes: 850},
+	{Name: "RejectStory", Write: true, WebDemand: 400 * us, AppDemand: 700 * us, DBQueries: 2, DBDemand: 110 * us, RequestBytes: 450, ResponseBytes: 2 * kb, LogBytes: 800},
+}
+
+// Mix is a weighted interaction mix. Weights need not sum to one.
+type Mix struct {
+	Name         string
+	Interactions []Interaction
+	Weights      []float64
+}
+
+// browseWeights emphasizes the Slashdot-style browsing path.
+var browseWeights = map[string]float64{
+	"StoriesOfTheDay":         18,
+	"BrowseCategories":        8,
+	"BrowseStoriesByCategory": 12,
+	"OlderStories":            7,
+	"ViewStory":               22,
+	"ViewComment":             16,
+	"SearchForm":              2,
+	"SearchInStories":         4,
+	"SearchInComments":        2,
+	"SearchInUsers":           1,
+	"AuthorLoginForm":         1,
+	"AuthorLogin":             1,
+	"AuthorTasks":             1,
+	"ReviewStories":           2,
+	"RegisterUserForm":        1,
+	"PostCommentForm":         1.5,
+	"ModerateCommentForm":     0.5,
+	"SubmitStoryForm":         1,
+}
+
+// readWriteExtra adds the write path on top of browsing.
+var readWriteExtra = map[string]float64{
+	"RegisterUser":     1,
+	"StoreComment":     5,
+	"StoreModerateLog": 1,
+	"StoreStory":       1.5,
+	"AcceptStory":      0.5,
+	"RejectStory":      0.5,
+}
+
+func buildMix(name string, weightsOf func(Interaction) float64) Mix {
+	m := Mix{Name: name}
+	for _, it := range Interactions {
+		w := weightsOf(it)
+		if w <= 0 {
+			continue
+		}
+		m.Interactions = append(m.Interactions, it)
+		m.Weights = append(m.Weights, w)
+	}
+	return m
+}
+
+// BrowseOnlyMix is RUBBoS's browsing-only workload: no write
+// interactions.
+func BrowseOnlyMix() Mix {
+	return buildMix("browse-only", func(it Interaction) float64 {
+		if it.Write {
+			return 0
+		}
+		return browseWeights[it.Name]
+	})
+}
+
+// ReadWriteMix is RUBBoS's read/write interaction mix (~10% writes).
+func ReadWriteMix() Mix {
+	return buildMix("read-write", func(it Interaction) float64 {
+		if it.Write {
+			return readWriteExtra[it.Name]
+		}
+		return browseWeights[it.Name]
+	})
+}
+
+// MeanDemands returns the weighted mean per-tier demands of the mix, for
+// capacity planning and calibration tests.
+func (m Mix) MeanDemands() (web, app, db sim.Time) {
+	var total float64
+	var webSum, appSum, dbSum float64
+	for i, it := range m.Interactions {
+		w := m.Weights[i]
+		total += w
+		webSum += w * float64(it.WebDemand)
+		appSum += w * float64(it.AppDemand)
+		dbSum += w * float64(it.DBDemand) * float64(it.DBQueries)
+	}
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return sim.Time(webSum / total), sim.Time(appSum / total), sim.Time(dbSum / total)
+}

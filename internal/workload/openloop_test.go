@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"millibalance/internal/sim"
+)
+
+func TestOpenLoopRate(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	served := 0
+	ol := NewOpenLoop(eng, OpenLoopConfig{
+		Rate: 500,
+		Mix:  BrowseOnlyMix(),
+	}, func(req *Request) {
+		served++
+		req.Finish(Outcome{OK: true})
+	})
+	ol.Start()
+	eng.Run(20 * time.Second)
+	// 500 req/s × 20s = 10000 ± statistical noise.
+	got := float64(ol.Issued())
+	if math.Abs(got-10000) > 400 {
+		t.Fatalf("issued %v, want ~10000", got)
+	}
+	if served != int(ol.Issued()) {
+		t.Fatalf("served %d != issued %d", served, ol.Issued())
+	}
+}
+
+func TestOpenLoopDoesNotThrottleOnSlowService(t *testing.T) {
+	// The defining difference from the closed loop: arrivals continue
+	// even when nothing completes.
+	eng := sim.NewEngine(1, 2)
+	var pending []*Request
+	ol := NewOpenLoop(eng, OpenLoopConfig{Rate: 100, Mix: BrowseOnlyMix()},
+		func(req *Request) { pending = append(pending, req) })
+	ol.Start()
+	eng.Run(5 * time.Second)
+	if len(pending) < 400 {
+		t.Fatalf("only %d arrivals with nothing completing", len(pending))
+	}
+}
+
+func TestOpenLoopClientIDsCycle(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	seen := map[int]int{}
+	ol := NewOpenLoop(eng, OpenLoopConfig{Rate: 1000, Mix: BrowseOnlyMix(), Clients: 4},
+		func(req *Request) {
+			seen[req.ClientID]++
+			req.Finish(Outcome{OK: true})
+		})
+	ol.Start()
+	eng.Run(time.Second)
+	if len(seen) != 4 {
+		t.Fatalf("client ids = %v", seen)
+	}
+	for id, n := range seen {
+		if id < 0 || id > 3 || n == 0 {
+			t.Fatalf("bad cycling: %v", seen)
+		}
+	}
+}
+
+func TestOpenLoopOutcomeHook(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	outcomes := 0
+	ol := NewOpenLoop(eng, OpenLoopConfig{
+		Rate: 200,
+		Mix:  BrowseOnlyMix(),
+		OnOutcome: func(req *Request, o Outcome) {
+			if req == nil || !o.OK {
+				t.Error("bad outcome callback")
+			}
+			outcomes++
+		},
+	}, func(req *Request) { req.Finish(Outcome{OK: true}) })
+	ol.Start()
+	eng.Run(time.Second)
+	if outcomes == 0 || uint64(outcomes) != ol.Issued() {
+		t.Fatalf("outcomes %d, issued %d", outcomes, ol.Issued())
+	}
+}
+
+func TestOpenLoopStop(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	ol := NewOpenLoop(eng, OpenLoopConfig{Rate: 1000, Mix: BrowseOnlyMix()},
+		func(req *Request) { req.Finish(Outcome{OK: true}) })
+	ol.Start()
+	eng.Run(time.Second)
+	ol.Stop()
+	issued := ol.Issued()
+	eng.Run(5 * time.Second)
+	if ol.Issued() != issued {
+		t.Fatalf("arrivals after Stop: %d -> %d", issued, ol.Issued())
+	}
+}
+
+func TestOpenLoopValidations(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("nil submit", func() { NewOpenLoop(eng, OpenLoopConfig{Rate: 1, Mix: BrowseOnlyMix()}, nil) })
+	mustPanic("zero rate", func() { NewOpenLoop(eng, OpenLoopConfig{Mix: BrowseOnlyMix()}, func(*Request) {}) })
+	mustPanic("empty mix", func() { NewOpenLoop(eng, OpenLoopConfig{Rate: 1}, func(*Request) {}) })
+	mustPanic("double start", func() {
+		ol := NewOpenLoop(eng, OpenLoopConfig{Rate: 1, Mix: BrowseOnlyMix()}, func(r *Request) { r.Finish(Outcome{}) })
+		ol.Start()
+		ol.Start()
+	})
+}
