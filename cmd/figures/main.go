@@ -73,6 +73,13 @@ func figureTable() []figure {
 		{11, "total_traffic lb_values close-up", runLBValues(experiments.RunFigure11)},
 		{12, "tier queues with current_load", runQueues(experiments.RunFigure12)},
 		{13, "current_load close-up", runInstability(experiments.RunFigure13)},
+		{14, "observability layer on the zoom scenario", func(o experiments.Options, w io.Writer, tsv bool) {
+			res := experiments.RunObservability(o)
+			fmt.Fprint(w, res.Render())
+			if tsv {
+				fmt.Fprint(w, experiments.RenderTSV(res.LBSeries...))
+			}
+		}},
 	}
 }
 
@@ -117,7 +124,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
-	fig := fs.Int("fig", 0, "figure number to regenerate (1-13)")
+	fig := fs.Int("fig", 0, "figure number to regenerate (1-14)")
 	all := fs.Bool("all", false, "regenerate every figure")
 	report := fs.Bool("report", false, "run the complete evaluation and emit a markdown report")
 	tsv := fs.Bool("tsv", false, "emit raw windowed series as TSV")
@@ -168,5 +175,5 @@ func run(args []string, out io.Writer) error {
 			return emit(f)
 		}
 	}
-	return fmt.Errorf("unknown figure %d (have 1-13)", *fig)
+	return fmt.Errorf("unknown figure %d (have 1-14)", *fig)
 }

@@ -6,14 +6,14 @@ import (
 	"testing"
 )
 
-func TestFigureTableCoversAllThirteen(t *testing.T) {
+func TestFigureTableCoversAllFourteen(t *testing.T) {
 	figs := figureTable()
-	if len(figs) != 13 {
+	if len(figs) != 14 {
 		t.Fatalf("%d figures registered", len(figs))
 	}
 	seen := map[int]bool{}
 	for _, f := range figs {
-		if f.id < 1 || f.id > 13 || seen[f.id] {
+		if f.id < 1 || f.id > 14 || seen[f.id] {
 			t.Fatalf("bad or duplicate figure id %d", f.id)
 		}
 		seen[f.id] = true

@@ -35,6 +35,7 @@ func run(args []string) error {
 	stallAt := fs.Duration("stall-at", time.Second, "when to inject the millibottleneck")
 	stallFor := fs.Duration("stall-for", 400*time.Millisecond, "millibottleneck length")
 	endpoints := fs.Int("endpoints", 4, "proxy endpoint pool per backend")
+	obsOn := fs.Bool("obs", false, "arm span tracing and the balancer event log (GET /admin/trace and /admin/events on the proxy)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,11 +73,16 @@ func run(args []string) error {
 		backends = append(backends, httpcluster.NewBackend(name, app.URL(), *endpoints))
 	}
 
-	proxy, err := httpcluster.StartProxy(httpcluster.ProxyConfig{
+	pcfg := httpcluster.ProxyConfig{
 		Workers:   128,
 		Policy:    policy,
 		Mechanism: mech,
-	}, backends)
+	}
+	if *obsOn {
+		pcfg.SpanCapacity = 1 << 16
+		pcfg.EventCapacity = 1 << 17
+	}
+	proxy, err := httpcluster.StartProxy(pcfg, backends)
 	if err != nil {
 		return err
 	}
@@ -84,6 +90,10 @@ func run(args []string) error {
 
 	fmt.Printf("3-tier loopback cluster: proxy %s → %d app servers → db %s\n",
 		proxy.URL(), *apps, db.URL())
+	if *obsOn {
+		fmt.Printf("observability: GET %s/admin/trace and %s/admin/events (JSONL)\n",
+			proxy.URL(), proxy.URL())
+	}
 	fmt.Printf("policy=%s mechanism=%s; stalling app1 for %v at t=%v\n",
 		policy, mech, *stallFor, *stallAt)
 

@@ -47,6 +47,8 @@ func run(args []string, out io.Writer) error {
 	configFile := fs.String("config-file", "", "load the experiment from a JSON config file")
 	dumpConfig := fs.Bool("dump-config", false, "print the effective config as JSON and exit")
 	traceFile := fs.String("trace", "", "write the per-request access log as CSV to this file")
+	spansFile := fs.String("spans", "", "write request-lifecycle spans as JSONL to this file (enables span tracing)")
+	decisionsFile := fs.String("decisions", "", "write balancer decision/state/detector events as JSONL to this file (enables the event log and online detectors)")
 	sticky := fs.Bool("sticky", false, "enable mod_jk sticky sessions")
 	openLoop := fs.Float64("open-loop-rate", 0, "use Poisson arrivals at this rate (req/s) instead of closed-loop clients")
 	if err := fs.Parse(args); err != nil {
@@ -97,6 +99,12 @@ func run(args []string, out io.Writer) error {
 	if *traceFile != "" && cfg.TraceCapacity == 0 {
 		cfg.TraceCapacity = 4 << 20 // plenty for any run this CLI drives
 	}
+	if *spansFile != "" && cfg.SpanCapacity == 0 {
+		cfg.SpanCapacity = 4 << 20
+	}
+	if *decisionsFile != "" && cfg.EventCapacity == 0 {
+		cfg.EventCapacity = 4 << 20
+	}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -104,24 +112,59 @@ func run(args []string, out io.Writer) error {
 		return config.Save(out, cfg)
 	}
 
+	// Create the export files before the run: a typo'd path should fail
+	// immediately, not after a possibly minutes-long simulation.
+	var traceOut, spansOut, decisionsOut *os.File
+	for _, e := range []struct {
+		path string
+		dst  **os.File
+	}{{*traceFile, &traceOut}, {*spansFile, &spansOut}, {*decisionsFile, &decisionsOut}} {
+		if e.path == "" {
+			continue
+		}
+		f, err := os.Create(e.path)
+		if err != nil {
+			return err
+		}
+		*e.dst = f
+	}
+
 	start := time.Now()
 	res := cluster.Run(cfg)
 	elapsed := time.Since(start)
 
-	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
-		if err != nil {
+	if traceOut != nil {
+		if err := res.Trace.WriteCSV(traceOut); err != nil {
+			_ = traceOut.Close()
 			return err
 		}
-		if err := res.Trace.WriteCSV(f); err != nil {
-			_ = f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := traceOut.Close(); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "access log: %d entries written to %s (%d truncated)\n",
 			res.Trace.Len(), *traceFile, res.Trace.Truncated())
+	}
+	if spansOut != nil {
+		if err := res.Spans.WriteJSONL(spansOut); err != nil {
+			_ = spansOut.Close()
+			return err
+		}
+		if err := spansOut.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "spans: %d written to %s (%d overwritten)\n",
+			res.Spans.Len(), *spansFile, res.Spans.Overwritten())
+	}
+	if decisionsOut != nil {
+		if err := res.Events.WriteJSONL(decisionsOut); err != nil {
+			_ = decisionsOut.Close()
+			return err
+		}
+		if err := decisionsOut.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "events: %d written to %s (%d overwritten)\n",
+			res.Events.Len(), *decisionsFile, res.Events.Overwritten())
 	}
 
 	r := res.Responses

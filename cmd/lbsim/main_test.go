@@ -119,3 +119,29 @@ func TestRunStickyAndOpenLoopFlags(t *testing.T) {
 		t.Fatalf("output:\n%s", out.String())
 	}
 }
+
+func TestRunSpansAndDecisionsExport(t *testing.T) {
+	dir := t.TempDir()
+	spans, events := dir+"/spans.jsonl", dir+"/events.jsonl"
+	var out strings.Builder
+	if err := run([]string{"-mini", "-quiet", "-duration", "1s", "-spans", spans, "-decisions", events}, &out); err != nil {
+		t.Fatal(err)
+	}
+	spanData, err := os.ReadFile(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(spanData), `"stages"`) || strings.Count(string(spanData), "\n") < 100 {
+		t.Fatalf("span JSONL incomplete: %.120s", spanData)
+	}
+	evData, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(evData), `"kind":"decision"`) || !strings.Contains(string(evData), `"lb_value"`) {
+		t.Fatalf("event JSONL incomplete: %.120s", evData)
+	}
+	if !strings.Contains(out.String(), "spans: ") || !strings.Contains(out.String(), "events: ") {
+		t.Fatalf("summary missing export lines:\n%s", out.String())
+	}
+}

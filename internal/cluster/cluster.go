@@ -5,8 +5,10 @@ import (
 	"time"
 
 	"millibalance/internal/lb"
+	"millibalance/internal/mbneck"
 	"millibalance/internal/metrics"
 	"millibalance/internal/netmodel"
+	"millibalance/internal/obs"
 	"millibalance/internal/server"
 	"millibalance/internal/sim"
 	"millibalance/internal/stats"
@@ -67,6 +69,17 @@ type Results struct {
 	Rejects uint64
 	// Trace is the access log (nil unless Config.TraceCapacity > 0).
 	Trace *trace.Log
+	// Spans is the request-lifecycle span ring (nil unless
+	// Config.SpanCapacity > 0).
+	Spans *obs.Tracer
+	// Events is the observability event log: balancer decisions, state
+	// transitions, rejects and online detections (nil unless
+	// Config.EventCapacity > 0).
+	Events *obs.EventLog
+	// Online maps each server to the millibottleneck spans its streaming
+	// detector confirmed during the run (empty unless
+	// Config.EventCapacity > 0).
+	Online map[string][]mbneck.Span
 }
 
 // Cluster is an assembled, instrumented n-tier system ready to run.
@@ -83,6 +96,9 @@ type Cluster struct {
 	rec       *metrics.ResponseRecorder
 	poller    *metrics.Poller
 	accessLog *trace.Log
+	tracer    *obs.Tracer
+	events    *obs.EventLog
+	detectors map[string]*obs.Detector
 	giveUps   uint64
 
 	webStats []*ServerStats
@@ -149,10 +165,20 @@ func New(cfg Config) *Cluster {
 	if cfg.TraceCapacity > 0 {
 		c.accessLog = trace.NewLog(cfg.TraceCapacity)
 	}
+	if cfg.SpanCapacity > 0 {
+		c.tracer = obs.NewTracer(cfg.SpanCapacity)
+	}
+	if cfg.EventCapacity > 0 {
+		c.events = obs.NewEventLog(cfg.EventCapacity)
+	}
+	c.detectors = make(map[string]*obs.Detector)
 	onOutcome := func(req *workload.Request, o workload.Outcome) {
 		c.rec.Record(eng.Now(), o)
+		// Finish before reading the breakdown so stages still open at
+		// completion (worker occupancy on a reject path) are closed.
+		c.tracer.Finish(req.Span, eng.Now(), o.OK)
 		if c.accessLog != nil {
-			c.accessLog.Append(trace.Entry{
+			entry := trace.Entry{
 				Time:         eng.Now(),
 				RequestID:    req.ID,
 				ClientID:     req.ClientID,
@@ -162,7 +188,12 @@ func New(cfg Config) *Cluster {
 				OK:           o.OK,
 				ResponseTime: o.ResponseTime,
 				Retransmits:  o.Retransmits,
-			})
+			}
+			if req.Span != nil {
+				b := req.Span.Breakdown()
+				entry.Stages = &b
+			}
+			c.accessLog.Append(entry)
 		}
 	}
 	if cfg.OpenLoopRate > 0 {
@@ -199,7 +230,8 @@ func (c *Cluster) webFor(clientID int) *server.Web {
 // submit carries a request over the lossy transport to its web server.
 func (c *Cluster) submit(req *workload.Request) {
 	web := c.webFor(req.ClientID)
-	c.retrans.Send(
+	req.Span = c.tracer.Start(req.ID, c.Eng.Now())
+	c.retrans.SendSpan(req.Span,
 		func() bool {
 			if web.TryAccept(req) {
 				return true
@@ -230,24 +262,50 @@ func (c *Cluster) instrument() {
 			DirtyBytes: stats.NewSeries(metrics.Window),
 		}
 		c.webStats = append(c.webStats, st)
-		c.addServerSamplers(st, func() (int, bool, int64) {
+		c.addServerSamplers(st, c.newDetector(st), func() (int, bool, int64) {
 			return w.QueuedRequests(), w.Writeback().Flushing(), w.Writeback().DirtyBytes()
 		})
 
+		bal := w.Balancer()
 		dist := metrics.NewDistributionRecorder()
 		c.dispatch = append(c.dispatch, dist)
-		w.Balancer().SetDispatchHook(func(cand *lb.Candidate) { dist.Incr(cand.Name(), c.Eng.Now()) })
+		bal.SetDispatchHook(func(cand *lb.Candidate) { dist.Incr(cand.Name(), c.Eng.Now()) })
 
 		assign := metrics.NewDistributionRecorder()
 		c.assign = append(c.assign, assign)
-		w.Balancer().SetAssignHook(func(cand *lb.Candidate) { assign.Incr(cand.Name(), c.Eng.Now()) })
+		bal.SetAssignHook(func(cand *lb.Candidate) {
+			assign.Incr(cand.Name(), c.Eng.Now())
+			if c.events != nil {
+				c.events.Append(obs.Event{
+					T:          c.Eng.Now(),
+					Kind:       obs.KindDecision,
+					Source:     w.Name(),
+					Chosen:     cand.Name(),
+					Candidates: candidateViews(bal.Snapshot()),
+				})
+			}
+		})
+		if c.events != nil {
+			bal.SetStateHook(func(cand *lb.Candidate, from, to lb.State) {
+				c.events.Append(obs.Event{
+					T:       c.Eng.Now(),
+					Kind:    obs.KindState,
+					Source:  w.Name(),
+					Backend: cand.Name(),
+					From:    from.String(),
+					To:      to.String(),
+				})
+			})
+			bal.SetRejectHook(func() {
+				c.events.Append(obs.Event{T: c.Eng.Now(), Kind: obs.KindReject, Source: w.Name()})
+			})
+		}
 
 		lbSeries := make(map[string]*stats.Series, len(c.Apps))
 		for _, a := range c.Apps {
 			lbSeries[a.Name()] = stats.NewSeries(metrics.Window)
 		}
 		c.lbValues = append(c.lbValues, lbSeries)
-		bal := w.Balancer()
 		c.poller.Add(func(now sim.Time) {
 			for _, snap := range bal.Snapshot() {
 				lbSeries[snap.Name].Add(now, snap.LBValue)
@@ -264,7 +322,7 @@ func (c *Cluster) instrument() {
 			DirtyBytes: stats.NewSeries(metrics.Window),
 		}
 		c.appStats = append(c.appStats, st)
-		c.addServerSamplers(st, func() (int, bool, int64) {
+		c.addServerSamplers(st, c.newDetector(st), func() (int, bool, int64) {
 			return a.QueuedRequests(), a.Writeback().Flushing(), a.Writeback().DirtyBytes()
 		})
 	}
@@ -275,8 +333,11 @@ func (c *Cluster) instrument() {
 		IOWait:     stats.NewSeries(metrics.Window),
 		DirtyBytes: stats.NewSeries(metrics.Window),
 	}
+	dbDet := c.newDetector(c.dbStats)
 	c.poller.Add(func(now sim.Time) {
-		c.dbStats.Queue.Add(now, float64(c.DB.QueuedRequests()))
+		queue := float64(c.DB.QueuedRequests())
+		c.dbStats.Queue.Add(now, queue)
+		dbDet.ObserveQueue(now, queue)
 		c.dbStats.CPU.Sample(now)
 	})
 
@@ -300,11 +361,26 @@ func (c *Cluster) instrument() {
 	c.poller.Add(c.tierDB.Sample)
 }
 
-// addServerSamplers registers the per-server gauge reads.
-func (c *Cluster) addServerSamplers(st *ServerStats, read func() (queue int, flushing bool, dirty int64)) {
+// newDetector attaches a streaming millibottleneck detector to a
+// server's utilization sampler when the event log is enabled; it
+// returns nil (safe to use) otherwise.
+func (c *Cluster) newDetector(st *ServerStats) *obs.Detector {
+	if c.events == nil {
+		return nil
+	}
+	det := obs.NewDetector(st.Name, obs.DetectorConfig{Window: metrics.Window}, c.events)
+	st.CPU.OnSample = det.ObserveUtil
+	c.detectors[st.Name] = det
+	return det
+}
+
+// addServerSamplers registers the per-server gauge reads. det may be
+// nil (detection disabled).
+func (c *Cluster) addServerSamplers(st *ServerStats, det *obs.Detector, read func() (queue int, flushing bool, dirty int64)) {
 	c.poller.Add(func(now sim.Time) {
 		queue, flushing, dirty := read()
 		st.Queue.Add(now, float64(queue))
+		det.ObserveQueue(now, float64(queue))
 		iowait := 0.0
 		if flushing {
 			iowait = 100
@@ -313,6 +389,21 @@ func (c *Cluster) addServerSamplers(st *ServerStats, read func() (queue int, flu
 		st.DirtyBytes.Add(now, float64(dirty))
 		st.CPU.Sample(now)
 	})
+}
+
+// candidateViews converts a balancer snapshot into event views.
+func candidateViews(snaps []lb.Snapshot) []obs.CandidateView {
+	out := make([]obs.CandidateView, len(snaps))
+	for i, s := range snaps {
+		out[i] = obs.CandidateView{
+			Name:          s.Name,
+			LBValue:       s.LBValue,
+			State:         s.State.String(),
+			InFlight:      s.InFlight,
+			FreeEndpoints: s.FreeEndpoints,
+		}
+	}
+	return out
 }
 
 // Run executes the experiment for the configured duration and returns
@@ -331,6 +422,9 @@ func (c *Cluster) Run() *Results {
 		c.group.Stop()
 	}
 	c.poller.Stop()
+	for _, det := range c.detectors {
+		det.Finish()
+	}
 	return c.results()
 }
 
@@ -357,6 +451,14 @@ func (c *Cluster) results() *Results {
 		Assign:       c.assign,
 		LBValues:     c.lbValues,
 		Trace:        c.accessLog,
+		Spans:        c.tracer,
+		Events:       c.events,
+	}
+	if len(c.detectors) > 0 {
+		res.Online = make(map[string][]mbneck.Span, len(c.detectors))
+		for name, det := range c.detectors {
+			res.Online[name] = det.Saturations()
+		}
 	}
 	for i, w := range c.Webs {
 		c.webStats[i].Served = w.Served()

@@ -77,6 +77,17 @@ type Config struct {
 	// entries (one per completed request) into Results.Trace for the
 	// paper's log-based analyses.
 	TraceCapacity int
+	// SpanCapacity, when positive, enables request-lifecycle span
+	// tracing: every request carries a typed stage timeline and the most
+	// recent SpanCapacity completed spans are kept in Results.Spans.
+	// Zero disables tracing entirely (requests carry a nil span).
+	SpanCapacity int
+	// EventCapacity, when positive, enables the observability event log
+	// (balancer decisions with per-candidate lb_values, state
+	// transitions, rejects) and the per-server online millibottleneck
+	// detectors; the most recent EventCapacity events are kept in
+	// Results.Events. Zero disables both.
+	EventCapacity int
 }
 
 // Validate reports configuration errors.

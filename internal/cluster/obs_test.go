@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"millibalance/internal/mbneck"
+	"millibalance/internal/obs"
+	"millibalance/internal/trace"
+)
+
+// TestObservabilityDisabledByDefault: zero capacities must leave every
+// observability surface nil and requests untouched.
+func TestObservabilityDisabledByDefault(t *testing.T) {
+	cfg := QuietMiniConfig()
+	cfg.Duration = 2 * time.Second
+	cfg.TraceCapacity = 1 << 16
+	res := Run(cfg)
+	if res.Spans != nil || res.Events != nil || res.Online != nil {
+		t.Fatalf("observability enabled without capacities: %v %v %v", res.Spans, res.Events, res.Online)
+	}
+	if res.Responses.Total() == 0 {
+		t.Fatal("no requests completed")
+	}
+	for _, e := range res.Trace.Entries() {
+		if e.Stages != nil {
+			t.Fatalf("entry %d carries stages with tracing disabled", e.RequestID)
+		}
+	}
+}
+
+// TestObservabilityEnabledRun exercises the full wiring on a mini
+// topology with millibottlenecks armed: spans decompose response times,
+// decision events carry full candidate tables, and the streaming
+// detectors agree exactly with the offline analysis over the same run.
+func TestObservabilityEnabledRun(t *testing.T) {
+	cfg := MiniConfig()
+	cfg.TraceCapacity = 1 << 20
+	cfg.SpanCapacity = 1 << 20
+	cfg.EventCapacity = 1 << 20
+	res := Run(cfg)
+
+	// --- Spans ---
+	if res.Spans == nil || res.Spans.Len() == 0 {
+		t.Fatal("no spans recorded")
+	}
+	if res.Spans.Finished() != res.Responses.Total() {
+		t.Fatalf("finished spans %d != completed requests %d", res.Spans.Finished(), res.Responses.Total())
+	}
+	spans := res.Spans.Spans()
+	for _, sp := range spans {
+		rt := sp.ResponseTime()
+		if rt <= 0 {
+			t.Fatalf("span %d: non-positive response time %v", sp.RequestID, rt)
+		}
+		// In virtual time the timeline stages partition the lifecycle,
+		// so per-request coverage is essentially exact.
+		if cov := sp.Breakdown().Coverage(rt); cov < 0.99 || cov > 1.01 {
+			t.Fatalf("span %d: coverage %.4f (rt=%v breakdown=%+v)", sp.RequestID, cov, rt, sp.Breakdown())
+		}
+	}
+
+	// Trace entries mirror the spans' breakdowns.
+	withStages := 0
+	for _, e := range res.Trace.Entries() {
+		if e.Stages != nil {
+			withStages++
+		}
+	}
+	if withStages != res.Trace.Len() {
+		t.Fatalf("only %d/%d trace entries carry stages", withStages, res.Trace.Len())
+	}
+	dec := trace.Decompose(res.Trace.Entries())
+	if dec.Count != res.Trace.Len() || dec.MinCoverage < 0.99 {
+		t.Fatalf("decomposition count=%d minCoverage=%.4f", dec.Count, dec.MinCoverage)
+	}
+
+	// --- Decision events ---
+	if res.Events == nil {
+		t.Fatal("no event log")
+	}
+	decisions := res.Events.Kind(obs.KindDecision)
+	if len(decisions) == 0 {
+		t.Fatal("no decision events")
+	}
+	for _, ev := range decisions[:min(len(decisions), 100)] {
+		if ev.Chosen == "" || ev.Source == "" {
+			t.Fatalf("decision missing identity: %+v", ev)
+		}
+		if len(ev.Candidates) != cfg.NumApp {
+			t.Fatalf("decision has %d candidate views, want %d", len(ev.Candidates), cfg.NumApp)
+		}
+		found := false
+		for _, cv := range ev.Candidates {
+			if cv.Name == ev.Chosen {
+				found = true
+			}
+			if cv.State == "" {
+				t.Fatalf("candidate view without state: %+v", cv)
+			}
+		}
+		if !found {
+			t.Fatalf("chosen %q absent from candidate table %+v", ev.Chosen, ev.Candidates)
+		}
+	}
+	// MiniConfig arms app-tier writeback, so the 3-state machine must
+	// fire at least one transition during the stalls.
+	if len(res.Events.Kind(obs.KindState)) == 0 {
+		t.Fatal("no state-transition events despite armed millibottlenecks")
+	}
+
+	// --- Online/offline detector parity over the identical run ---
+	servers := append(append([]*ServerStats{}, res.Webs...), res.Apps...)
+	servers = append(servers, res.DB)
+	sawSpan := false
+	for _, st := range servers {
+		offline := mbneck.FilterMillibottlenecks(
+			mbneck.DetectSaturations(st.CPU.Series(), 95),
+			50*time.Millisecond, 2*time.Second)
+		online := res.Online[st.Name]
+		if len(offline) != len(online) || (len(offline) > 0 && !reflect.DeepEqual(online, offline)) {
+			t.Fatalf("%s: online %v != offline %v", st.Name, online, offline)
+		}
+		if len(online) > 0 {
+			sawSpan = true
+		}
+	}
+	if !sawSpan {
+		t.Fatal("no server saturated — millibottleneck run produced nothing to detect")
+	}
+	// Each confirmed span must have produced a detection event.
+	if got := len(res.Events.Kind(obs.KindMillibottleneck)); got == 0 {
+		t.Fatal("no millibottleneck events")
+	}
+}

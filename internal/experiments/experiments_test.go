@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"millibalance/internal/metrics"
 )
 
 // testOpt keeps experiment tests fast: 15 s virtual runs still contain
@@ -279,5 +281,46 @@ func TestFigure12CurrentLoadQueues(t *testing.T) {
 	if res.AppTierPeak > res.OriginalAppTierPeak/2 {
 		t.Fatalf("current_load app-tier queue peak %.0f vs original %.0f — spikes should disappear",
 			res.AppTierPeak, res.OriginalAppTierPeak)
+	}
+}
+
+// TestObservabilityZoom checks the observability layer's acceptance
+// criteria on the zoom scenario: the span decomposition accounts for
+// (essentially all of) every VLRT request with the retransmit wait
+// dominant, the Figs. 10–11 lb_value signature is recovered from the
+// decision log alone, and the online detector flags the scripted 250 ms
+// stall within one window plus one sampling interval.
+func TestObservabilityZoom(t *testing.T) {
+	res := RunObservability(testOpt)
+	if res.VLRTCount == 0 {
+		t.Fatal("zoom run produced no VLRT requests")
+	}
+	if res.Decomposition.Count != res.VLRTCount {
+		t.Fatalf("only %d/%d VLRT entries carried a breakdown", res.Decomposition.Count, res.VLRTCount)
+	}
+	if res.Decomposition.MinCoverage < 0.9 {
+		t.Fatalf("VLRT decomposition min coverage %.3f, want ≥0.9", res.Decomposition.MinCoverage)
+	}
+	if res.RetransmitDominantShare < 0.9 {
+		t.Fatalf("retransmit wait dominates only %.0f%% of VLRT requests", res.RetransmitDominantShare*100)
+	}
+	if res.DecisionCount == 0 || len(res.LBSeries) != 4 {
+		t.Fatalf("decision log incomplete: %d decisions, %d lb series", res.DecisionCount, len(res.LBSeries))
+	}
+	if !res.StalledIsMinDuringStall {
+		t.Fatal("decision log: stalled candidate's lb_value not the minimum during the stall")
+	}
+	if !res.StalledGrowsMostInRecovery {
+		t.Fatal("decision log: stalled candidate's lb_value not growing fastest during recovery")
+	}
+	maxLatency := metrics.Window + 10*time.Millisecond // one window + one sampling interval
+	if res.OnsetLatency < 0 || res.OnsetLatency > maxLatency {
+		t.Fatalf("online onset latency %v, want within (0, %v]", res.OnsetLatency, maxLatency)
+	}
+	if res.DetectedEnd <= res.DetectedStart {
+		t.Fatalf("no millibottleneck event overlapping the stall (span [%v, %v])", res.DetectedStart, res.DetectedEnd)
+	}
+	if res.Render() == "" {
+		t.Fatal("empty Render")
 	}
 }

@@ -105,12 +105,32 @@ func (p *Proxy) Stats() ProxyStats {
 }
 
 // adminHandler serves the proxy's admin surface; non-admin paths fall
-// through to the forwarding handler.
+// through to the forwarding handler. /admin/trace streams the recorded
+// request-lifecycle spans and /admin/events the balancer decision /
+// state / reject log, both as JSON Lines; they answer 404 when the
+// corresponding capacity was not configured.
 func (p *Proxy) adminHandler(forward http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/admin/stats" {
+		switch r.URL.Path {
+		case "/admin/stats":
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(p.Stats())
+			return
+		case "/admin/trace":
+			if p.tracer == nil {
+				http.Error(w, "span tracing disabled (ProxyConfig.SpanCapacity)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = p.tracer.WriteJSONL(w)
+			return
+		case "/admin/events":
+			if p.events == nil {
+				http.Error(w, "event log disabled (ProxyConfig.EventCapacity)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = p.events.WriteJSONL(w)
 			return
 		}
 		forward(w, r)

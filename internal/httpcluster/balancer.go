@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"millibalance/internal/obs"
 )
 
 // Policy selects the lb_value bookkeeping (Algorithms 2–4).
@@ -122,6 +124,8 @@ type Backend struct {
 	firstFail   time.Time
 	dispatched  uint64
 	completed   uint64
+	events      *obs.EventLog
+	epoch       time.Time
 }
 
 // NewBackend returns a backend with the given endpoint pool size.
@@ -169,8 +173,38 @@ func (b *Backend) lazyRecover(now time.Time) {
 		if b.state == BackendError {
 			b.consecFails = 0
 		}
-		b.state = BackendAvailable
+		b.setStateLocked(BackendAvailable)
 		b.recoverAt = time.Time{}
+	}
+}
+
+// attachEvents wires the backend's state transitions into an event log.
+// epoch is the time base events are stamped against.
+func (b *Backend) attachEvents(log *obs.EventLog, epoch time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events = log
+	b.epoch = epoch
+}
+
+// setStateLocked transitions the 3-state machine, emitting a state
+// event when an event log is attached. The caller holds b.mu; the event
+// log has its own lock and never calls back into the backend, so
+// appending under b.mu cannot deadlock.
+func (b *Backend) setStateLocked(to BackendState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.events != nil {
+		b.events.Append(obs.Event{
+			T:       time.Since(b.epoch),
+			Kind:    obs.KindState,
+			Backend: b.name,
+			From:    stateName(from),
+			To:      stateName(to),
+		})
 	}
 }
 
@@ -256,6 +290,9 @@ type Balancer struct {
 	rejects  uint64
 	sessions sessionTable
 	onAssign func(*Backend)
+	events   *obs.EventLog
+	epoch    time.Time
+	source   string
 }
 
 // NewBalancer builds a balancer over the backends.
@@ -282,6 +319,49 @@ func (b *Balancer) Rejects() uint64 {
 // a backend is chosen by the scheduler.
 func (b *Balancer) SetAssignHook(hook func(*Backend)) { b.onAssign = hook }
 
+// SetEventLog wires the balancer and every backend into an event log:
+// each dispatch decision is recorded with the full candidate table
+// (lb_value, state, in-flight, free endpoints) and each 3-state-machine
+// transition becomes a state event. source names the emitter; epoch is
+// the time base events are stamped against. Call before serving
+// traffic.
+func (b *Balancer) SetEventLog(log *obs.EventLog, source string, epoch time.Time) {
+	b.events = log
+	b.epoch = epoch
+	b.source = source
+	for _, be := range b.backends {
+		be.attachEvents(log, epoch)
+	}
+}
+
+// emitDecision records one dispatch decision with a snapshot of every
+// candidate, taken backend by backend (the same way mod_jk's scheduler
+// reads the worker table).
+func (b *Balancer) emitDecision(chosen *Backend) {
+	if b.events == nil {
+		return
+	}
+	views := make([]obs.CandidateView, 0, len(b.backends))
+	for _, be := range b.backends {
+		be.mu.Lock()
+		views = append(views, obs.CandidateView{
+			Name:          be.name,
+			LBValue:       be.lbValue,
+			State:         stateName(be.state),
+			InFlight:      int(be.dispatched - be.completed),
+			FreeEndpoints: len(be.endpoints),
+		})
+		be.mu.Unlock()
+	}
+	b.events.Append(obs.Event{
+		T:          time.Since(b.epoch),
+		Kind:       obs.KindDecision,
+		Source:     b.source,
+		Chosen:     chosen.name,
+		Candidates: views,
+	})
+}
+
 // Acquire picks a backend and obtains an endpoint, blocking the calling
 // goroutine exactly as mod_jk blocks its worker thread. On success it
 // returns the backend and a release function the caller must invoke
@@ -300,6 +380,7 @@ func (b *Balancer) Acquire(requestBytes int64) (*Backend, func(responseBytes int
 			if b.onAssign != nil {
 				b.onAssign(be)
 			}
+			b.emitDecision(be)
 			if b.acquireEndpoint(be) {
 				b.noteDispatch(be)
 				return be, func(responseBytes int64) {
@@ -314,6 +395,9 @@ func (b *Balancer) Acquire(requestBytes int64) (*Backend, func(responseBytes int
 	b.mu.Lock()
 	b.rejects++
 	b.mu.Unlock()
+	if b.events != nil {
+		b.events.Append(obs.Event{T: time.Since(b.epoch), Kind: obs.KindReject, Source: b.source})
+	}
 	return nil, nil, ErrNoBackend
 }
 
@@ -379,7 +463,7 @@ func (b *Balancer) noteDispatch(be *Backend) {
 	defer be.mu.Unlock()
 	be.consecFails = 0
 	if be.state != BackendAvailable {
-		be.state = BackendAvailable
+		be.setStateLocked(BackendAvailable)
 		be.recoverAt = time.Time{}
 	}
 	be.dispatched++
@@ -397,7 +481,7 @@ func (b *Balancer) noteComplete(be *Backend, requestBytes, responseBytes int64) 
 	be.completed++
 	be.consecFails = 0
 	if be.state != BackendAvailable {
-		be.state = BackendAvailable
+		be.setStateLocked(BackendAvailable)
 		be.recoverAt = time.Time{}
 	}
 	switch b.policy {
@@ -421,12 +505,12 @@ func (b *Balancer) noteFailure(be *Backend) {
 	}
 	be.consecFails++
 	if be.consecFails >= b.cfg.ErrorThreshold && now.Sub(be.firstFail) >= b.cfg.ErrorAfter {
-		be.state = BackendError
+		be.setStateLocked(BackendError)
 		be.recoverAt = now.Add(b.cfg.ErrorRecovery)
 		return
 	}
 	if be.state == BackendAvailable {
-		be.state = BackendBusy
+		be.setStateLocked(BackendBusy)
 		be.recoverAt = now.Add(b.cfg.BusyRecovery)
 	}
 }

@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"millibalance/internal/obs"
 )
 
 func TestParsePolicyAndMechanism(t *testing.T) {
@@ -589,5 +592,185 @@ func TestHTTPWeightedDistribution(t *testing.T) {
 	}
 	if heavy.Weight() != 3 || light.Weight() != 1 {
 		t.Fatalf("weights %v/%v", heavy.Weight(), light.Weight())
+	}
+}
+
+// TestAdminTraceAndEventsEndpoints exercises the wall-clock
+// observability surface: proxied requests produce lifecycle spans,
+// dispatches produce decision events with the full candidate table, an
+// exhausted endpoint pool drives the 3-state machine and a reject, and
+// both logs stream as JSON Lines from the admin endpoints.
+func TestAdminTraceAndEventsEndpoints(t *testing.T) {
+	var apps []*AppServer
+	var backends []*Backend
+	for i := 0; i < 2; i++ {
+		app, err := StartAppServer(AppServerConfig{
+			Name:        "app" + string(rune('1'+i)),
+			Workers:     8,
+			ServiceTime: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, app)
+		backends = append(backends, NewBackend(app.Name(), app.URL(), 2))
+	}
+	proxy, err := StartProxy(ProxyConfig{
+		Workers:       32,
+		Policy:        PolicyTotalRequest,
+		Mechanism:     MechanismModified,
+		LB:            Config{SweepPause: 5 * time.Millisecond},
+		SpanCapacity:  1 << 12,
+		EventCapacity: 1 << 13,
+	}, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = proxy.Close()
+		for _, a := range apps {
+			_ = a.Close()
+		}
+	}()
+	if proxy.Tracer() == nil || proxy.Events() == nil {
+		t.Fatal("observability not enabled despite capacities")
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := client.Get(proxy.URL() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		return resp, body
+	}
+
+	const okRequests = 20
+	for i := 0; i < okRequests; i++ {
+		if resp, body := get("/story"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+
+	// Exhaust every endpoint pool: the modified mechanism fails fast on
+	// each sweep, marking both backends Busy and rejecting the dispatch.
+	for _, be := range backends {
+		<-be.endpoints
+		<-be.endpoints
+	}
+	if resp, _ := get("/story"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d with exhausted pools, want 503", resp.StatusCode)
+	}
+	for _, be := range backends {
+		be.endpoints <- struct{}{}
+		be.endpoints <- struct{}{}
+	}
+	// Dispatching to a Busy backend re-admits it: busy → available.
+	if resp, body := get("/story"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status after pool restore %d: %s", resp.StatusCode, body)
+	}
+
+	// --- /admin/trace ---
+	resp, body := get("/admin/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace endpoint status %d", resp.StatusCode)
+	}
+	type spanLine struct {
+		ID     uint64        `json:"id"`
+		Start  time.Duration `json:"start"`
+		End    time.Duration `json:"end"`
+		OK     bool          `json:"ok"`
+		Stages obs.Breakdown `json:"stages"`
+	}
+	var spans []spanLine
+	failedSpans := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		var sl spanLine
+		if err := json.Unmarshal([]byte(line), &sl); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if sl.End <= sl.Start {
+			t.Fatalf("span %d: end %v <= start %v", sl.ID, sl.End, sl.Start)
+		}
+		if !sl.OK {
+			failedSpans++
+			if sl.Stages.GetEndpoint <= 0 {
+				t.Fatalf("rejected span %d spent no time in get_endpoint: %+v", sl.ID, sl.Stages)
+			}
+		} else if sl.Stages.AppThread <= 0 || sl.Stages.WebThread <= 0 {
+			t.Fatalf("span %d missing app/web stage time: %+v", sl.ID, sl.Stages)
+		}
+		spans = append(spans, sl)
+	}
+	if len(spans) != okRequests+2 {
+		t.Fatalf("%d spans, want %d", len(spans), okRequests+2)
+	}
+	if failedSpans != 1 {
+		t.Fatalf("%d failed spans, want 1", failedSpans)
+	}
+
+	// --- /admin/events ---
+	resp, body = get("/admin/events")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events endpoint status %d", resp.StatusCode)
+	}
+	var decisions, rejects int
+	transitions := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		switch ev.Kind {
+		case obs.KindDecision:
+			decisions++
+			if ev.Chosen == "" || ev.Source != "proxy" {
+				t.Fatalf("decision missing identity: %+v", ev)
+			}
+			if len(ev.Candidates) != 2 {
+				t.Fatalf("decision has %d candidates: %+v", len(ev.Candidates), ev)
+			}
+			for _, cv := range ev.Candidates {
+				if cv.Name == "" || cv.State == "" {
+					t.Fatalf("incomplete candidate view: %+v", cv)
+				}
+			}
+		case obs.KindState:
+			transitions[ev.From+"->"+ev.To]++
+			if ev.Backend == "" {
+				t.Fatalf("state event without backend: %+v", ev)
+			}
+		case obs.KindReject:
+			rejects++
+		}
+	}
+	if decisions < okRequests+1 {
+		t.Fatalf("%d decision events, want at least %d", decisions, okRequests+1)
+	}
+	if rejects != 1 {
+		t.Fatalf("%d reject events, want 1", rejects)
+	}
+	if transitions["available->busy"] == 0 || transitions["busy->available"] == 0 {
+		t.Fatalf("3-state transitions not recorded: %v", transitions)
+	}
+
+	// A proxy without capacities keeps the endpoints dark.
+	plain, err := StartProxy(ProxyConfig{Workers: 4, Policy: PolicyTotalRequest, Mechanism: MechanismModified}, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = plain.Close() }()
+	for _, path := range []string{"/admin/trace", "/admin/events"} {
+		resp, err := client.Get(plain.URL() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s on plain proxy: status %d, want 404", path, resp.StatusCode)
+		}
 	}
 }

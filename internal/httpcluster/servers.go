@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"millibalance/internal/obs"
 )
 
 // AppServerConfig sizes a loopback application server.
@@ -205,6 +207,13 @@ type ProxyConfig struct {
 	Policy    Policy
 	Mechanism Mechanism
 	LB        Config
+	// SpanCapacity, when positive, traces every proxied request into a
+	// bounded ring of lifecycle spans served at GET /admin/trace.
+	SpanCapacity int
+	// EventCapacity, when positive, records balancer decisions, state
+	// transitions and rejects into a bounded event log served at
+	// GET /admin/events.
+	EventCapacity int
 }
 
 // Proxy is the web tier: an HTTP server that forwards each request to
@@ -221,6 +230,11 @@ type Proxy struct {
 	served  atomic.Uint64
 	errors  atomic.Uint64
 	wg      sync.WaitGroup
+
+	epoch  time.Time
+	tracer *obs.Tracer
+	events *obs.EventLog
+	reqID  atomic.Uint64
 }
 
 // StartProxy launches the proxy over the given backends.
@@ -238,6 +252,14 @@ func StartProxy(cfg ProxyConfig, backends []*Backend) (*Proxy, error) {
 		ln:      ln,
 		workers: make(chan struct{}, cfg.Workers),
 		client:  &http.Client{Timeout: 10 * time.Second},
+		epoch:   time.Now(),
+	}
+	if cfg.SpanCapacity > 0 {
+		p.tracer = obs.NewTracer(cfg.SpanCapacity)
+	}
+	if cfg.EventCapacity > 0 {
+		p.events = obs.NewEventLog(cfg.EventCapacity)
+		p.bal.SetEventLog(p.events, "proxy", p.epoch)
 	}
 	p.srv = &http.Server{Handler: p.adminHandler(p.handle)}
 	p.wg.Add(1)
@@ -260,6 +282,16 @@ func (p *Proxy) Served() uint64 { return p.served.Load() }
 // Errors reports requests answered with an error.
 func (p *Proxy) Errors() uint64 { return p.errors.Load() }
 
+// Tracer exposes the span ring (nil when tracing is disabled).
+func (p *Proxy) Tracer() *obs.Tracer { return p.tracer }
+
+// Events exposes the event log (nil when events are disabled).
+func (p *Proxy) Events() *obs.EventLog { return p.events }
+
+// now returns the span/event timestamp: wall time since the proxy
+// started.
+func (p *Proxy) now() time.Duration { return time.Since(p.epoch) }
+
 // Close shuts the proxy down.
 func (p *Proxy) Close() error {
 	err := p.srv.Close()
@@ -268,8 +300,16 @@ func (p *Proxy) Close() error {
 }
 
 func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
+	// All span calls are nil-safe no-ops when tracing is disabled. The
+	// wall-clock stage mapping mirrors the simulation's: worker wait →
+	// web accept-queue, worker occupancy → web thread, AcquireSession →
+	// get_endpoint, upstream round trip → app thread.
+	sp := p.tracer.Start(p.reqID.Add(1), p.now())
+	sp.Enter(obs.StageWebAcceptQueue, p.now())
 	p.workers <- struct{}{}
 	defer func() { <-p.workers }()
+	sp.Exit(obs.StageWebAcceptQueue, p.now())
+	sp.Enter(obs.StageWebThread, p.now())
 
 	reqBytes := r.ContentLength
 	if reqBytes < 0 {
@@ -279,16 +319,22 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	if cookie, err := r.Cookie("JSESSIONID"); err == nil {
 		session = cookie.Value
 	}
+	sp.Enter(obs.StageGetEndpoint, p.now())
 	be, release, err := p.bal.AcquireSession(session, reqBytes)
+	sp.Exit(obs.StageGetEndpoint, p.now())
 	if err != nil {
 		p.errors.Add(1)
+		p.tracer.Finish(sp, p.now(), false)
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
+	sp.Enter(obs.StageAppThread, p.now())
 	resp, err := p.client.Get(be.URL() + r.URL.Path)
 	if err != nil {
+		sp.Exit(obs.StageAppThread, p.now())
 		release(0)
 		p.errors.Add(1)
+		p.tracer.Finish(sp, p.now(), false)
 		http.Error(w, "upstream: "+err.Error(), http.StatusBadGateway)
 		return
 	}
@@ -296,8 +342,10 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Backend", be.Name())
 	w.WriteHeader(resp.StatusCode)
 	n, _ := io.Copy(w, resp.Body)
+	sp.Exit(obs.StageAppThread, p.now())
 	release(n)
 	p.served.Add(1)
+	p.tracer.Finish(sp, p.now(), resp.StatusCode < 500)
 }
 
 // ParseBackendList parses "name=url,name=url" into backends with the

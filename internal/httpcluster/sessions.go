@@ -81,6 +81,7 @@ func (b *Balancer) AcquireSession(sessionKey string, requestBytes int64) (*Backe
 			if b.onAssign != nil {
 				b.onAssign(be)
 			}
+			b.emitDecision(be)
 			if b.acquireEndpoint(be) {
 				b.noteDispatch(be)
 				return be, func(responseBytes int64) {

@@ -3,6 +3,7 @@ package lb
 import (
 	"time"
 
+	"millibalance/internal/obs"
 	"millibalance/internal/sim"
 )
 
@@ -90,6 +91,7 @@ type Balancer struct {
 	onAssign   func(*Candidate)
 	onDispatch func(*Candidate)
 	onReject   func()
+	onState    func(c *Candidate, from, to State)
 }
 
 // New returns a balancer over the candidates. Policy, mechanism and at
@@ -157,6 +159,12 @@ func (b *Balancer) SetDispatchHook(hook func(*Candidate)) { b.onDispatch = hook 
 // SetRejectHook registers a hook invoked when a dispatch is rejected.
 func (b *Balancer) SetRejectHook(hook func()) { b.onReject = hook }
 
+// SetStateHook registers a hook invoked on every candidate state
+// transition of the 3-state machine (Available/Busy/Error), including
+// the timed Busy and Error recoveries — the raw material of the
+// decision log's state events.
+func (b *Balancer) SetStateHook(hook func(c *Candidate, from, to State)) { b.onState = hook }
+
 // Snapshot copies every candidate's balancer-visible state.
 func (b *Balancer) Snapshot() []Snapshot {
 	out := make([]Snapshot, len(b.cands))
@@ -177,6 +185,7 @@ func (b *Balancer) Dispatch(info RequestInfo, send func(c *Candidate, done func(
 	if send == nil || reject == nil {
 		panic("lb: Dispatch with nil callback")
 	}
+	info.Span.Enter(obs.StageGetEndpoint, b.eng.Now())
 	b.attempt(info, send, reject, nil, 1)
 }
 
@@ -214,6 +223,7 @@ func (b *Balancer) attempt(info RequestInfo, send func(*Candidate, func()), reje
 // the sweep budget is spent.
 func (b *Balancer) nextSweep(info RequestInfo, send func(*Candidate, func()), reject func(), sweep int) {
 	if sweep >= b.cfg.Sweeps {
+		info.Span.Exit(obs.StageGetEndpoint, b.eng.Now())
 		b.doReject(reject)
 		return
 	}
@@ -223,6 +233,7 @@ func (b *Balancer) nextSweep(info RequestInfo, send func(*Candidate, func()), re
 }
 
 func (b *Balancer) dispatchTo(c *Candidate, info RequestInfo, send func(*Candidate, func())) {
+	info.Span.Exit(obs.StageGetEndpoint, b.eng.Now())
 	c.consecFails = 0
 	if c.state != StateAvailable {
 		// Returning an endpoint proves the candidate responsive again.
@@ -317,31 +328,44 @@ func (b *Balancer) noteFailure(c *Candidate) {
 	}
 }
 
+// transition moves a candidate to a new state, notifying the state
+// hook when the state actually changes.
+func (b *Balancer) transition(c *Candidate, to State) {
+	from := c.state
+	if from == to {
+		return
+	}
+	c.state = to
+	if b.onState != nil {
+		b.onState(c, from, to)
+	}
+}
+
 func (b *Balancer) setBusy(c *Candidate) {
-	c.state = StateBusy
+	b.transition(c, StateBusy)
 	b.stopTimers(c)
 	c.busyTimer = b.eng.Schedule(b.cfg.BusyRecovery, func() {
 		c.busyTimer = nil
 		if c.state == StateBusy {
-			c.state = StateAvailable
+			b.transition(c, StateAvailable)
 		}
 	})
 }
 
 func (b *Balancer) setError(c *Candidate) {
-	c.state = StateError
+	b.transition(c, StateError)
 	b.stopTimers(c)
 	c.errorTimer = b.eng.Schedule(b.cfg.ErrorRecovery, func() {
 		c.errorTimer = nil
 		if c.state == StateError {
-			c.state = StateAvailable
+			b.transition(c, StateAvailable)
 			c.consecFails = 0
 		}
 	})
 }
 
 func (b *Balancer) setAvailable(c *Candidate) {
-	c.state = StateAvailable
+	b.transition(c, StateAvailable)
 	b.stopTimers(c)
 }
 

@@ -1,5 +1,7 @@
 package lb
 
+import "millibalance/internal/obs"
+
 // RequestInfo carries the request attributes policies account for.
 type RequestInfo struct {
 	// RequestBytes and ResponseBytes are the message sizes exchanged
@@ -11,6 +13,10 @@ type RequestInfo struct {
 	// enabled, pins the request to the backend the session first
 	// landed on (mod_jk's sticky_session).
 	SessionID uint64
+	// Span, when non-nil, records the request's lifecycle stages; the
+	// balancer charges the whole endpoint-acquisition window (mechanism
+	// sleeps, retries and inter-sweep pauses) to StageGetEndpoint.
+	Span *obs.Span
 }
 
 // Policy is the upper level of the two-level scheduler: it maintains each

@@ -164,6 +164,12 @@ type CPUUtilSampler struct {
 	lastBusy sim.Time
 	lastAt   sim.Time
 	online   stats.Online
+
+	// OnSample, when set, receives every (time, utilization) observation
+	// exactly as it enters the series — the tap that feeds an online
+	// millibottleneck detector the identical stream the offline analysis
+	// reads back from Series.
+	OnSample func(t sim.Time, util float64)
 }
 
 // NewCPUUtilSampler returns a sampler over the CPU using the standard
@@ -186,6 +192,9 @@ func (s *CPUUtilSampler) Sample(now sim.Time) {
 	// Attribute the measured span to the window it covers, not to the
 	// boundary instant the sample fires at.
 	s.series.Add(s.lastAt, util)
+	if s.OnSample != nil {
+		s.OnSample(s.lastAt, util)
+	}
 	s.online.Add(util)
 	s.lastBusy = busy
 	s.lastAt = now

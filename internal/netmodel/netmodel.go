@@ -9,6 +9,7 @@ package netmodel
 import (
 	"time"
 
+	"millibalance/internal/obs"
 	"millibalance/internal/sim"
 )
 
@@ -105,23 +106,34 @@ func (r *Retransmitter) Failures() uint64 { return r.failures }
 // On a drop it retries after the next schedule delay; when the schedule
 // is exhausted it calls onFail (which may be nil).
 func (r *Retransmitter) Send(attempt func() bool, onFail func()) {
-	r.sendFrom(0, attempt, onFail)
+	r.sendFrom(nil, 0, attempt, onFail)
 }
 
-func (r *Retransmitter) sendFrom(tries int, attempt func() bool, onFail func()) {
+// SendSpan is Send with request-lifecycle tracing: sp (which may be
+// nil) records the retransmit-wait stage from the first drop until the
+// attempt that is finally admitted or the schedule is exhausted — the
+// wait that stamps VLRT requests into the 1 s / 2 s / 3 s clusters.
+func (r *Retransmitter) SendSpan(sp *obs.Span, attempt func() bool, onFail func()) {
+	r.sendFrom(sp, 0, attempt, onFail)
+}
+
+func (r *Retransmitter) sendFrom(sp *obs.Span, tries int, attempt func() bool, onFail func()) {
 	if attempt() {
+		sp.Exit(obs.StageRetransmitWait, r.eng.Now())
 		return
 	}
 	if tries >= len(r.schedule) {
 		r.failures++
+		sp.Exit(obs.StageRetransmitWait, r.eng.Now())
 		if onFail != nil {
 			onFail()
 		}
 		return
 	}
 	r.retransmits++
+	sp.Enter(obs.StageRetransmitWait, r.eng.Now())
 	r.eng.Schedule(r.schedule[tries], func() {
-		r.sendFrom(tries+1, attempt, onFail)
+		r.sendFrom(sp, tries+1, attempt, onFail)
 	})
 }
 

@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"millibalance/internal/mbneck"
+	"millibalance/internal/stats"
+)
+
+// DetectorConfig parameterizes an online Detector. The defaults mirror
+// the offline analysis used by the experiment harness
+// (mbneck.DetectSaturations at 95 % over 50 ms windows, millibottleneck
+// band 50 ms – 2 s, queue peaks at mean + 3σ with floor 10).
+type DetectorConfig struct {
+	// Window is the aggregation window width.
+	Window time.Duration
+	// SatThreshold is the utilization mean (percent) at or above which
+	// a window counts as saturated.
+	SatThreshold float64
+	// MinDuration / MaxDuration bound the millibottleneck band: shorter
+	// spans are sampling noise, longer ones conventional bottlenecks.
+	MinDuration time.Duration
+	MaxDuration time.Duration
+	// QueueK and QueueFloor define queue peaks: a window whose queue
+	// maximum exceeds max(mean + QueueK×stddev, QueueFloor) of the
+	// maxima seen so far.
+	QueueK     float64
+	QueueFloor float64
+	// Tolerance bounds how far back a queue peak may lie and still be
+	// correlated with a closing saturation span.
+	Tolerance time.Duration
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Window <= 0 {
+		c.Window = 50 * time.Millisecond
+	}
+	if c.SatThreshold == 0 {
+		c.SatThreshold = 95
+	}
+	if c.MinDuration == 0 {
+		c.MinDuration = 50 * time.Millisecond
+	}
+	if c.MaxDuration == 0 {
+		c.MaxDuration = 2 * time.Second
+	}
+	if c.QueueK == 0 {
+		c.QueueK = 3
+	}
+	if c.QueueFloor == 0 {
+		c.QueueFloor = 10
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 2500 * time.Millisecond
+	}
+	return c
+}
+
+// queuePeakMark is a detected queue peak kept for span correlation.
+type queuePeakMark struct {
+	start time.Duration
+	max   float64
+}
+
+// Detector is the streaming counterpart of mbneck's offline analysis:
+// it consumes utilization and queue samples while the run progresses
+// and emits KindOnset / KindMillibottleneck events into an EventLog as
+// the evidence arrives, instead of waiting for the run to finish.
+//
+// Saturation-span detection reproduces the offline pipeline exactly:
+// feeding the same (t, value) utilization samples to ObserveUtil that a
+// stats.Series received through Add yields — after Finish — the same
+// spans as
+//
+//	mbneck.FilterMillibottlenecks(
+//	    mbneck.DetectSaturations(series, SatThreshold),
+//	    MinDuration, MaxDuration)
+//
+// provided sample times are non-decreasing (they are: the pollers
+// sample on a monotone schedule). A window is evaluated once the first
+// sample of a later window arrives, so detection lags the physical
+// onset by at most one window plus one sampling interval.
+//
+// Queue peaks necessarily differ from the offline FindQueuePeaks in
+// baseline: offline uses the whole run's mean + k·σ, a streaming
+// detector only knows the past, so the baseline is the running mean +
+// k·σ of per-window maxima finalized so far. Peaks are kept for
+// Tolerance and attached to the millibottleneck event that closes
+// nearest to them.
+//
+// All methods are safe for concurrent use and nil-safe.
+type Detector struct {
+	mu     sync.Mutex
+	cfg    DetectorConfig
+	source string
+	log    *EventLog
+
+	// Utilization window under accumulation.
+	started bool
+	cur     int
+	count   uint64
+	sum     float64
+
+	// Open saturation span.
+	open      bool
+	openStart time.Duration
+
+	spans []mbneck.Span
+
+	// Queue window under accumulation + running baseline.
+	qStarted bool
+	qCur     int
+	qCount   uint64
+	qMax     float64
+	qStats   stats.Online
+	qPeaks   []queuePeakMark
+}
+
+// NewDetector returns a streaming detector for one monitored source
+// (server name), emitting events into log (which may be nil to only
+// collect spans). Zero config fields take the offline-analysis
+// defaults.
+func NewDetector(source string, cfg DetectorConfig, log *EventLog) *Detector {
+	return &Detector{cfg: cfg.withDefaults(), source: source, log: log}
+}
+
+// ObserveUtil feeds one utilization sample (percent) taken at t.
+// Nil-safe.
+func (d *Detector) ObserveUtil(t time.Duration, v float64) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t < 0 {
+		t = 0
+	}
+	idx := int(t / d.cfg.Window)
+	if !d.started {
+		d.started = true
+		d.cur = idx
+	}
+	if idx < d.cur {
+		// Late sample: fold into the window under accumulation rather
+		// than rewriting finalized history.
+		idx = d.cur
+	}
+	for d.cur < idx {
+		d.finalizeWindow(t)
+		d.cur++
+	}
+	d.count++
+	d.sum += v
+}
+
+// finalizeWindow evaluates the window under accumulation (d.cur) and
+// resets the accumulator. now is the sample time that supplied the
+// evidence, used as the emitted event's timestamp. Callers hold d.mu.
+func (d *Detector) finalizeWindow(now time.Duration) {
+	saturated := d.count > 0 && d.sum/float64(d.count) >= d.cfg.SatThreshold
+	start := time.Duration(d.cur) * d.cfg.Window
+	switch {
+	case saturated && !d.open:
+		d.open = true
+		d.openStart = start
+		d.log.Append(Event{T: now, Kind: KindOnset, Source: d.source, SpanStart: start})
+	case !saturated && d.open:
+		d.open = false
+		d.closeSpan(mbneck.Span{Start: d.openStart, End: start}, now)
+	}
+	d.count, d.sum = 0, 0
+}
+
+// closeSpan applies the millibottleneck duration band and, when the
+// span qualifies, records it and emits the detection event with the
+// nearest recent queue peak attached. Callers hold d.mu.
+func (d *Detector) closeSpan(sp mbneck.Span, now time.Duration) {
+	if dur := sp.Duration(); dur < d.cfg.MinDuration || dur > d.cfg.MaxDuration {
+		return
+	}
+	d.spans = append(d.spans, sp)
+	ev := Event{T: now, Kind: KindMillibottleneck, Source: d.source, SpanStart: sp.Start, SpanEnd: sp.End}
+	if pk, ok := d.nearestPeak(sp); ok {
+		ev.QueuePeak = pk.max
+		ev.QueuePeakAt = pk.start
+	}
+	d.log.Append(ev)
+}
+
+// nearestPeak finds the retained queue peak closest to the span, if any
+// lies within Tolerance of it. Callers hold d.mu.
+func (d *Detector) nearestPeak(sp mbneck.Span) (queuePeakMark, bool) {
+	best, bestDist := queuePeakMark{}, time.Duration(-1)
+	for _, pk := range d.qPeaks {
+		var dist time.Duration
+		switch {
+		case pk.start < sp.Start:
+			dist = sp.Start - pk.start
+		case pk.start > sp.End:
+			dist = pk.start - sp.End
+		}
+		if dist <= d.cfg.Tolerance && (bestDist < 0 || dist < bestDist) {
+			best, bestDist = pk, dist
+		}
+	}
+	return best, bestDist >= 0
+}
+
+// ObserveQueue feeds one queue-length sample taken at t. Nil-safe.
+func (d *Detector) ObserveQueue(t time.Duration, v float64) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t < 0 {
+		t = 0
+	}
+	idx := int(t / d.cfg.Window)
+	if !d.qStarted {
+		d.qStarted = true
+		d.qCur = idx
+	}
+	if idx < d.qCur {
+		idx = d.qCur
+	}
+	for d.qCur < idx {
+		d.finalizeQueueWindow()
+		d.qCur++
+	}
+	d.qCount++
+	if v > d.qMax || d.qCount == 1 {
+		d.qMax = v
+	}
+}
+
+// finalizeQueueWindow closes the queue window under accumulation,
+// testing it against the running peak baseline. Callers hold d.mu.
+func (d *Detector) finalizeQueueWindow() {
+	if d.qCount > 0 {
+		threshold := d.qStats.Mean() + d.cfg.QueueK*d.qStats.StdDev()
+		if threshold < d.cfg.QueueFloor {
+			threshold = d.cfg.QueueFloor
+		}
+		start := time.Duration(d.qCur) * d.cfg.Window
+		if d.qStats.N() > 0 && d.qMax > threshold {
+			d.qPeaks = append(d.qPeaks, queuePeakMark{start: start, max: d.qMax})
+			// Prune peaks too old to ever correlate again.
+			cutoff := start - 2*d.cfg.Tolerance
+			for len(d.qPeaks) > 0 && d.qPeaks[0].start < cutoff {
+				d.qPeaks = d.qPeaks[1:]
+			}
+		}
+		d.qStats.Add(d.qMax)
+	}
+	d.qCount, d.qMax = 0, 0
+}
+
+// Finish flushes the windows still under accumulation and closes a
+// trailing open span at the start of the window following the last
+// sampled one — exactly where the offline DetectSaturations closes it
+// (series.Start(series.Len())). Call once when sampling ends; further
+// samples after Finish are not supported. Nil-safe.
+func (d *Detector) Finish() {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.qStarted {
+		d.finalizeQueueWindow()
+	}
+	if !d.started {
+		return
+	}
+	end := time.Duration(d.cur+1) * d.cfg.Window
+	d.finalizeWindow(end)
+	if d.open {
+		d.open = false
+		d.closeSpan(mbneck.Span{Start: d.openStart, End: end}, end)
+	}
+}
+
+// Saturations returns the millibottleneck spans detected so far,
+// oldest-first. Nil-safe.
+func (d *Detector) Saturations() []mbneck.Span {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]mbneck.Span, len(d.spans))
+	copy(out, d.spans)
+	return out
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"millibalance/internal/stats"
+)
+
+// Event kinds recorded in an EventLog.
+const (
+	// KindDecision is one balancer dispatch: the chosen backend plus
+	// every candidate's lb_value and state at decision time (the
+	// Figs. 10–11 table, captured per decision instead of sampled).
+	KindDecision = "decision"
+	// KindState is one candidate state transition of the balancer's
+	// 3-state machine (Available/Busy/Error).
+	KindState = "state"
+	// KindReject is a dispatch the balancer gave up on (no endpoint
+	// within the mechanism's budget).
+	KindReject = "reject"
+	// KindOnset is emitted by the online detector the moment the first
+	// saturated window of a (potential) millibottleneck is confirmed.
+	KindOnset = "mb_onset"
+	// KindMillibottleneck is emitted when a saturation span closes
+	// inside the millibottleneck duration band, with the queue-peak
+	// correlation attached.
+	KindMillibottleneck = "millibottleneck"
+)
+
+// CandidateView is one balancer candidate's load-balancing state as
+// seen at a single decision.
+type CandidateView struct {
+	Name          string  `json:"name"`
+	LBValue       float64 `json:"lb_value"`
+	State         string  `json:"state"`
+	InFlight      int     `json:"in_flight"`
+	FreeEndpoints int     `json:"free_endpoints"`
+}
+
+// Event is one observability event. Kind determines which optional
+// fields are populated.
+type Event struct {
+	T    time.Duration `json:"t"`
+	Kind string        `json:"kind"`
+	// Source names the emitter: the balancer's host for decision /
+	// state / reject events, the monitored server for detector events.
+	Source string `json:"source,omitempty"`
+
+	// Decision fields.
+	Chosen     string          `json:"chosen,omitempty"`
+	Candidates []CandidateView `json:"candidates,omitempty"`
+
+	// State-transition fields.
+	Backend string `json:"backend,omitempty"`
+	From    string `json:"from,omitempty"`
+	To      string `json:"to,omitempty"`
+
+	// Detector fields.
+	SpanStart   time.Duration `json:"span_start,omitempty"`
+	SpanEnd     time.Duration `json:"span_end,omitempty"`
+	QueuePeak   float64       `json:"queue_peak,omitempty"`
+	QueuePeakAt time.Duration `json:"queue_peak_at,omitempty"`
+}
+
+// EventLog collects events into a bounded ring, overwriting the oldest
+// when full. All methods are safe for concurrent use and nil-safe.
+type EventLog struct {
+	mu        sync.Mutex
+	capacity  int
+	ring      []Event
+	next      int
+	full      bool
+	appended  uint64
+	overwrote uint64
+}
+
+// NewEventLog returns a log bounded at capacity events (minimum one).
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{capacity: capacity}
+}
+
+// Append records an event. Nil-safe.
+func (l *EventLog) Append(ev Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.appended++
+	if len(l.ring) < l.capacity {
+		l.ring = append(l.ring, ev)
+		return
+	}
+	l.ring[l.next] = ev
+	l.next = (l.next + 1) % l.capacity
+	l.full = true
+	l.overwrote++
+}
+
+// Len reports stored events.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ring)
+}
+
+// Appended reports the lifetime event count.
+func (l *EventLog) Appended() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// Overwritten reports events evicted by the ring bound.
+func (l *EventLog) Overwritten() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.overwrote
+}
+
+// Events returns the stored events oldest-first.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.ring))
+	if l.full {
+		out = append(out, l.ring[l.next:]...)
+		out = append(out, l.ring[:l.next]...)
+		return out
+	}
+	return append(out, l.ring...)
+}
+
+// Kind returns the stored events of one kind, oldest-first.
+func (l *EventLog) Kind(kind string) []Event {
+	var out []Event
+	for _, ev := range l.Events() {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// WriteJSONL writes the stored events oldest-first as JSON Lines.
+func (l *EventLog) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range l.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("obs: encode event: %w", err)
+		}
+	}
+	return nil
+}
+
+// LBValueSeries rebuilds per-candidate lb_value time series from
+// decision events alone — the Figs. 10–11 curves, with no sampler
+// involved. Each decision contributes every candidate's lb_value at
+// the decision's time.
+func LBValueSeries(events []Event, width time.Duration) map[string]*stats.Series {
+	out := make(map[string]*stats.Series)
+	for _, ev := range events {
+		if ev.Kind != KindDecision {
+			continue
+		}
+		for _, c := range ev.Candidates {
+			s := out[c.Name]
+			if s == nil {
+				s = stats.NewSeries(width)
+				out[c.Name] = s
+			}
+			s.Add(ev.T, c.LBValue)
+		}
+	}
+	return out
+}

@@ -1,0 +1,371 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"millibalance/internal/mbneck"
+	"millibalance/internal/stats"
+)
+
+func TestSpanStagesAndBreakdown(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Start(42, 0)
+	if sp == nil {
+		t.Fatal("Start returned nil span")
+	}
+	sp.Enter(StageRetransmitWait, 100*time.Millisecond)
+	sp.Exit(StageRetransmitWait, 1100*time.Millisecond)
+	sp.Enter(StageWebThread, 1100*time.Millisecond)
+	sp.Add(StageWebCPU, 5*time.Millisecond)
+	sp.Add(StageLink, 2*time.Millisecond)
+	sp.Enter(StageDBCall, 1110*time.Millisecond)
+	sp.Exit(StageDBCall, 1150*time.Millisecond)
+	tr.Finish(sp, 1200*time.Millisecond, true)
+
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	got := spans[0]
+	if got.RequestID != 42 || !got.OK || got.ResponseTime() != 1200*time.Millisecond {
+		t.Fatalf("span header: %+v", got)
+	}
+	b := got.Breakdown()
+	if b.RetransmitWait != time.Second {
+		t.Fatalf("retransmit wait %v", b.RetransmitWait)
+	}
+	// Finish closes stages still open: web thread ran 1100→1200 ms.
+	if b.WebThread != 100*time.Millisecond {
+		t.Fatalf("web thread %v", b.WebThread)
+	}
+	wantSum := time.Second + 5*time.Millisecond + 2*time.Millisecond + 40*time.Millisecond
+	if b.TimelineSum() != wantSum {
+		t.Fatalf("timeline sum %v, want %v (web thread must be excluded)", b.TimelineSum(), wantSum)
+	}
+	if st, d := b.Dominant(); st != StageRetransmitWait || d != time.Second {
+		t.Fatalf("dominant %v/%v", st, d)
+	}
+	if cov := b.Coverage(got.ResponseTime()); cov < 0.87 || cov > 0.88 {
+		t.Fatalf("coverage %.3f", cov)
+	}
+}
+
+func TestSpanEnterExitEdgeCases(t *testing.T) {
+	sp := &Span{}
+	sp.Exit(StageDBCall, time.Second) // exit without enter: no-op
+	if sp.Duration(StageDBCall) != 0 {
+		t.Fatal("exit without enter recorded time")
+	}
+	sp.Enter(StageDBCall, 10*time.Millisecond)
+	sp.Enter(StageDBCall, 50*time.Millisecond) // re-enter: first wins
+	sp.Exit(StageDBCall, 30*time.Millisecond)
+	if sp.Duration(StageDBCall) != 20*time.Millisecond {
+		t.Fatalf("db call %v", sp.Duration(StageDBCall))
+	}
+	sp.Add(StageLink, -time.Second) // negative add: no-op
+	if sp.Duration(StageLink) != 0 {
+		t.Fatal("negative Add recorded time")
+	}
+
+	var nilSpan *Span
+	nilSpan.Enter(StageWebCPU, 0)
+	nilSpan.Exit(StageWebCPU, time.Second)
+	nilSpan.Add(StageWebCPU, time.Second)
+	if nilSpan.Duration(StageWebCPU) != 0 || nilSpan.Breakdown() != (Breakdown{}) {
+		t.Fatal("nil span not inert")
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	seen := map[string]bool{}
+	for st := Stage(0); st < numStages; st++ {
+		name := st.String()
+		if name == "" || seen[name] {
+			t.Fatalf("stage %d name %q duplicated or empty", st, name)
+		}
+		seen[name] = true
+	}
+	if Stage(99).String() != "Stage(99)" {
+		t.Fatalf("out-of-range name %q", Stage(99).String())
+	}
+	if n := len(TimelineStages()); n != int(numStages)-1 {
+		t.Fatalf("timeline stages %d, want all but web_thread (%d)", n, int(numStages)-1)
+	}
+}
+
+func TestTracerRingBound(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		sp := tr.Start(uint64(i), time.Duration(i)*time.Second)
+		tr.Finish(sp, time.Duration(i+1)*time.Second, true)
+	}
+	if tr.Len() != 3 || tr.Started() != 5 || tr.Finished() != 5 || tr.Overwritten() != 2 {
+		t.Fatalf("counters: len=%d started=%d finished=%d overwritten=%d",
+			tr.Len(), tr.Started(), tr.Finished(), tr.Overwritten())
+	}
+	ids := []uint64{}
+	for _, sp := range tr.Spans() {
+		ids = append(ids, sp.RequestID)
+	}
+	if !reflect.DeepEqual(ids, []uint64{2, 3, 4}) {
+		t.Fatalf("ring keeps most recent, got %v", ids)
+	}
+
+	var nilTr *Tracer
+	if nilTr.Start(1, 0) != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	nilTr.Finish(nil, 0, true)
+	if nilTr.Len() != 0 || nilTr.Spans() != nil || nilTr.Overwritten() != 0 {
+		t.Fatal("nil tracer not inert")
+	}
+}
+
+func TestTracerWriteJSONL(t *testing.T) {
+	tr := NewTracer(4)
+	sp := tr.Start(7, 100*time.Millisecond)
+	sp.Add(StageWebCPU, 5*time.Millisecond)
+	tr.Finish(sp, 200*time.Millisecond, false)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		ID     uint64        `json:"id"`
+		Start  time.Duration `json:"start"`
+		End    time.Duration `json:"end"`
+		OK     bool          `json:"ok"`
+		Stages Breakdown     `json:"stages"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("decode %q: %v", buf.String(), err)
+	}
+	if rec.ID != 7 || rec.OK || rec.Stages.WebCPU != 5*time.Millisecond {
+		t.Fatalf("record %+v", rec)
+	}
+}
+
+func TestEventLogRingAndFilter(t *testing.T) {
+	log := NewEventLog(3)
+	log.Append(Event{T: 1, Kind: KindDecision, Chosen: "a"})
+	log.Append(Event{T: 2, Kind: KindState, Backend: "a", From: "available", To: "busy"})
+	log.Append(Event{T: 3, Kind: KindDecision, Chosen: "b"})
+	log.Append(Event{T: 4, Kind: KindDecision, Chosen: "c"})
+	if log.Len() != 3 || log.Appended() != 4 || log.Overwritten() != 1 {
+		t.Fatalf("counters: len=%d appended=%d overwritten=%d", log.Len(), log.Appended(), log.Overwritten())
+	}
+	evs := log.Events()
+	if evs[0].Kind != KindState || evs[2].Chosen != "c" {
+		t.Fatalf("order: %+v", evs)
+	}
+	if got := log.Kind(KindDecision); len(got) != 2 || got[0].Chosen != "b" {
+		t.Fatalf("filter: %+v", got)
+	}
+
+	var buf bytes.Buffer
+	if err := log.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("jsonl lines %d", lines)
+	}
+
+	var nilLog *EventLog
+	nilLog.Append(Event{})
+	if nilLog.Len() != 0 || nilLog.Events() != nil {
+		t.Fatal("nil log not inert")
+	}
+}
+
+func TestLBValueSeries(t *testing.T) {
+	events := []Event{
+		{T: 10 * time.Millisecond, Kind: KindDecision, Chosen: "a", Candidates: []CandidateView{
+			{Name: "a", LBValue: 1}, {Name: "b", LBValue: 2},
+		}},
+		{T: 60 * time.Millisecond, Kind: KindDecision, Chosen: "b", Candidates: []CandidateView{
+			{Name: "a", LBValue: 3}, {Name: "b", LBValue: 4},
+		}},
+		{T: 70 * time.Millisecond, Kind: KindState}, // ignored
+	}
+	series := LBValueSeries(events, 50*time.Millisecond)
+	if len(series) != 2 {
+		t.Fatalf("candidates %d", len(series))
+	}
+	if m := series["a"].At(0).Mean(); m != 1 {
+		t.Fatalf("a window 0 mean %v", m)
+	}
+	if m := series["b"].At(1).Mean(); m != 4 {
+		t.Fatalf("b window 1 mean %v", m)
+	}
+}
+
+// feedDetector pushes identical samples into both the offline series
+// and the online detector.
+func feedDetector(d *Detector, series *stats.Series, t time.Duration, v float64) {
+	series.Add(t, v)
+	d.ObserveUtil(t, v)
+}
+
+func TestDetectorMatchesOfflineOnSyntheticSeries(t *testing.T) {
+	// Deterministic pseudo-random utilization with injected saturation
+	// plateaus of varied lengths: shorter than MinDuration (rejected),
+	// inside the band (kept), longer than MaxDuration (rejected), and a
+	// trailing open saturation (closed by Finish, exactly like the
+	// offline Start(Len()) close).
+	const (
+		window    = 50 * time.Millisecond
+		sample    = 10 * time.Millisecond
+		threshold = 95.0
+		minDur    = 50 * time.Millisecond
+		maxDur    = 2 * time.Second
+	)
+	rng := rand.New(rand.NewSource(20170529))
+	plateaus := []mbneck.Span{
+		{Start: 1 * time.Second, End: 1*time.Second + 30*time.Millisecond}, // sub-window blip
+		{Start: 3 * time.Second, End: 3*time.Second + 250*time.Millisecond},
+		{Start: 5 * time.Second, End: 8 * time.Second}, // conventional bottleneck
+		{Start: 10 * time.Second, End: 10*time.Second + 100*time.Millisecond},
+		{Start: 11900 * time.Millisecond, End: 12100 * time.Millisecond}, // trailing, cut by run end
+	}
+	saturatedAt := func(at time.Duration) bool {
+		for _, p := range plateaus {
+			if at >= p.Start && at < p.End {
+				return true
+			}
+		}
+		return false
+	}
+
+	series := stats.NewSeries(window)
+	det := NewDetector("web1", DetectorConfig{
+		Window: window, SatThreshold: threshold,
+		MinDuration: minDur, MaxDuration: maxDur,
+	}, nil)
+	for at := time.Duration(0); at < 12*time.Second; at += sample {
+		util := 20 + 50*rng.Float64()
+		if saturatedAt(at) {
+			util = 97 + 3*rng.Float64()
+		}
+		feedDetector(det, series, at, util)
+	}
+	det.Finish()
+
+	offline := mbneck.FilterMillibottlenecks(
+		mbneck.DetectSaturations(series, threshold), minDur, maxDur)
+	online := det.Saturations()
+	if len(offline) == 0 {
+		t.Fatal("offline analysis found nothing — synthetic series broken")
+	}
+	if !reflect.DeepEqual(online, offline) {
+		t.Fatalf("online %v != offline %v", online, offline)
+	}
+}
+
+func TestDetectorMatchesOfflineWithGaps(t *testing.T) {
+	// Sampling gaps: offline reads skipped windows as empty
+	// (non-saturated); the streaming detector must finalize them the
+	// same way, including closing a span that a gap interrupts.
+	const window = 50 * time.Millisecond
+	series := stats.NewSeries(window)
+	det := NewDetector("app1", DetectorConfig{Window: window, MaxDuration: 2 * time.Second}, nil)
+
+	for _, s := range []struct {
+		at time.Duration
+		v  float64
+	}{
+		{0, 40}, {60 * time.Millisecond, 99}, {110 * time.Millisecond, 99},
+		// gap: windows [150,300) unobserved → span must close at 150 ms
+		{310 * time.Millisecond, 99}, {360 * time.Millisecond, 20},
+	} {
+		feedDetector(det, series, s.at, s.v)
+	}
+	det.Finish()
+
+	offline := mbneck.FilterMillibottlenecks(
+		mbneck.DetectSaturations(series, 95), 50*time.Millisecond, 2*time.Second)
+	if !reflect.DeepEqual(det.Saturations(), offline) {
+		t.Fatalf("online %v != offline %v", det.Saturations(), offline)
+	}
+	want := []mbneck.Span{
+		{Start: 50 * time.Millisecond, End: 150 * time.Millisecond},
+		{Start: 300 * time.Millisecond, End: 350 * time.Millisecond},
+	}
+	if !reflect.DeepEqual(offline, want) {
+		t.Fatalf("offline spans %v, want %v", offline, want)
+	}
+}
+
+func TestDetectorEventsAndQueueCorrelation(t *testing.T) {
+	const (
+		window = 50 * time.Millisecond
+		sample = 10 * time.Millisecond
+	)
+	log := NewEventLog(64)
+	det := NewDetector("tomcat1", DetectorConfig{Window: window}, log)
+
+	stall := mbneck.Span{Start: 2 * time.Second, End: 2250 * time.Millisecond}
+	for at := time.Duration(0); at < 4*time.Second; at += sample {
+		util := 30.0
+		queue := 2.0
+		if at >= stall.Start && at < stall.End {
+			util = 100
+			queue = 40
+		}
+		det.ObserveUtil(at, util)
+		det.ObserveQueue(at, queue)
+	}
+	det.Finish()
+
+	onsets := log.Kind(KindOnset)
+	if len(onsets) != 1 {
+		t.Fatalf("onsets %d: %+v", len(onsets), onsets)
+	}
+	// The first saturated window [2.0,2.05) is confirmed by the first
+	// sample of the next window: within one window + one sampling
+	// interval of the physical onset.
+	if lag := onsets[0].T - stall.Start; lag <= 0 || lag > window+sample {
+		t.Fatalf("onset lag %v", lag)
+	}
+	if onsets[0].SpanStart != stall.Start {
+		t.Fatalf("onset span start %v", onsets[0].SpanStart)
+	}
+
+	mbs := log.Kind(KindMillibottleneck)
+	if len(mbs) != 1 {
+		t.Fatalf("millibottleneck events %d: %+v", len(mbs), mbs)
+	}
+	ev := mbs[0]
+	if ev.SpanStart != stall.Start || ev.SpanEnd != stall.End {
+		t.Fatalf("event span [%v,%v]", ev.SpanStart, ev.SpanEnd)
+	}
+	if ev.QueuePeak != 40 {
+		t.Fatalf("queue peak %v not correlated", ev.QueuePeak)
+	}
+	if ev.QueuePeakAt < stall.Start-window || ev.QueuePeakAt > stall.End {
+		t.Fatalf("queue peak at %v", ev.QueuePeakAt)
+	}
+
+	var nilDet *Detector
+	nilDet.ObserveUtil(0, 1)
+	nilDet.ObserveQueue(0, 1)
+	nilDet.Finish()
+	if nilDet.Saturations() != nil {
+		t.Fatal("nil detector not inert")
+	}
+}

@@ -34,6 +34,11 @@ type CPU struct {
 type queuedBurst struct {
 	demand sim.Time
 	done   func()
+	// traced, when set, replaces done and additionally receives the
+	// run-queue wait and the stall-frozen share of the burst's wall
+	// time. at is the submission time (only stamped for traced bursts).
+	traced func(queued, frozen sim.Time)
+	at     sim.Time
 }
 
 // NewCPU returns a CPU with the given core count (minimum one) attached
@@ -72,27 +77,44 @@ func (c *CPU) Submit(demand sim.Time, done func()) {
 	if done == nil {
 		panic("resource: CPU.Submit with nil completion")
 	}
-	if demand < 0 {
-		demand = 0
-	}
-	if len(c.running) >= c.cores {
-		c.runq.Push(queuedBurst{demand: demand, done: done})
-		return
-	}
-	c.start(demand, done)
+	c.submit(queuedBurst{demand: demand, done: done})
 }
 
-func (c *CPU) start(demand sim.Time, done func()) {
+// SubmitTraced is Submit for instrumented callers: done additionally
+// receives how long the burst waited in the run queue and how much of
+// its wall time was frozen by stall windows (wall − queued − demand),
+// so request spans can attribute CPU time and stall-frozen time
+// separately.
+func (c *CPU) SubmitTraced(demand sim.Time, done func(queued, frozen sim.Time)) {
+	if done == nil {
+		panic("resource: CPU.SubmitTraced with nil completion")
+	}
+	c.submit(queuedBurst{demand: demand, traced: done, at: c.eng.Now()})
+}
+
+func (c *CPU) submit(b queuedBurst) {
+	if b.demand < 0 {
+		b.demand = 0
+	}
+	if len(c.running) >= c.cores {
+		c.runq.Push(b)
+		return
+	}
+	c.start(b)
+}
+
+func (c *CPU) start(b queuedBurst) {
 	c.account()
 	// The finish time bakes in whatever stall window is pending now;
 	// stalls that open later extend the timer via Stall.
-	finish := demand + c.pendingStall()
+	finish := b.demand + c.pendingStall()
+	runStart := c.eng.Now()
 	var tm *sim.Timer
-	tm = c.eng.Schedule(finish, func() { c.complete(tm, done) })
+	tm = c.eng.Schedule(finish, func() { c.complete(tm, b, runStart) })
 	c.running = append(c.running, tm)
 }
 
-func (c *CPU) complete(tm *sim.Timer, done func()) {
+func (c *CPU) complete(tm *sim.Timer, b queuedBurst, runStart sim.Time) {
 	c.account()
 	for i, r := range c.running {
 		if r == tm {
@@ -103,10 +125,18 @@ func (c *CPU) complete(tm *sim.Timer, done func()) {
 			break
 		}
 	}
-	if b, ok := c.runq.Pop(); ok {
-		c.start(b.demand, b.done)
+	if nb, ok := c.runq.Pop(); ok {
+		c.start(nb)
 	}
-	done()
+	if b.traced != nil {
+		frozen := c.eng.Now() - runStart - b.demand
+		if frozen < 0 {
+			frozen = 0
+		}
+		b.traced(runStart-b.at, frozen)
+		return
+	}
+	b.done()
 }
 
 // pendingStall returns how much of the current stall window remains.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"millibalance/internal/obs"
 	"millibalance/internal/resource"
 	"millibalance/internal/sim"
 	"millibalance/internal/workload"
@@ -89,18 +90,24 @@ func (a *App) QueuedRequests() int { return a.workers.Waiting() + a.workers.InUs
 // Handle processes one interaction and calls done when the response is
 // ready to travel back. The servlet demand is split 70/30 around the
 // database phase so that a mid-request stall also freezes response
-// serialization.
-func (a *App) Handle(it *workload.Interaction, done func()) {
+// serialization. sp, when non-nil, receives the request's app-tier
+// stages: the servlet-thread wait, the CPU bursts (split into worked
+// and stall-frozen time) and the database phase.
+func (a *App) Handle(it *workload.Interaction, sp *obs.Span, done func()) {
 	if it == nil || done == nil {
 		panic("server: App.Handle with nil interaction or done")
 	}
+	sp.Enter(obs.StageAppAcceptQueue, a.eng.Now())
 	a.workers.Acquire(func() {
+		sp.Exit(obs.StageAppAcceptQueue, a.eng.Now())
 		demand := sampleDemand(a.eng, it.AppDemand)
 		pre := demand * 7 / 10
 		post := demand - pre
-		a.cpu.Submit(pre, func() {
+		a.burst(sp, pre, func() {
+			sp.Enter(obs.StageDBCall, a.eng.Now())
 			a.queries.run(it, func() {
-				a.cpu.Submit(post, func() {
+				sp.Exit(obs.StageDBCall, a.eng.Now())
+				a.burst(sp, post, func() {
 					a.wb.AddDirty(it.LogBytes)
 					a.served++
 					a.workers.Release()
@@ -108,5 +115,21 @@ func (a *App) Handle(it *workload.Interaction, done func()) {
 				})
 			})
 		})
+	})
+}
+
+// burst runs one CPU burst, attributing its wall time to the span:
+// worked time (run-queue wait + demand) to StageAppThread and frozen
+// time to StageStallFrozen. Without a span it takes the untraced path.
+func (a *App) burst(sp *obs.Span, demand sim.Time, next func()) {
+	if sp == nil {
+		a.cpu.Submit(demand, next)
+		return
+	}
+	start := a.eng.Now()
+	a.cpu.SubmitTraced(demand, func(_, frozen sim.Time) {
+		sp.Add(obs.StageAppThread, a.eng.Now()-start-frozen)
+		sp.Add(obs.StageStallFrozen, frozen)
+		next()
 	})
 }

@@ -86,7 +86,7 @@ func TestAppHandleRunsQueriesAndLogs(t *testing.T) {
 	db := newTestDB(eng)
 	app := newTestApp(eng, "app1", db)
 	var doneAt sim.Time = -1
-	app.Handle(testInteraction(), func() { doneAt = eng.Now() })
+	app.Handle(testInteraction(), nil, func() { doneAt = eng.Now() })
 	eng.Run(time.Second)
 	if doneAt <= 0 {
 		t.Fatal("request did not complete")
@@ -109,7 +109,7 @@ func TestAppZeroQueriesInteraction(t *testing.T) {
 	it := testInteraction()
 	it.DBQueries = 0
 	completed := false
-	app.Handle(it, func() { completed = true })
+	app.Handle(it, nil, func() { completed = true })
 	eng.Run(time.Second)
 	if !completed {
 		t.Fatal("zero-query interaction did not complete")
@@ -124,7 +124,7 @@ func TestAppWorkerLimit(t *testing.T) {
 	db := newTestDB(eng)
 	app := NewApp(eng, AppConfig{Name: "app1", Cores: 8, Workers: 3, DBConns: 8, Writeback: quietWriteback()}, db)
 	for i := 0; i < 10; i++ {
-		app.Handle(testInteraction(), func() {})
+		app.Handle(testInteraction(), nil, func() {})
 	}
 	if app.QueuedRequests() != 10 {
 		t.Fatalf("QueuedRequests = %d", app.QueuedRequests())
@@ -143,7 +143,7 @@ func TestAppStallFreezesCompletions(t *testing.T) {
 	// Stall the CPU for 200ms right away, then submit work.
 	app.CPU().Stall(200 * time.Millisecond)
 	for i := 0; i < 5; i++ {
-		app.Handle(testInteraction(), func() { completions++ })
+		app.Handle(testInteraction(), nil, func() { completions++ })
 	}
 	eng.Run(150 * time.Millisecond)
 	if completions != 0 {
@@ -169,7 +169,7 @@ func TestAppWritebackFlushCausesStall(t *testing.T) {
 	// writeback interval.
 	it := testInteraction()
 	it.LogBytes = 200 << 10
-	app.Handle(it, func() {})
+	app.Handle(it, nil, func() {})
 	eng.Run(90 * time.Millisecond)
 	if app.CPU().Stalled() {
 		t.Fatal("stalled before the writeback interval")
@@ -370,7 +370,7 @@ func TestWebValidations(t *testing.T) {
 	})
 	mustPanic("nil app db", func() { NewApp(eng, AppConfig{}, nil) })
 	mustPanic("nil handle args", func() {
-		newTestApp(eng, "appX", db).Handle(nil, func() {})
+		newTestApp(eng, "appX", db).Handle(nil, nil, func() {})
 	})
 }
 

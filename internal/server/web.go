@@ -3,6 +3,7 @@ package server
 import (
 	"millibalance/internal/lb"
 	"millibalance/internal/netmodel"
+	"millibalance/internal/obs"
 	"millibalance/internal/resource"
 	"millibalance/internal/sim"
 	"millibalance/internal/workload"
@@ -141,13 +142,20 @@ func (w *Web) TryAccept(req *workload.Request) bool {
 		w.handle(req)
 		return true
 	}
-	return w.listener.Offer(func() { w.handle(req) })
+	if w.listener.Offer(func() { w.handle(req) }) {
+		req.Span.Enter(obs.StageWebAcceptQueue, w.eng.Now())
+		return true
+	}
+	return false
 }
 
 // handle runs with a worker token held.
 func (w *Web) handle(req *workload.Request) {
+	sp := req.Span
+	sp.Exit(obs.StageWebAcceptQueue, w.eng.Now())
+	sp.Enter(obs.StageWebThread, w.eng.Now())
 	it := req.Interaction
-	w.cpu.Submit(sampleDemand(w.eng, it.WebDemand), func() {
+	afterCPU := func() {
 		info := lb.RequestInfo{
 			RequestBytes:  it.RequestBytes,
 			ResponseBytes: it.ResponseBytes,
@@ -155,13 +163,15 @@ func (w *Web) handle(req *workload.Request) {
 			// sessions enabled); +1 keeps client 0 distinguishable from
 			// "no session".
 			SessionID: uint64(req.ClientID) + 1,
+			Span:      sp,
 		}
 		w.balancer.Dispatch(info,
 			func(c *lb.Candidate, done func()) {
 				req.Backend = c.Name()
 				app := w.apps[c.Name()]
+				sp.Add(obs.StageLink, 2*w.link) // forward + response hops
 				w.eng.Schedule(w.link, func() { // forward to the app tier
-					app.Handle(it, func() {
+					app.Handle(it, sp, func() {
 						w.eng.Schedule(w.link, func() { // response back
 							done()
 							w.respond(req, true)
@@ -170,12 +180,24 @@ func (w *Web) handle(req *workload.Request) {
 				})
 			},
 			func() { w.respond(req, false) })
+	}
+	demand := sampleDemand(w.eng, it.WebDemand)
+	if sp == nil {
+		w.cpu.Submit(demand, afterCPU)
+		return
+	}
+	start := w.eng.Now()
+	w.cpu.SubmitTraced(demand, func(_, frozen sim.Time) {
+		sp.Add(obs.StageWebCPU, w.eng.Now()-start-frozen)
+		sp.Add(obs.StageStallFrozen, frozen)
+		afterCPU()
 	})
 }
 
 // respond finishes the request toward the client and frees (or hands
 // over) the worker thread.
 func (w *Web) respond(req *workload.Request, ok bool) {
+	req.Span.Exit(obs.StageWebThread, w.eng.Now())
 	req.Web = w.name
 	if ok {
 		w.served++

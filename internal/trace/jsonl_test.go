@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"millibalance/internal/obs"
+)
+
+// randomEntry builds an arbitrary entry; about half carry a stage
+// breakdown, mirroring mixed traced/untraced logs.
+func randomEntry(rng *rand.Rand, id uint64) Entry {
+	interactions := []string{"ViewStory", "StoreComment", "SearchForm", ""}
+	e := Entry{
+		Time:         time.Duration(rng.Int63n(int64(180 * time.Second))),
+		RequestID:    id,
+		ClientID:     rng.Intn(70000),
+		Interaction:  interactions[rng.Intn(len(interactions))],
+		OK:           rng.Intn(4) != 0,
+		ResponseTime: time.Duration(rng.Int63n(int64(4 * time.Second))),
+		Retransmits:  rng.Intn(4),
+	}
+	if rng.Intn(3) != 0 {
+		e.Web = "apache1"
+		e.Backend = "tomcat2"
+	}
+	if rng.Intn(2) == 0 {
+		d := func() time.Duration { return time.Duration(rng.Int63n(int64(time.Second))) }
+		e.Stages = &obs.Breakdown{
+			RetransmitWait: d(),
+			WebAcceptQueue: d(),
+			WebCPU:         d(),
+			GetEndpoint:    d(),
+			Link:           d(),
+			AppAcceptQueue: d(),
+			AppThread:      d(),
+			DBCall:         d(),
+			StallFrozen:    d(),
+			WebThread:      d(),
+		}
+	}
+	return e
+}
+
+// TestJSONLRoundTripProperty: for arbitrary logs, WriteJSONL followed
+// by ReadJSONL reproduces exactly the stored entries — including the
+// optional stage breakdowns and the keep-first truncation behaviour
+// when the log overflows its capacity.
+func TestJSONLRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1204))
+	for trial := 0; trial < 50; trial++ {
+		capacity := 1 + rng.Intn(40)
+		n := rng.Intn(60) // sometimes below capacity, sometimes far above
+		l := NewLog(capacity)
+		var all []Entry
+		for i := 0; i < n; i++ {
+			e := randomEntry(rng, uint64(i+1))
+			all = append(all, e)
+			l.Append(e)
+		}
+
+		var buf bytes.Buffer
+		if err := l.WriteJSONL(&buf); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		got, err := ReadJSONL(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: read: %v", trial, err)
+		}
+
+		want := all
+		if n > capacity {
+			want = all[:capacity] // bounded log keeps the first entries
+			if l.Truncated() != uint64(n-capacity) {
+				t.Fatalf("trial %d: truncated %d, want %d", trial, l.Truncated(), n-capacity)
+			}
+		} else if l.Truncated() != 0 {
+			t.Fatalf("trial %d: truncated %d on non-overflowing log", trial, l.Truncated())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d entries back, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("trial %d entry %d:\n got %+v (stages %+v)\nwant %+v (stages %+v)",
+					trial, i, got[i], got[i].Stages, want[i], want[i].Stages)
+			}
+		}
+	}
+}
+
+func TestReadJSONLSkipsBlankAndRejectsMalformed(t *testing.T) {
+	got, err := ReadJSONL(strings.NewReader("\n{\"id\":7,\"t\":0,\"client\":0,\"interaction\":\"x\",\"ok\":true,\"rt\":5}\n\n"))
+	if err != nil || len(got) != 1 || got[0].RequestID != 7 {
+		t.Fatalf("got %+v, err %v", got, err)
+	}
+	if _, err := ReadJSONL(strings.NewReader("{\"id\":1}\nnot json\n")); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed line error = %v", err)
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	entries := []Entry{
+		{RequestID: 1, ResponseTime: 1000 * time.Millisecond, Stages: &obs.Breakdown{
+			RetransmitWait: 900 * time.Millisecond, WebCPU: 50 * time.Millisecond,
+			DBCall: 50 * time.Millisecond, WebThread: 100 * time.Millisecond}},
+		{RequestID: 2, ResponseTime: 100 * time.Millisecond, Stages: &obs.Breakdown{
+			WebCPU: 10 * time.Millisecond, DBCall: 80 * time.Millisecond}},
+		{RequestID: 3, ResponseTime: 10 * time.Millisecond}, // untraced
+	}
+	d := Decompose(entries)
+	if d.Count != 2 {
+		t.Fatalf("count %d", d.Count)
+	}
+	if d.Totals.RetransmitWait != 900*time.Millisecond || d.Totals.DBCall != 130*time.Millisecond {
+		t.Fatalf("totals %+v", d.Totals)
+	}
+	if d.Totals.WebThread != 100*time.Millisecond {
+		t.Fatalf("web thread total %v", d.Totals.WebThread)
+	}
+	if d.DominantCounts["retransmit_wait"] != 1 || d.DominantCounts["db_call"] != 1 {
+		t.Fatalf("dominant %+v", d.DominantCounts)
+	}
+	if got := d.DominantShare(obs.StageRetransmitWait); got != 0.5 {
+		t.Fatalf("dominant share %.2f", got)
+	}
+	if d.MinCoverage != 0.9 || d.MeanCoverage != 0.95 {
+		t.Fatalf("coverage mean=%.3f min=%.3f", d.MeanCoverage, d.MinCoverage)
+	}
+	empty := Decompose(nil)
+	if empty.Count != 0 || empty.DominantShare(obs.StageDBCall) != 0 {
+		t.Fatalf("empty decomposition %+v", empty)
+	}
+}

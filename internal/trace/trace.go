@@ -10,12 +10,15 @@
 package trace
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
 	"time"
+
+	"millibalance/internal/obs"
 )
 
 // Entry is one access-log line: a completed (or failed) client request.
@@ -39,6 +42,10 @@ type Entry struct {
 	ResponseTime time.Duration `json:"rt"`
 	// Retransmits counts dropped connection attempts.
 	Retransmits int `json:"retx,omitempty"`
+	// Stages is the per-stage latency decomposition recorded by the
+	// observability layer; nil when span tracing was disabled. Exported
+	// in JSONL only — the CSV schema is unchanged.
+	Stages *obs.Breakdown `json:"stages,omitempty"`
 }
 
 // Log is a bounded in-memory access log. When the capacity is reached,
@@ -104,6 +111,30 @@ func (l *Log) WriteJSONL(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// ReadJSONL parses entries written by WriteJSONL. Blank lines are
+// skipped; a malformed line aborts with an error naming its position.
+func ReadJSONL(r io.Reader) ([]Entry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	var out []Entry
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return out, nil
 }
 
 // FilterWindow returns the entries completing within [from, to).
@@ -248,4 +279,87 @@ func VLRTBackends(entries []Entry, threshold time.Duration) map[string]int {
 		}
 	}
 	return out
+}
+
+// Decomposition aggregates the per-stage latency breakdowns of a set of
+// entries — the paper's Section III attribution (retransmit waits vs.
+// queueing vs. service), computed per request instead of inferred from
+// aggregate series.
+type Decomposition struct {
+	// Count is how many entries carried a stage breakdown.
+	Count int
+	// Totals sums each stage's duration across those entries.
+	Totals obs.Breakdown
+	// DominantCounts counts, per stage name, how many entries that
+	// stage dominated (largest timeline stage).
+	DominantCounts map[string]int
+	// MeanCoverage and MinCoverage summarize what fraction of each
+	// entry's response time the timeline stages account for.
+	MeanCoverage float64
+	MinCoverage  float64
+}
+
+// DominantShare reports the fraction of decomposed entries dominated by
+// the given stage.
+func (d Decomposition) DominantShare(st obs.Stage) float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return float64(d.DominantCounts[st.String()]) / float64(d.Count)
+}
+
+// Decompose analyzes the entries that carry a stage breakdown; entries
+// without one (tracing disabled, or imported from an untraced run) are
+// ignored.
+func Decompose(entries []Entry) Decomposition {
+	d := Decomposition{DominantCounts: map[string]int{}}
+	var coverageSum float64
+	for _, e := range entries {
+		if e.Stages == nil {
+			continue
+		}
+		d.Count++
+		b := *e.Stages
+		for _, st := range obs.TimelineStages() {
+			addStage(&d.Totals, st, b.Get(st))
+		}
+		d.Totals.WebThread += b.WebThread
+		dom, _ := b.Dominant()
+		d.DominantCounts[dom.String()]++
+		cov := b.Coverage(e.ResponseTime)
+		coverageSum += cov
+		if d.Count == 1 || cov < d.MinCoverage {
+			d.MinCoverage = cov
+		}
+	}
+	if d.Count > 0 {
+		d.MeanCoverage = coverageSum / float64(d.Count)
+	}
+	return d
+}
+
+// addStage accumulates one stage duration into a breakdown.
+func addStage(b *obs.Breakdown, st obs.Stage, dur time.Duration) {
+	switch st {
+	case obs.StageRetransmitWait:
+		b.RetransmitWait += dur
+	case obs.StageWebAcceptQueue:
+		b.WebAcceptQueue += dur
+	case obs.StageWebCPU:
+		b.WebCPU += dur
+	case obs.StageGetEndpoint:
+		b.GetEndpoint += dur
+	case obs.StageLink:
+		b.Link += dur
+	case obs.StageAppAcceptQueue:
+		b.AppAcceptQueue += dur
+	case obs.StageAppThread:
+		b.AppThread += dur
+	case obs.StageDBCall:
+		b.DBCall += dur
+	case obs.StageStallFrozen:
+		b.StallFrozen += dur
+	case obs.StageWebThread:
+		b.WebThread += dur
+	}
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"millibalance/internal/obs"
 	"millibalance/internal/sim"
 )
 
@@ -33,6 +34,9 @@ type Request struct {
 	// empty for requests that never reached a server.
 	Web     string
 	Backend string
+	// Span, when non-nil, records the request's lifecycle stages as it
+	// travels through the tiers. Nil when tracing is disabled.
+	Span *obs.Span
 
 	done     func(Outcome)
 	finished bool

@@ -1,0 +1,37 @@
+// Benchmark guard for the observability layer's zero-cost-when-disabled
+// claim: instrumented code pays only nil checks when no capacities are
+// configured, so the "disabled" sub-benchmark must stay within noise of
+// the pre-observability hot path. The "enabled" twin runs the identical
+// cluster with span tracing, the event log and the online detectors all
+// armed, making the cost of turning everything on directly comparable.
+package millibalance_test
+
+import (
+	"testing"
+	"time"
+
+	"millibalance/internal/cluster"
+)
+
+func BenchmarkTracingDisabledOverhead(b *testing.B) {
+	base := cluster.MiniConfig()
+	base.Duration = 5 * time.Second
+	run := func(b *testing.B, enabled bool) {
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			if enabled {
+				cfg.TraceCapacity = 1 << 20
+				cfg.SpanCapacity = 1 << 20
+				cfg.EventCapacity = 1 << 20
+			}
+			res := cluster.Run(cfg)
+			if res.Responses.Total() == 0 {
+				b.Fatal("no requests completed")
+			}
+			b.ReportMetric(float64(res.Responses.Total()), "requests")
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "ms/run")
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("enabled", func(b *testing.B) { run(b, true) })
+}
