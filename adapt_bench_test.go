@@ -1,0 +1,36 @@
+// Benchmark guard for the adaptive control plane's pay-for-what-you-use
+// claim: with Config.Adaptive nil the cluster runs the exact static code
+// path (no controller, no event hook, no tick timer), so the "disabled"
+// sub-benchmark must stay within noise of the plain simulation. The
+// "enabled" twin arms the controller with its defaults on the identical
+// cluster, making the full closed-loop cost directly comparable.
+package millibalance_test
+
+import (
+	"testing"
+	"time"
+
+	"millibalance/internal/adapt"
+	"millibalance/internal/cluster"
+)
+
+func BenchmarkAdaptiveDisabledOverhead(b *testing.B) {
+	base := cluster.MiniConfig()
+	base.Duration = 5 * time.Second
+	run := func(b *testing.B, enabled bool) {
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			if enabled {
+				cfg.Adaptive = &adapt.Config{}
+			}
+			res := cluster.Run(cfg)
+			if res.Responses.Total() == 0 {
+				b.Fatal("no requests completed")
+			}
+			b.ReportMetric(float64(res.Responses.Total()), "requests")
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "ms/run")
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("enabled", func(b *testing.B) { run(b, true) })
+}

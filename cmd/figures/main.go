@@ -80,6 +80,9 @@ func figureTable() []figure {
 				fmt.Fprint(w, experiments.RenderTSV(res.LBSeries...))
 			}
 		}},
+		{15, "Table IV: adaptive control plane vs static anchors", func(o experiments.Options, w io.Writer, _ bool) {
+			fmt.Fprint(w, experiments.RunTableIV(o).Render())
+		}},
 	}
 }
 
@@ -124,7 +127,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
-	fig := fs.Int("fig", 0, "figure number to regenerate (1-14)")
+	fig := fs.Int("fig", 0, "figure number to regenerate (1-15)")
 	all := fs.Bool("all", false, "regenerate every figure")
 	report := fs.Bool("report", false, "run the complete evaluation and emit a markdown report")
 	tsv := fs.Bool("tsv", false, "emit raw windowed series as TSV")
@@ -175,5 +178,5 @@ func run(args []string, out io.Writer) error {
 			return emit(f)
 		}
 	}
-	return fmt.Errorf("unknown figure %d (have 1-14)", *fig)
+	return fmt.Errorf("unknown figure %d (have 1-15)", *fig)
 }

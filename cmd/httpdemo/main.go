@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"millibalance/internal/adapt"
 	"millibalance/internal/httpcluster"
 )
 
@@ -36,6 +37,7 @@ func run(args []string) error {
 	stallFor := fs.Duration("stall-for", 400*time.Millisecond, "millibottleneck length")
 	endpoints := fs.Int("endpoints", 4, "proxy endpoint pool per backend")
 	obsOn := fs.Bool("obs", false, "arm span tracing and the balancer event log (GET /admin/trace and /admin/events on the proxy)")
+	adaptive := fs.Bool("adaptive", false, "arm the adaptive control plane (GET /admin/adapt and /admin/adapt/decisions; implies -obs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,9 +80,12 @@ func run(args []string) error {
 		Policy:    policy,
 		Mechanism: mech,
 	}
-	if *obsOn {
+	if *obsOn || *adaptive {
 		pcfg.SpanCapacity = 1 << 16
 		pcfg.EventCapacity = 1 << 17
+	}
+	if *adaptive {
+		pcfg.Adapt = &adapt.Config{}
 	}
 	proxy, err := httpcluster.StartProxy(pcfg, backends)
 	if err != nil {
@@ -90,8 +95,12 @@ func run(args []string) error {
 
 	fmt.Printf("3-tier loopback cluster: proxy %s → %d app servers → db %s\n",
 		proxy.URL(), *apps, db.URL())
-	if *obsOn {
+	if *obsOn || *adaptive {
 		fmt.Printf("observability: GET %s/admin/trace and %s/admin/events (JSONL)\n",
+			proxy.URL(), proxy.URL())
+	}
+	if *adaptive {
+		fmt.Printf("adaptive: GET %s/admin/adapt (state) and %s/admin/adapt/decisions (JSONL)\n",
 			proxy.URL(), proxy.URL())
 	}
 	fmt.Printf("policy=%s mechanism=%s; stalling app1 for %v at t=%v\n",
@@ -121,6 +130,11 @@ func run(args []string) error {
 	for _, be := range proxy.Balancer().Backends() {
 		fmt.Printf("backend %s: dispatched=%d completed=%d lb_value=%.0f state=%v\n",
 			be.Name(), be.Dispatched(), be.Completed(), be.LBValue(), be.State())
+	}
+	if *adaptive {
+		st := proxy.Adapt().State()
+		fmt.Printf("adaptive: decisions=%d policy=%s mechanism=%s quarantined=%d fallback=%v\n",
+			st.Decisions, st.Policy, st.Mechanism, len(st.Quarantined), st.Fallback)
 	}
 	fmt.Println("\nlatency timeline (mean/max ms per 100ms window):")
 	tl := stats.Timeline()

@@ -14,6 +14,19 @@ func TestRunShortDemo(t *testing.T) {
 	}
 }
 
+func TestRunShortDemoAdaptive(t *testing.T) {
+	err := run([]string{
+		"-duration", "400ms",
+		"-stall-at", "100ms",
+		"-stall-for", "100ms",
+		"-clients", "4",
+		"-adaptive",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunRejectsBadPolicy(t *testing.T) {
 	if err := run([]string{"-policy", "bogus"}); err == nil {
 		t.Fatal("bad policy accepted")

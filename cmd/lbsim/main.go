@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"millibalance/internal/adapt"
 	"millibalance/internal/cluster"
 	"millibalance/internal/config"
 	"millibalance/internal/lb"
@@ -49,6 +50,8 @@ func run(args []string, out io.Writer) error {
 	traceFile := fs.String("trace", "", "write the per-request access log as CSV to this file")
 	spansFile := fs.String("spans", "", "write request-lifecycle spans as JSONL to this file (enables span tracing)")
 	decisionsFile := fs.String("decisions", "", "write balancer decision/state/detector events as JSONL to this file (enables the event log and online detectors)")
+	adaptive := fs.Bool("adaptive", false, "arm the millibottleneck-aware adaptive control plane")
+	adaptLog := fs.String("adapt-log", "", "write controller decisions as JSONL to this file (implies -adaptive)")
 	sticky := fs.Bool("sticky", false, "enable mod_jk sticky sessions")
 	openLoop := fs.Float64("open-loop-rate", 0, "use Poisson arrivals at this rate (req/s) instead of closed-loop clients")
 	if err := fs.Parse(args); err != nil {
@@ -96,6 +99,11 @@ func run(args []string, out io.Writer) error {
 	if *openLoop > 0 {
 		cfg.OpenLoopRate = *openLoop
 	}
+	if *adaptive || *adaptLog != "" {
+		if cfg.Adaptive == nil {
+			cfg.Adaptive = &adapt.Config{}
+		}
+	}
 	if *traceFile != "" && cfg.TraceCapacity == 0 {
 		cfg.TraceCapacity = 4 << 20 // plenty for any run this CLI drives
 	}
@@ -114,11 +122,11 @@ func run(args []string, out io.Writer) error {
 
 	// Create the export files before the run: a typo'd path should fail
 	// immediately, not after a possibly minutes-long simulation.
-	var traceOut, spansOut, decisionsOut *os.File
+	var traceOut, spansOut, decisionsOut, adaptOut *os.File
 	for _, e := range []struct {
 		path string
 		dst  **os.File
-	}{{*traceFile, &traceOut}, {*spansFile, &spansOut}, {*decisionsFile, &decisionsOut}} {
+	}{{*traceFile, &traceOut}, {*spansFile, &spansOut}, {*decisionsFile, &decisionsOut}, {*adaptLog, &adaptOut}} {
 		if e.path == "" {
 			continue
 		}
@@ -166,6 +174,17 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "events: %d written to %s (%d overwritten)\n",
 			res.Events.Len(), *decisionsFile, res.Events.Overwritten())
 	}
+	if adaptOut != nil {
+		if err := res.Adapt.WriteJSONL(adaptOut); err != nil {
+			_ = adaptOut.Close()
+			return err
+		}
+		if err := adaptOut.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "adapt decisions: %d written to %s (%d overwritten)\n",
+			res.Adapt.Len(), *adaptLog, res.Adapt.Overwritten())
+	}
 
 	r := res.Responses
 	fmt.Fprintf(out, "policy=%s mechanism=%s clients=%d duration=%v (wall %v)\n",
@@ -177,6 +196,15 @@ func run(args []string, out io.Writer) error {
 		r.Quantile(0.99).Round(10*time.Microsecond), r.Quantile(0.999).Round(10*time.Microsecond),
 		r.Histogram().Max().Round(time.Millisecond))
 	fmt.Fprintf(out, "shares: VLRT(>1s)=%.2f%% normal(<10ms)=%.2f%%\n", r.VLRTPercent(), r.NormalPercent())
+	if cfg.Adaptive != nil {
+		st := res.AdaptState
+		fmt.Fprintf(out, "adaptive: decisions=%d quarantines=%d readmits=%d swaps=%d fallbacks=%d final policy=%s mechanism=%s quarantined=%d\n",
+			st.Decisions,
+			res.Adapt.Count(adapt.ActionQuarantine), res.Adapt.Count(adapt.ActionReadmit),
+			res.Adapt.Count(adapt.ActionSwapMechanism)+res.Adapt.Count(adapt.ActionSwapPolicy),
+			res.Adapt.Count(adapt.ActionFallback),
+			st.Policy, st.Mechanism, len(st.Quarantined))
+	}
 	for _, st := range res.Webs {
 		_, peak := st.Queue.PeakWindow()
 		fmt.Fprintf(out, "web %-9s served=%-8d avgCPU=%5.1f%% queuePeak=%.0f\n", st.Name, st.Served, st.CPU.Average(), peak)

@@ -120,6 +120,27 @@ func TestRunStickyAndOpenLoopFlags(t *testing.T) {
 	}
 }
 
+func TestRunAdaptiveExport(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/adapt.jsonl"
+	var out strings.Builder
+	// -adapt-log implies -adaptive; the mini writeback stall triggers at
+	// least one quarantine decision within 6 virtual seconds.
+	if err := run([]string{"-mini", "-duration", "6s", "-adapt-log", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "adaptive: decisions=") {
+		t.Fatalf("summary missing adaptive line:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"action":"quarantine"`) {
+		t.Fatalf("adapt JSONL missing quarantine decisions: %.200s", data)
+	}
+}
+
 func TestRunSpansAndDecisionsExport(t *testing.T) {
 	dir := t.TempDir()
 	spans, events := dir+"/spans.jsonl", dir+"/events.jsonl"

@@ -1,0 +1,185 @@
+package adapt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Decision actions recorded by the controller.
+const (
+	// ActionQuarantine drains a detected-stalled backend.
+	ActionQuarantine = "quarantine"
+	// ActionProbe arms one probe request toward a quarantined backend.
+	ActionProbe = "probe"
+	// ActionReadmit lifts a quarantine (probe success or parole).
+	ActionReadmit = "readmit"
+	// ActionSwapMechanism hot-swaps the get_endpoint mechanism to the
+	// remedy target.
+	ActionSwapMechanism = "swap_mechanism"
+	// ActionSwapPolicy hot-swaps the balancing policy to the remedy
+	// target.
+	ActionSwapPolicy = "swap_policy"
+	// ActionRevertMechanism and ActionRevertPolicy undo the swaps after
+	// a sustained clear period.
+	ActionRevertMechanism = "revert_mechanism"
+	ActionRevertPolicy    = "revert_policy"
+	// ActionFallback switches to the information-free fallback policy
+	// because every candidate looks stalled.
+	ActionFallback = "fallback"
+	// ActionFallbackExit leaves the fallback once the system clears.
+	ActionFallbackExit = "fallback_exit"
+)
+
+// Decision is one controller action, with the signal levels that
+// triggered it.
+type Decision struct {
+	T      time.Duration `json:"t"`
+	Action string        `json:"action"`
+	// Backend names the target of quarantine/probe/readmit actions.
+	Backend string `json:"backend,omitempty"`
+	// Policy and Mechanism are the active names after the action.
+	Policy    string `json:"policy,omitempty"`
+	Mechanism string `json:"mechanism,omitempty"`
+	// Reason is a short machine-readable trigger tag.
+	Reason string `json:"reason,omitempty"`
+	// VLRTRate is the windowed fraction of bad (VLRT or failed)
+	// outcomes; RejectRate is windowed rejects per second.
+	VLRTRate   float64 `json:"vlrt_rate,omitempty"`
+	RejectRate float64 `json:"reject_rate,omitempty"`
+	// Level is the remediation level after the action.
+	Level int `json:"level,omitempty"`
+}
+
+// DecisionLog collects controller decisions into a bounded ring,
+// overwriting the oldest when full. Safe for concurrent use; nil-safe.
+type DecisionLog struct {
+	mu        sync.Mutex
+	capacity  int
+	ring      []Decision
+	next      int
+	full      bool
+	appended  uint64
+	overwrote uint64
+}
+
+// NewDecisionLog returns a log bounded at capacity decisions (minimum
+// one).
+func NewDecisionLog(capacity int) *DecisionLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &DecisionLog{capacity: capacity}
+}
+
+// Append records a decision. Nil-safe.
+func (l *DecisionLog) Append(d Decision) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.appended++
+	if len(l.ring) < l.capacity {
+		l.ring = append(l.ring, d)
+		return
+	}
+	l.ring[l.next] = d
+	l.next = (l.next + 1) % l.capacity
+	l.full = true
+	l.overwrote++
+}
+
+// Len reports stored decisions.
+func (l *DecisionLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ring)
+}
+
+// Appended reports the lifetime decision count.
+func (l *DecisionLog) Appended() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// Overwritten reports decisions evicted by the ring bound.
+func (l *DecisionLog) Overwritten() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.overwrote
+}
+
+// Decisions returns the stored decisions oldest-first.
+func (l *DecisionLog) Decisions() []Decision {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Decision, 0, len(l.ring))
+	if l.full {
+		out = append(out, l.ring[l.next:]...)
+		out = append(out, l.ring[:l.next]...)
+		return out
+	}
+	return append(out, l.ring...)
+}
+
+// Count reports stored decisions with the given action.
+func (l *DecisionLog) Count(action string) int {
+	n := 0
+	for _, d := range l.Decisions() {
+		if d.Action == action {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteJSONL writes the stored decisions oldest-first as JSON Lines.
+func (l *DecisionLog) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, d := range l.Decisions() {
+		if err := enc.Encode(d); err != nil {
+			return fmt.Errorf("adapt: encode decision: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses decisions from a JSON Lines stream, the inverse of
+// WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Decision, error) {
+	var out []Decision
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var d Decision
+		if err := json.Unmarshal(line, &d); err != nil {
+			return nil, fmt.Errorf("adapt: decode decision: %w", err)
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("adapt: read decisions: %w", err)
+	}
+	return out, nil
+}

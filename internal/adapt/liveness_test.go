@@ -1,0 +1,97 @@
+package adapt
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"millibalance/internal/obs"
+)
+
+// TestQuarantineLiveness is the starvation property test: whatever
+// detector event sequence the controller sees — onsets at arbitrary
+// times, probes that always fail, probes that never run — every
+// quarantined backend is re-admitted within MaxQuarantine of its last
+// quarantine, because the parole bound in Tick does not depend on probe
+// outcomes. The test drives randomized adversarial schedules and then a
+// quiet period one parole interval long, and asserts nothing is left
+// quarantined.
+func TestQuarantineLiveness(t *testing.T) {
+	backends := []string{"tomcat1", "tomcat2", "tomcat3", "tomcat4"}
+	for seed := uint64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(seed, seed^0xdead))
+			cfg := testConfig()
+			cfg.MaxQuarantine = 2 * time.Second
+			act := newFakeActuator(backends...)
+			c := NewController(cfg, act)
+
+			// Adversarial phase: random onsets, confirmations, rejects,
+			// outcomes and failing probes, with the controller ticking
+			// throughout.
+			now := time.Duration(0)
+			for i := 0; i < 400; i++ {
+				now += time.Duration(rng.IntN(50)+1) * time.Millisecond
+				b := backends[rng.IntN(len(backends))]
+				switch rng.IntN(6) {
+				case 0:
+					c.OnEvent(obs.Event{T: now, Kind: obs.KindOnset, Source: b})
+				case 1:
+					c.OnEvent(obs.Event{T: now, Kind: obs.KindMillibottleneck, Source: b,
+						SpanStart: now - 200*time.Millisecond, SpanEnd: now})
+				case 2:
+					c.OnEvent(obs.Event{T: now, Kind: obs.KindReject, Source: "apache1"})
+				case 3:
+					c.OnOutcome(now, time.Duration(rng.IntN(3000))*time.Millisecond, rng.IntN(2) == 0)
+				case 4:
+					// Probes always fail: re-admission must not rely on them.
+					c.OnProbe(now, b, 0, false)
+				case 5:
+					c.Tick(now)
+				}
+			}
+
+			// Quiet phase: only ticks, for one full parole interval past
+			// the last possible quarantine.
+			deadline := now + cfg.MaxQuarantine + 200*time.Millisecond
+			for now < deadline {
+				now += 100 * time.Millisecond
+				c.Tick(now)
+			}
+
+			st := c.State()
+			if len(st.Quarantined) != 0 {
+				t.Fatalf("backends still quarantined after parole: %v", st.Quarantined)
+			}
+			for _, b := range backends {
+				act.mu.Lock()
+				on := act.quarantined[b]
+				act.mu.Unlock()
+				if on {
+					t.Fatalf("actuator still has %s quarantined", b)
+				}
+			}
+			// Invariant held throughout: never more than N−1 quarantined.
+			maxQ := 0
+			cur := map[string]bool{}
+			for _, d := range c.Log().Decisions() {
+				switch d.Action {
+				case ActionQuarantine:
+					cur[d.Backend] = true
+				case ActionReadmit:
+					delete(cur, d.Backend)
+				case ActionFallback:
+					cur = map[string]bool{}
+				}
+				if len(cur) > maxQ {
+					maxQ = len(cur)
+				}
+			}
+			if maxQ > len(backends)-1 {
+				t.Fatalf("quarantined %d of %d backends", maxQ, len(backends))
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"millibalance/internal/adapt"
 	"millibalance/internal/lb"
 	"millibalance/internal/mbneck"
 	"millibalance/internal/metrics"
@@ -80,6 +81,12 @@ type Results struct {
 	// detector confirmed during the run (empty unless
 	// Config.EventCapacity > 0).
 	Online map[string][]mbneck.Span
+	// Adapt is the adaptive controller's decision log (nil unless
+	// Config.Adaptive was set).
+	Adapt *adapt.DecisionLog
+	// AdaptState is the controller's final state (zero unless
+	// Config.Adaptive was set).
+	AdaptState adapt.State
 }
 
 // Cluster is an assembled, instrumented n-tier system ready to run.
@@ -99,6 +106,7 @@ type Cluster struct {
 	tracer    *obs.Tracer
 	events    *obs.EventLog
 	detectors map[string]*obs.Detector
+	adapt     *adapt.Controller
 	giveUps   uint64
 
 	webStats []*ServerStats
@@ -120,6 +128,10 @@ func New(cfg Config) *Cluster {
 	}
 	if cfg.SampleInterval <= 0 {
 		cfg.SampleInterval = 10 * time.Millisecond
+	}
+	if cfg.Adaptive != nil && cfg.EventCapacity <= 0 {
+		// The controller feeds on the event log's detector stream.
+		cfg.EventCapacity = 1 << 16
 	}
 	eng := sim.NewEngine(cfg.Seed1, cfg.Seed2)
 	c := &Cluster{Eng: eng, cfg: cfg}
@@ -174,6 +186,9 @@ func New(cfg Config) *Cluster {
 	c.detectors = make(map[string]*obs.Detector)
 	onOutcome := func(req *workload.Request, o workload.Outcome) {
 		c.rec.Record(eng.Now(), o)
+		if c.adapt != nil {
+			c.adapt.OnOutcome(eng.Now(), o.ResponseTime, o.OK)
+		}
 		// Finish before reading the breakdown so stages still open at
 		// completion (worker occupancy on a reject path) are closed.
 		c.tracer.Finish(req.Span, eng.Now(), o.OK)
@@ -213,6 +228,9 @@ func New(cfg Config) *Cluster {
 	}
 
 	c.instrument()
+	if cfg.Adaptive != nil {
+		c.armAdaptive(*cfg.Adaptive)
+	}
 	return c
 }
 
@@ -459,6 +477,10 @@ func (c *Cluster) results() *Results {
 		for name, det := range c.detectors {
 			res.Online[name] = det.Saturations()
 		}
+	}
+	if c.adapt != nil {
+		res.Adapt = c.adapt.Log()
+		res.AdaptState = c.adapt.State()
 	}
 	for i, w := range c.Webs {
 		c.webStats[i].Served = w.Served()

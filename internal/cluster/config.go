@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"millibalance/internal/adapt"
 	"millibalance/internal/lb"
 	"millibalance/internal/netmodel"
 	"millibalance/internal/resource"
@@ -88,6 +89,13 @@ type Config struct {
 	// detectors; the most recent EventCapacity events are kept in
 	// Results.Events. Zero disables both.
 	EventCapacity int
+	// Adaptive, when non-nil, arms the millibottleneck-aware adaptive
+	// control plane (internal/adapt): the controller subscribes to the
+	// event log, quarantines detected-stalled app servers and hot-swaps
+	// policy/mechanism on every web server's balancer at runtime. The
+	// controller needs the online detectors, so a zero EventCapacity is
+	// raised to a default. Decisions land in Results.Adapt.
+	Adaptive *adapt.Config
 }
 
 // Validate reports configuration errors.
@@ -107,6 +115,22 @@ func (c Config) Validate() error {
 	}
 	if _, ok := lb.MechanismByName(c.Mechanism, nil); !ok {
 		return fmt.Errorf("cluster: unknown mechanism %q", c.Mechanism)
+	}
+	if c.Adaptive != nil {
+		ac := *c.Adaptive
+		for _, p := range []string{ac.PolicyTarget, ac.FallbackPolicy} {
+			if p == "" {
+				continue
+			}
+			if _, ok := lb.PolicyByName(p); !ok {
+				return fmt.Errorf("cluster: unknown adaptive policy %q", p)
+			}
+		}
+		if ac.MechanismTarget != "" {
+			if _, ok := lb.MechanismByName(ac.MechanismTarget, nil); !ok {
+				return fmt.Errorf("cluster: unknown adaptive mechanism %q", ac.MechanismTarget)
+			}
+		}
 	}
 	return nil
 }

@@ -25,6 +25,7 @@ type Report struct {
 	Fig12          QueueComparisonResult
 	Fig13          InstabilityResult
 	Generalization GeneralizationResult
+	TableIV        TableIVResult
 }
 
 // RunAll executes the complete evaluation. At the default options this
@@ -47,6 +48,7 @@ func RunAll(opt Options) Report {
 		Fig12:          RunFigure12(opt),
 		Fig13:          RunFigure13(opt),
 		Generalization: RunGeneralization(opt),
+		TableIV:        RunTableIV(opt),
 	}
 }
 
@@ -113,6 +115,8 @@ func (r Report) Markdown() string {
 
 	writePhases("Figure 13 — remedy close-up", r.Fig13)
 
-	fmt.Fprintf(&b, "## Generalization across millibottleneck causes\n\n```\n%s```\n", r.Generalization.Render())
+	fmt.Fprintf(&b, "## Generalization across millibottleneck causes\n\n```\n%s```\n\n", r.Generalization.Render())
+
+	fmt.Fprintf(&b, "## Table IV — adaptive control plane\n\n```\n%s```\n", r.TableIV.Render())
 	return b.String()
 }

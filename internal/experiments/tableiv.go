@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"millibalance/internal/adapt"
+	"millibalance/internal/cluster"
+)
+
+// Table IV — the adaptive control plane's report card. The paper's
+// Table I compares statically configured policy/mechanism combinations;
+// this table asks the question the control plane exists to answer: can
+// a system that STARTS in the worst static configuration
+// (total_request + original get_endpoint) and adapts online approach
+// the best static configuration (current_load), across the same
+// millibottleneck causes the generalization study uses? Each injector
+// runs three ways: the two static anchors and adaptive-from-worst.
+
+// TableIVMode names one column group of Table IV.
+type TableIVMode string
+
+const (
+	// ModeStaticTotalRequest is the worst static anchor.
+	ModeStaticTotalRequest TableIVMode = "static_total_request"
+	// ModeStaticCurrentLoad is the best static anchor.
+	ModeStaticCurrentLoad TableIVMode = "static_current_load"
+	// ModeAdaptive starts from total_request + original get_endpoint
+	// with the adaptive controller armed.
+	ModeAdaptive TableIVMode = "adaptive"
+)
+
+// TableIVRow is one injector × mode measurement.
+type TableIVRow struct {
+	Injector string
+	Mode     TableIVMode
+	// Policy and Mechanism the run ENDED on (differs from the start
+	// under adaptation).
+	Policy    string
+	Mechanism string
+
+	TotalRequests uint64
+	AvgRTMillis   float64
+	VLRTPct       float64
+	Rejects       uint64
+
+	// Controller activity (adaptive mode only).
+	Quarantines int
+	Readmits    int
+	Swaps       int
+	Fallbacks   int
+	// Decisions keeps the adaptive run's full decision log for JSONL
+	// export and round-trip checks (nil for static rows).
+	Decisions *adapt.DecisionLog
+}
+
+// TableIVResult holds the 3 injectors × 3 modes grid.
+type TableIVResult struct {
+	Rows []TableIVRow
+}
+
+// TableIVInjectors lists the exercised millibottleneck causes: the
+// paper's dirty-page flushes plus the two injected causes the adaptive
+// controller has no special knowledge of.
+func TableIVInjectors() []string {
+	return []string{"dirty_page_flush", "gc_pause", "bursty_workload"}
+}
+
+// RunTableIV executes the grid.
+func RunTableIV(opt Options) TableIVResult {
+	var out TableIVResult
+	for _, injector := range TableIVInjectors() {
+		for _, mode := range []TableIVMode{ModeStaticTotalRequest, ModeStaticCurrentLoad, ModeAdaptive} {
+			cfg := causeConfig(opt, injector)
+			switch mode {
+			case ModeStaticCurrentLoad:
+				cfg.Policy = "current_load"
+				cfg.Mechanism = "original_get_endpoint"
+			default: // both start from the worst static configuration
+				cfg.Policy = "total_request"
+				cfg.Mechanism = "original_get_endpoint"
+			}
+			if mode == ModeAdaptive {
+				cfg.Adaptive = &adapt.Config{}
+			}
+			c := cluster.New(cfg)
+			injectorFor(injector, c)
+			res := c.Run()
+
+			row := TableIVRow{
+				Injector:      injector,
+				Mode:          mode,
+				Policy:        cfg.Policy,
+				Mechanism:     cfg.Mechanism,
+				TotalRequests: res.Responses.Total(),
+				AvgRTMillis:   float64(res.Responses.Mean().Microseconds()) / 1000,
+				VLRTPct:       res.Responses.VLRTPercent(),
+				Rejects:       res.Rejects,
+			}
+			if mode == ModeAdaptive && res.Adapt != nil {
+				row.Policy = res.AdaptState.Policy
+				row.Mechanism = res.AdaptState.Mechanism
+				row.Quarantines = res.Adapt.Count(adapt.ActionQuarantine)
+				row.Readmits = res.Adapt.Count(adapt.ActionReadmit)
+				row.Swaps = res.Adapt.Count(adapt.ActionSwapMechanism) +
+					res.Adapt.Count(adapt.ActionSwapPolicy)
+				row.Fallbacks = res.Adapt.Count(adapt.ActionFallback)
+				row.Decisions = res.Adapt
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// Row returns the row for an injector and mode, or nil.
+func (t TableIVResult) Row(injector string, mode TableIVMode) *TableIVRow {
+	for i := range t.Rows {
+		if t.Rows[i].Injector == injector && t.Rows[i].Mode == mode {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}
+
+// AdaptiveWithinFactor reports whether the adaptive run's average RT
+// and %VLRT both land within the given factor of the static
+// current_load anchor for the injector — the Table IV acceptance
+// criterion (factor 2 under dirty_page_flush).
+func (t TableIVResult) AdaptiveWithinFactor(injector string, factor float64) bool {
+	ad := t.Row(injector, ModeAdaptive)
+	cl := t.Row(injector, ModeStaticCurrentLoad)
+	if ad == nil || cl == nil {
+		return false
+	}
+	rtOK := ad.AvgRTMillis <= cl.AvgRTMillis*factor
+	// A zero-VLRT anchor would make any residue fail a pure ratio; use
+	// an absolute floor of one VLRT per thousand requests alongside it.
+	vlrtOK := ad.VLRTPct <= cl.VLRTPct*factor || ad.VLRTPct <= 0.1
+	return rtOK && vlrtOK
+}
+
+// AdaptiveImproves reports whether adaptation beat the static
+// total_request configuration it started from, on both average RT and
+// %VLRT, for the injector.
+func (t TableIVResult) AdaptiveImproves(injector string) bool {
+	ad := t.Row(injector, ModeAdaptive)
+	tr := t.Row(injector, ModeStaticTotalRequest)
+	if ad == nil || tr == nil {
+		return false
+	}
+	return ad.AvgRTMillis < tr.AvgRTMillis && ad.VLRTPct <= tr.VLRTPct
+}
+
+// Render prints the grid.
+func (t TableIVResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table IV — static anchors vs adaptive-from-worst, per millibottleneck cause\n")
+	fmt.Fprintf(&b, "%-18s %-22s %10s %12s %9s %8s %22s\n",
+		"injector", "mode", "#req", "avg RT (ms)", "%VLRT", "rejects", "controller activity")
+	for _, r := range t.Rows {
+		activity := "-"
+		if r.Mode == ModeAdaptive {
+			activity = fmt.Sprintf("q=%d r=%d s=%d f=%d",
+				r.Quarantines, r.Readmits, r.Swaps, r.Fallbacks)
+		}
+		fmt.Fprintf(&b, "%-18s %-22s %10d %12.2f %8.2f%% %8d %22s\n",
+			r.Injector, string(r.Mode), r.TotalRequests, r.AvgRTMillis,
+			r.VLRTPct, r.Rejects, activity)
+	}
+	for _, injector := range TableIVInjectors() {
+		fmt.Fprintf(&b, "\n%s: adaptive within 2x of current_load: %v; improves on total_request: %v",
+			injector, t.AdaptiveWithinFactor(injector, 2), t.AdaptiveImproves(injector))
+	}
+	b.WriteString("\n")
+	return b.String()
+}

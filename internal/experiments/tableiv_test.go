@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"millibalance/internal/adapt"
+)
+
+func TestTableIVAdaptiveAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nine paper-scale runs")
+	}
+	res := RunTableIV(testOpt)
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d, want 3 injectors x 3 modes", len(res.Rows))
+	}
+
+	// The headline criterion: starting from the worst static
+	// configuration, the controller recovers to within 2x of the best
+	// static anchor under the paper's own millibottleneck cause.
+	if !res.AdaptiveWithinFactor("dirty_page_flush", 2) {
+		ad := res.Row("dirty_page_flush", ModeAdaptive)
+		cl := res.Row("dirty_page_flush", ModeStaticCurrentLoad)
+		t.Fatalf("adaptive %.2fms/%.2f%% not within 2x of current_load %.2fms/%.2f%%",
+			ad.AvgRTMillis, ad.VLRTPct, cl.AvgRTMillis, cl.VLRTPct)
+	}
+	// And it must improve on the configuration it started from, for
+	// every cause — including the two it has no special knowledge of.
+	for _, injector := range TableIVInjectors() {
+		if !res.AdaptiveImproves(injector) {
+			ad := res.Row(injector, ModeAdaptive)
+			tr := res.Row(injector, ModeStaticTotalRequest)
+			t.Fatalf("%s: adaptive %.2fms/%.2f%% does not improve on total_request %.2fms/%.2f%%",
+				injector, ad.AvgRTMillis, ad.VLRTPct, tr.AvgRTMillis, tr.VLRTPct)
+		}
+	}
+
+	// The adaptive flush run must actually have adapted: quarantines
+	// fired and the ladder reached the policy swap.
+	ad := res.Row("dirty_page_flush", ModeAdaptive)
+	if ad.Quarantines == 0 || ad.Swaps == 0 {
+		t.Fatalf("flush adaptation inactive: q=%d s=%d", ad.Quarantines, ad.Swaps)
+	}
+	if ad.Policy != "current_load" {
+		t.Fatalf("flush run ended on policy %q, want current_load", ad.Policy)
+	}
+
+	// Controller decisions round-trip through the JSONL export.
+	if ad.Decisions == nil || ad.Decisions.Len() == 0 {
+		t.Fatal("adaptive row carries no decision log")
+	}
+	var buf bytes.Buffer
+	if err := ad.Decisions.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := adapt.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ad.Decisions.Decisions(), out) {
+		t.Fatal("decision log JSONL round trip mismatch")
+	}
+
+	render := res.Render()
+	for _, want := range []string{"adaptive", "static_current_load", "within 2x"} {
+		if !strings.Contains(render, want) {
+			t.Fatalf("render missing %q:\n%s", want, render)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package httpcluster
+
+import (
+	"sync"
+	"time"
+
+	"millibalance/internal/adapt"
+	"millibalance/internal/obs"
+)
+
+// Adaptive control plane wiring for the wall-clock substrate: one
+// adapt.Controller per proxy, driven by a goroutine ticker instead of
+// virtual-time events. The simulator feeds the controller from its
+// online millibottleneck detectors; here the runner synthesizes the
+// same onset/recovery signals from the balancer's own counters — a
+// backend whose endpoint pool is exhausted with requests in flight and
+// zero completions over a tick is stalled in exactly the sense the
+// paper's detectors flag. Outcomes stream in from the proxy's request
+// handler and probe results from the balancer's probe hook, so the
+// remediation ladder (quarantine → mechanism swap → policy swap →
+// round_robin fallback) is identical across substrates.
+
+// proxyActuator adapts the proxy's balancer to adapt.Actuator.
+type proxyActuator struct {
+	bal *Balancer
+}
+
+// Backends implements adapt.Actuator.
+func (a proxyActuator) Backends() []string {
+	out := make([]string, 0, len(a.bal.Backends()))
+	for _, be := range a.bal.Backends() {
+		out = append(out, be.Name())
+	}
+	return out
+}
+
+// SetPolicy implements adapt.Actuator.
+func (a proxyActuator) SetPolicy(name string) {
+	if p, err := ParsePolicy(name); err == nil {
+		a.bal.SetPolicy(p)
+	}
+}
+
+// SetMechanism implements adapt.Actuator.
+func (a proxyActuator) SetMechanism(name string) {
+	if m, err := ParseMechanism(name); err == nil {
+		a.bal.SetMechanism(m)
+	}
+}
+
+// SetQuarantine implements adapt.Actuator.
+func (a proxyActuator) SetQuarantine(backend string, on bool) {
+	a.bal.SetQuarantine(backend, on)
+}
+
+// ArmProbe implements adapt.Actuator.
+func (a proxyActuator) ArmProbe(backend string) {
+	a.bal.ArmProbe(backend)
+}
+
+// backendWatch is the per-backend stall-synthesis state.
+type backendWatch struct {
+	completed uint64
+	stalled   bool
+}
+
+// adaptRunner owns the controller goroutine.
+type adaptRunner struct {
+	p    *Proxy
+	ctrl *adapt.Controller
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	watch       map[string]*backendWatch
+	lastRejects uint64
+}
+
+// armAdapt builds the controller and starts the runner. Called from
+// StartProxy before the listener serves traffic.
+func (p *Proxy) armAdapt(acfg adapt.Config) {
+	if acfg.BasePolicy == "" {
+		acfg.BasePolicy = p.cfg.Policy.String()
+	}
+	if acfg.BaseMechanism == "" {
+		acfg.BaseMechanism = p.cfg.Mechanism.String()
+	}
+	ctrl := adapt.NewController(acfg, proxyActuator{p.bal})
+	p.adaptC = ctrl
+	p.bal.SetProbeHook(func(be *Backend, rt time.Duration, ok bool) {
+		ctrl.OnProbe(p.now(), be.Name(), rt, ok)
+	})
+	r := &adaptRunner{
+		p:     p,
+		ctrl:  ctrl,
+		stop:  make(chan struct{}),
+		watch: map[string]*backendWatch{},
+	}
+	for _, be := range p.bal.Backends() {
+		r.watch[be.Name()] = &backendWatch{}
+	}
+	p.adaptR = r
+	r.wg.Add(1)
+	go r.run()
+}
+
+// Adapt exposes the proxy's adaptive controller (nil unless
+// ProxyConfig.Adapt was set).
+func (p *Proxy) Adapt() *adapt.Controller { return p.adaptC }
+
+func (r *adaptRunner) run() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.ctrl.TickInterval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+			r.step()
+		}
+	}
+}
+
+// step synthesizes detector signals from the balancer counters, then
+// advances the controller clock.
+func (r *adaptRunner) step() {
+	now := r.p.now()
+
+	if rejects := r.p.bal.Rejects(); rejects > r.lastRejects {
+		r.ctrl.OnRejects(int(rejects - r.lastRejects))
+		r.lastRejects = rejects
+	}
+
+	for _, be := range r.p.bal.Backends() {
+		w := r.watch[be.Name()]
+		be.mu.Lock()
+		completed := be.completed
+		inFlight := be.dispatched - be.completed
+		free := len(be.endpoints)
+		be.mu.Unlock()
+
+		stalled := completed == w.completed && free == 0 && inFlight > 0
+		switch {
+		case stalled && !w.stalled:
+			w.stalled = true
+			r.ctrl.OnEvent(obs.Event{T: now, Kind: obs.KindOnset, Source: be.Name()})
+		case !stalled && w.stalled:
+			w.stalled = false
+			r.ctrl.OnEvent(obs.Event{
+				T: now, Kind: obs.KindMillibottleneck, Source: be.Name(),
+				SpanStart: now - r.ctrl.TickInterval(), SpanEnd: now,
+			})
+		}
+		w.completed = completed
+	}
+
+	r.ctrl.Tick(now)
+}
+
+// close stops the runner goroutine.
+func (r *adaptRunner) close() {
+	close(r.stop)
+	r.wg.Wait()
+}

@@ -85,8 +85,10 @@ func stateName(s BackendState) string {
 // Stats snapshots the proxy's balancer state.
 func (p *Proxy) Stats() ProxyStats {
 	out := ProxyStats{
-		Policy:    p.cfg.Policy.String(),
-		Mechanism: p.cfg.Mechanism.String(),
+		// Read from the balancer, not the construction config: the
+		// adaptive control plane may have hot-swapped either.
+		Policy:    p.bal.CurrentPolicy().String(),
+		Mechanism: p.bal.CurrentMechanism().String(),
 		Served:    p.served.Load(),
 		Errors:    p.errors.Load(),
 		Rejects:   p.bal.Rejects(),
@@ -131,6 +133,22 @@ func (p *Proxy) adminHandler(forward http.HandlerFunc) http.HandlerFunc {
 			}
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			_ = p.events.WriteJSONL(w)
+			return
+		case "/admin/adapt":
+			if p.adaptC == nil {
+				http.Error(w, "adaptive control plane disabled (ProxyConfig.Adapt)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(p.adaptC.State())
+			return
+		case "/admin/adapt/decisions":
+			if p.adaptC == nil {
+				http.Error(w, "adaptive control plane disabled (ProxyConfig.Adapt)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = p.adaptC.Log().WriteJSONL(w)
 			return
 		}
 		forward(w, r)

@@ -30,6 +30,10 @@ const (
 	PolicyTotalTraffic
 	// PolicyCurrentLoad ranks by in-flight requests (the remedy).
 	PolicyCurrentLoad
+	// PolicyRoundRobin rotates through non-excluded backends — the
+	// adaptive control plane's fallback when every backend looks
+	// stalled and lb_values carry no signal.
+	PolicyRoundRobin
 )
 
 // String returns the policy name.
@@ -41,6 +45,8 @@ func (p Policy) String() string {
 		return "total_traffic"
 	case PolicyCurrentLoad:
 		return "current_load"
+	case PolicyRoundRobin:
+		return "round_robin"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -55,6 +61,8 @@ func ParsePolicy(name string) (Policy, error) {
 		return PolicyTotalTraffic, nil
 	case "current_load":
 		return PolicyCurrentLoad, nil
+	case "round_robin":
+		return PolicyRoundRobin, nil
 	default:
 		return 0, fmt.Errorf("httpcluster: unknown policy %q", name)
 	}
@@ -124,6 +132,11 @@ type Backend struct {
 	firstFail   time.Time
 	dispatched  uint64
 	completed   uint64
+	traffic     int64
+	quarantined bool
+	probeArmed  bool
+	probing     bool
+	probeStart  time.Time
 	events      *obs.EventLog
 	epoch       time.Time
 }
@@ -279,20 +292,25 @@ func (c Config) withDefaults() Config {
 var ErrNoBackend = errors.New("httpcluster: no backend available")
 
 // Balancer is the wall-clock twin of lb.Balancer: same two-level
-// scheduler, same 3-state machine, safe for concurrent use.
+// scheduler, same 3-state machine, safe for concurrent use. policy and
+// mech are guarded by mu so the adaptive control plane can hot-swap
+// them at runtime (see runtime.go); the dispatch path reads them
+// through the accessors before taking any backend lock.
 type Balancer struct {
-	policy   Policy
-	mech     Mechanism
 	cfg      Config
 	backends []*Backend
 
 	mu       sync.Mutex
+	policy   Policy
+	mech     Mechanism
 	rejects  uint64
 	sessions sessionTable
 	onAssign func(*Backend)
+	onProbe  func(*Backend, time.Duration, bool)
 	events   *obs.EventLog
 	epoch    time.Time
 	source   string
+	rr       uint64
 }
 
 // NewBalancer builds a balancer over the backends.
@@ -403,12 +421,13 @@ func (b *Balancer) Acquire(requestBytes int64) (*Backend, func(responseBytes int
 
 // acquireEndpoint runs the configured mechanism against one backend.
 func (b *Balancer) acquireEndpoint(be *Backend) bool {
+	mech := b.CurrentMechanism()
 	select {
 	case <-be.endpoints:
 		return true
 	default:
 	}
-	if b.mech == MechanismModified {
+	if mech == MechanismModified {
 		return false
 	}
 	// Algorithm 1: poll while retry*sleep < timeout, holding the
@@ -429,12 +448,16 @@ func (b *Balancer) acquireEndpoint(be *Backend) bool {
 }
 
 // choose picks the lowest-lb_value backend: Available first, then Busy;
-// Error and already-tried backends are excluded.
+// Error, already-tried and quarantined backends (unless probe-armed)
+// are excluded. Under round_robin the lb_values are ignored and the
+// non-excluded backends are rotated through instead.
 func (b *Balancer) choose(tried map[*Backend]bool) *Backend {
 	now := time.Now()
+	policy := b.CurrentPolicy()
 	pick := func(state BackendState) *Backend {
 		var best *Backend
 		bestVal := 0.0
+		var eligible []*Backend
 		for _, be := range b.backends {
 			if tried[be] {
 				continue
@@ -442,13 +465,24 @@ func (b *Balancer) choose(tried map[*Backend]bool) *Backend {
 			be.mu.Lock()
 			be.lazyRecover(now)
 			st, val := be.state, be.lbValue
+			skip := be.quarantined && !be.probeArmed
 			be.mu.Unlock()
-			if st != state {
+			if st != state || skip {
+				continue
+			}
+			if policy == PolicyRoundRobin {
+				eligible = append(eligible, be)
 				continue
 			}
 			if best == nil || val < bestVal {
 				best, bestVal = be, val
 			}
+		}
+		if policy == PolicyRoundRobin && len(eligible) > 0 {
+			b.mu.Lock()
+			best = eligible[b.rr%uint64(len(eligible))]
+			b.rr++
+			b.mu.Unlock()
 		}
 		return best
 	}
@@ -459,6 +493,7 @@ func (b *Balancer) choose(tried map[*Backend]bool) *Backend {
 }
 
 func (b *Balancer) noteDispatch(be *Backend) {
+	policy := b.CurrentPolicy()
 	be.mu.Lock()
 	defer be.mu.Unlock()
 	be.consecFails = 0
@@ -467,24 +502,32 @@ func (b *Balancer) noteDispatch(be *Backend) {
 		be.recoverAt = time.Time{}
 	}
 	be.dispatched++
-	switch b.policy {
+	if be.probeArmed {
+		be.probeArmed = false
+		be.probing = true
+		be.probeStart = time.Now()
+	}
+	switch policy {
 	case PolicyTotalRequest, PolicyCurrentLoad:
 		be.lbValue += 1 / be.weightLocked()
+	case PolicyRoundRobin:
+		be.lbValue++
 	case PolicyTotalTraffic:
 		// Accounted on completion, per Algorithm 3.
 	}
 }
 
 func (b *Balancer) noteComplete(be *Backend, requestBytes, responseBytes int64) {
+	policy := b.CurrentPolicy()
 	be.mu.Lock()
-	defer be.mu.Unlock()
 	be.completed++
+	be.traffic += requestBytes + responseBytes
 	be.consecFails = 0
 	if be.state != BackendAvailable {
 		be.setStateLocked(BackendAvailable)
 		be.recoverAt = time.Time{}
 	}
-	switch b.policy {
+	switch policy {
 	case PolicyTotalTraffic:
 		be.lbValue += float64(requestBytes+responseBytes) / be.weightLocked()
 	case PolicyCurrentLoad:
@@ -493,24 +536,46 @@ func (b *Balancer) noteComplete(be *Backend, requestBytes, responseBytes int64) 
 		} else {
 			be.lbValue = 0
 		}
+	case PolicyRoundRobin:
+		if be.lbValue >= 1 {
+			be.lbValue--
+		} else {
+			be.lbValue = 0
+		}
+	}
+	probed := be.probing
+	var rt time.Duration
+	if probed {
+		be.probing = false
+		rt = time.Since(be.probeStart)
+	}
+	be.mu.Unlock()
+	if probed && b.onProbe != nil {
+		b.onProbe(be, rt, true)
 	}
 }
 
 func (b *Balancer) noteFailure(be *Backend) {
 	now := time.Now()
 	be.mu.Lock()
-	defer be.mu.Unlock()
+	probeFailed := be.probeArmed
+	be.probeArmed = false
 	if be.consecFails == 0 {
 		be.firstFail = now
 	}
 	be.consecFails++
+	escalated := false
 	if be.consecFails >= b.cfg.ErrorThreshold && now.Sub(be.firstFail) >= b.cfg.ErrorAfter {
 		be.setStateLocked(BackendError)
 		be.recoverAt = now.Add(b.cfg.ErrorRecovery)
-		return
+		escalated = true
 	}
-	if be.state == BackendAvailable {
+	if !escalated && be.state == BackendAvailable {
 		be.setStateLocked(BackendBusy)
 		be.recoverAt = now.Add(b.cfg.BusyRecovery)
+	}
+	be.mu.Unlock()
+	if probeFailed && b.onProbe != nil {
+		b.onProbe(be, 0, false)
 	}
 }

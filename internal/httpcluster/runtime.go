@@ -1,0 +1,151 @@
+package httpcluster
+
+import (
+	"time"
+)
+
+// Runtime reconfiguration — the wall-clock twin of internal/lb's
+// actuation surface. The adaptive control plane (internal/adapt)
+// hot-swaps the policy or mechanism and drains/re-admits individual
+// backends while worker goroutines keep dispatching. Counters survive a
+// swap and each backend's lb_value is reseeded from them, so
+// current_load's invariant lb_value == in-flight holds immediately
+// after swapping in.
+//
+// Lock ordering: SetPolicy holds b.mu and then each be.mu. The dispatch
+// path therefore always reads the policy/mechanism via the b.mu-guarded
+// accessors BEFORE taking any backend lock, never the other way around.
+
+// CurrentPolicy reads the live policy (it may differ from the
+// construction-time one after an adaptive hot-swap).
+func (b *Balancer) CurrentPolicy() Policy {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.policy
+}
+
+// CurrentMechanism reads the live mechanism.
+func (b *Balancer) CurrentMechanism() Mechanism {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.mech
+}
+
+// SetPolicy swaps the lb_value bookkeeping at runtime, reseeding every
+// backend's lb_value from its preserved counters — exactly the value
+// the incoming policy would have accumulated itself.
+func (b *Balancer) SetPolicy(p Policy) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.policy = p
+	for _, be := range b.backends {
+		be.mu.Lock()
+		switch p {
+		case PolicyTotalRequest:
+			be.lbValue = float64(be.dispatched) / be.weightLocked()
+		case PolicyTotalTraffic:
+			be.lbValue = float64(be.traffic) / be.weightLocked()
+		case PolicyCurrentLoad:
+			be.lbValue = float64(be.dispatched-be.completed) / be.weightLocked()
+		case PolicyRoundRobin:
+			// Unscaled in-flight bookkeeping, matching lb.RoundRobin.
+			be.lbValue = float64(be.dispatched - be.completed)
+		}
+		be.mu.Unlock()
+	}
+}
+
+// SetMechanism swaps the endpoint-acquisition mechanism at runtime.
+// Acquisitions already polling finish under the old mechanism; the next
+// dispatch uses the new one.
+func (b *Balancer) SetMechanism(m Mechanism) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mech = m
+}
+
+// SetQuarantine drains (or re-admits) a backend by name: while
+// quarantined it is skipped by the scheduler and by sticky sessions
+// except for explicitly armed probe requests. In-flight requests finish
+// normally. Re-admission under a cumulative policy (total_request,
+// total_traffic) applies mod_jk recovery seeding — the backend
+// re-enters at the tier's maximum lb_value, so its frozen, now-minimal
+// value cannot attract the entire tier's traffic in one wave. Reports
+// whether the backend was found.
+func (b *Balancer) SetQuarantine(name string, on bool) bool {
+	policy := b.CurrentPolicy()
+	for _, be := range b.backends {
+		if be.name != name {
+			continue
+		}
+		be.mu.Lock()
+		be.quarantined = on
+		if !on {
+			be.probeArmed = false
+			if policy == PolicyTotalRequest || policy == PolicyTotalTraffic {
+				seed := be.lbValue
+				be.mu.Unlock()
+				for _, o := range b.backends {
+					if o == be {
+						continue
+					}
+					o.mu.Lock()
+					if o.lbValue > seed {
+						seed = o.lbValue
+					}
+					o.mu.Unlock()
+				}
+				be.mu.Lock()
+				if seed > be.lbValue {
+					be.lbValue = seed
+				}
+			}
+		}
+		be.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// ArmProbe allows exactly one request through a quarantined backend so
+// the probe hook can measure whether it has recovered. A no-op when the
+// backend is not quarantined or a probe is already in flight. Reports
+// whether a probe was armed.
+func (b *Balancer) ArmProbe(name string) bool {
+	for _, be := range b.backends {
+		if be.name != name {
+			continue
+		}
+		be.mu.Lock()
+		armed := false
+		if be.quarantined && !be.probing {
+			be.probeArmed = true
+			armed = true
+		}
+		be.mu.Unlock()
+		return armed
+	}
+	return false
+}
+
+// SetProbeHook registers the probe-outcome callback: rt is the measured
+// response time for a completed probe; ok is false when the probe's
+// endpoint acquisition failed. Invoked without any lock held. Call
+// before serving traffic.
+func (b *Balancer) SetProbeHook(hook func(be *Backend, rt time.Duration, ok bool)) {
+	b.onProbe = hook
+}
+
+// Quarantined reads the backend's quarantine flag.
+func (b *Backend) Quarantined() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.quarantined
+}
+
+// Traffic reads the cumulative bytes exchanged.
+func (b *Backend) Traffic() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.traffic
+}

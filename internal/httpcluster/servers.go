@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"millibalance/internal/adapt"
 	"millibalance/internal/obs"
 )
 
@@ -214,6 +215,13 @@ type ProxyConfig struct {
 	// transitions and rejects into a bounded event log served at
 	// GET /admin/events.
 	EventCapacity int
+	// Adapt, when non-nil, arms the millibottleneck-aware adaptive
+	// control plane (internal/adapt): a controller goroutine watches
+	// the balancer for stalled backends, quarantines them, hot-swaps
+	// policy/mechanism under sustained VLRT or reject pressure, and
+	// serves its state at GET /admin/adapt and its decision log at
+	// GET /admin/adapt/decisions.
+	Adapt *adapt.Config
 }
 
 // Proxy is the web tier: an HTTP server that forwards each request to
@@ -235,6 +243,8 @@ type Proxy struct {
 	tracer *obs.Tracer
 	events *obs.EventLog
 	reqID  atomic.Uint64
+	adaptC *adapt.Controller
+	adaptR *adaptRunner
 }
 
 // StartProxy launches the proxy over the given backends.
@@ -260,6 +270,9 @@ func StartProxy(cfg ProxyConfig, backends []*Backend) (*Proxy, error) {
 	if cfg.EventCapacity > 0 {
 		p.events = obs.NewEventLog(cfg.EventCapacity)
 		p.bal.SetEventLog(p.events, "proxy", p.epoch)
+	}
+	if cfg.Adapt != nil {
+		p.armAdapt(*cfg.Adapt)
 	}
 	p.srv = &http.Server{Handler: p.adminHandler(p.handle)}
 	p.wg.Add(1)
@@ -296,6 +309,9 @@ func (p *Proxy) now() time.Duration { return time.Since(p.epoch) }
 func (p *Proxy) Close() error {
 	err := p.srv.Close()
 	p.wg.Wait()
+	if p.adaptR != nil {
+		p.adaptR.close()
+	}
 	return err
 }
 
@@ -304,8 +320,9 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	// wall-clock stage mapping mirrors the simulation's: worker wait →
 	// web accept-queue, worker occupancy → web thread, AcquireSession →
 	// get_endpoint, upstream round trip → app thread.
-	sp := p.tracer.Start(p.reqID.Add(1), p.now())
-	sp.Enter(obs.StageWebAcceptQueue, p.now())
+	start := p.now()
+	sp := p.tracer.Start(p.reqID.Add(1), start)
+	sp.Enter(obs.StageWebAcceptQueue, start)
 	p.workers <- struct{}{}
 	defer func() { <-p.workers }()
 	sp.Exit(obs.StageWebAcceptQueue, p.now())
@@ -325,6 +342,7 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		p.errors.Add(1)
 		p.tracer.Finish(sp, p.now(), false)
+		p.adaptOutcome(start, false)
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
@@ -335,6 +353,7 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 		release(0)
 		p.errors.Add(1)
 		p.tracer.Finish(sp, p.now(), false)
+		p.adaptOutcome(start, false)
 		http.Error(w, "upstream: "+err.Error(), http.StatusBadGateway)
 		return
 	}
@@ -346,6 +365,17 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	release(n)
 	p.served.Add(1)
 	p.tracer.Finish(sp, p.now(), resp.StatusCode < 500)
+	p.adaptOutcome(start, resp.StatusCode < 500)
+}
+
+// adaptOutcome streams one client-observed outcome into the adaptive
+// controller; a no-op when the control plane is off.
+func (p *Proxy) adaptOutcome(start time.Duration, ok bool) {
+	if p.adaptC == nil {
+		return
+	}
+	now := p.now()
+	p.adaptC.OnOutcome(now, now-start, ok)
 }
 
 // ParseBackendList parses "name=url,name=url" into backends with the

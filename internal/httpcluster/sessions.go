@@ -77,7 +77,7 @@ func (b *Balancer) Sessions() int { return b.sessions.len() }
 // balancer falls back to normal selection and rebinds.
 func (b *Balancer) AcquireSession(sessionKey string, requestBytes int64) (*Backend, func(int64), error) {
 	if b.cfg.StickySessions && sessionKey != "" {
-		if be := b.sessions.get(sessionKey); be != nil && be.State() != BackendError {
+		if be := b.sessions.get(sessionKey); be != nil && be.State() != BackendError && !be.Quarantined() {
 			if b.onAssign != nil {
 				b.onAssign(be)
 			}

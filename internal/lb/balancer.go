@@ -92,6 +92,9 @@ type Balancer struct {
 	onDispatch func(*Candidate)
 	onReject   func()
 	onState    func(c *Candidate, from, to State)
+	onProbe    func(c *Candidate, rt sim.Time, ok bool)
+
+	maintainOn bool
 }
 
 // New returns a balancer over the candidates. Policy, mechanism and at
@@ -118,17 +121,30 @@ func New(eng *sim.Engine, policy Policy, mech Mechanism, cands []*Candidate, cfg
 		cfg:    cfg.withDefaults(len(cands)),
 		cands:  copied,
 	}
-	if m, ok := policy.(Maintainer); ok && b.cfg.MaintainInterval > 0 {
-		var tick func()
-		tick = func() {
+	if _, ok := policy.(Maintainer); ok {
+		b.startMaintain()
+	}
+	return b
+}
+
+// startMaintain arms the recurring maintenance tick. The tick checks the
+// *current* policy on every firing, so a runtime SetPolicy swap into or
+// out of a maintaining policy needs no timer surgery.
+func (b *Balancer) startMaintain() {
+	if b.cfg.MaintainInterval <= 0 || b.maintainOn {
+		return
+	}
+	b.maintainOn = true
+	var tick func()
+	tick = func() {
+		if m, ok := b.policy.(Maintainer); ok {
 			for _, c := range b.cands {
 				m.Maintain(c)
 			}
-			eng.Schedule(b.cfg.MaintainInterval, tick)
 		}
-		eng.Schedule(b.cfg.MaintainInterval, tick)
+		b.eng.Schedule(b.cfg.MaintainInterval, tick)
 	}
-	return b
+	b.eng.Schedule(b.cfg.MaintainInterval, tick)
 }
 
 // Policy returns the active policy.
@@ -203,6 +219,14 @@ func (b *Balancer) attempt(info RequestInfo, send func(*Candidate, func()), reje
 	}
 	b.mech.Acquire(c, func(ok bool) {
 		if !ok {
+			if c.probeArmed {
+				// The armed probe could not even get an endpoint: report a
+				// failed probe instead of dispatching it elsewhere.
+				c.probeArmed = false
+				if b.onProbe != nil {
+					b.onProbe(c, 0, false)
+				}
+			}
 			b.noteFailure(c)
 			if tried == nil {
 				tried = make(map[*Candidate]bool, len(b.cands))
@@ -245,6 +269,11 @@ func (b *Balancer) dispatchTo(c *Candidate, info RequestInfo, send func(*Candida
 	}
 	c.dispatched++
 	c.inFlight++
+	if c.probeArmed {
+		c.probeArmed = false
+		c.probing = true
+		c.probeStart = b.eng.Now()
+	}
 	if b.onDispatch != nil {
 		b.onDispatch(c)
 	}
@@ -256,11 +285,18 @@ func (b *Balancer) dispatchTo(c *Candidate, info RequestInfo, send func(*Candida
 		finished = true
 		c.inFlight--
 		c.completed++
+		c.traffic += info.RequestBytes + info.ResponseBytes
 		b.policy.OnComplete(c, info)
 		c.releaseEndpoint()
 		c.consecFails = 0
 		if c.state != StateAvailable {
 			b.setAvailable(c)
+		}
+		if c.probing {
+			c.probing = false
+			if b.onProbe != nil {
+				b.onProbe(c, b.eng.Now()-c.probeStart, true)
+			}
 		}
 	})
 }
@@ -287,10 +323,16 @@ func (b *Balancer) choose(tried map[*Candidate]bool) *Candidate {
 }
 
 func (b *Balancer) lowest(s State, tried map[*Candidate]bool) *Candidate {
+	// A quarantined candidate is invisible to the scheduler until the
+	// control plane arms a probe; the armed probe makes it eligible for
+	// exactly one dispatch.
+	skip := func(c *Candidate) bool {
+		return c.state != s || tried[c] || (c.quarantined && !c.probeArmed)
+	}
 	if chooser, ok := b.policy.(Chooser); ok {
 		var eligible []*Candidate
 		for _, c := range b.cands {
-			if c.state == s && !tried[c] {
+			if !skip(c) {
 				eligible = append(eligible, c)
 			}
 		}
@@ -301,7 +343,7 @@ func (b *Balancer) lowest(s State, tried map[*Candidate]bool) *Candidate {
 	}
 	var best *Candidate
 	for _, c := range b.cands {
-		if c.state != s || tried[c] {
+		if skip(c) {
 			continue
 		}
 		if best == nil || c.lbValue < best.lbValue {

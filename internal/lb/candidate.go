@@ -66,6 +66,16 @@ type Candidate struct {
 	inFlight    int
 	dispatched  uint64
 	completed   uint64
+	traffic     int64
+
+	// Quarantine (the adaptive control plane's drain action): a
+	// quarantined candidate is skipped by the scheduler unless a probe
+	// has been armed, in which case exactly one request is let through
+	// to measure whether the candidate recovered.
+	quarantined bool
+	probeArmed  bool
+	probing     bool
+	probeStart  sim.Time
 
 	busyTimer  *sim.Timer
 	errorTimer *sim.Timer
@@ -103,6 +113,16 @@ func (c *Candidate) Completed() uint64 { return c.completed }
 // FreeEndpoints reports free connections in the endpoint pool.
 func (c *Candidate) FreeEndpoints() int { return c.pool.Free() }
 
+// Traffic reports the cumulative bytes exchanged through this balancer
+// (request plus response sizes of completed dispatches) — the
+// total_traffic accounting basis, kept under every policy so a runtime
+// swap can reseed the lb_value consistently.
+func (c *Candidate) Traffic() int64 { return c.traffic }
+
+// Quarantined reports whether the adaptive control plane has drained
+// this candidate.
+func (c *Candidate) Quarantined() bool { return c.quarantined }
+
 // tryEndpoint attempts to take one endpoint, reporting success.
 func (c *Candidate) tryEndpoint() bool { return c.pool.TryAcquire() }
 
@@ -121,6 +141,7 @@ type Snapshot struct {
 	Dispatched    uint64
 	Completed     uint64
 	FreeEndpoints int
+	Quarantined   bool
 }
 
 func (c *Candidate) snapshot() Snapshot {
@@ -133,5 +154,6 @@ func (c *Candidate) snapshot() Snapshot {
 		Dispatched:    c.dispatched,
 		Completed:     c.completed,
 		FreeEndpoints: c.pool.Free(),
+		Quarantined:   c.quarantined,
 	}
 }

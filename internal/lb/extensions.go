@@ -45,6 +45,11 @@ func (RecentRequest) OnComplete(*Candidate, RequestInfo) {}
 // Maintain implements Maintainer: the mod_jk halving decay.
 func (RecentRequest) Maintain(c *Candidate) { c.lbValue /= 2 }
 
+// Reseed implements Reseeder: the decayed counter cannot be
+// reconstructed from lifetime totals, so the in-flight count serves as
+// the recent-utilization estimate a fresh decay starts from.
+func (RecentRequest) Reseed(c *Candidate) float64 { return float64(c.inFlight) * LBMult }
+
 // TwoChoices is the power-of-two-choices baseline: sample two eligible
 // candidates uniformly and dispatch to the one with fewer in-flight
 // requests. Its lb_value bookkeeping equals current_load so snapshots
@@ -66,6 +71,10 @@ func (TwoChoices) OnComplete(c *Candidate, _ RequestInfo) {
 		c.lbValue = 0
 	}
 }
+
+// Reseed implements Reseeder: in-flight, matching the current_load-style
+// bookkeeping above.
+func (TwoChoices) Reseed(c *Candidate) float64 { return float64(c.inFlight) * LBMult }
 
 // Choose implements Chooser.
 func (TwoChoices) Choose(eligible []*Candidate, rng *rand.Rand) *Candidate {
@@ -103,7 +112,45 @@ func (RandomPolicy) OnComplete(c *Candidate, _ RequestInfo) {
 	}
 }
 
+// Reseed implements Reseeder: in-flight, matching the current_load-style
+// bookkeeping above.
+func (RandomPolicy) Reseed(c *Candidate) float64 { return float64(c.inFlight) * LBMult }
+
 // Choose implements Chooser.
 func (RandomPolicy) Choose(eligible []*Candidate, rng *rand.Rand) *Candidate {
 	return eligible[rng.IntN(len(eligible))]
+}
+
+// RoundRobin cycles through the eligible candidates in order — the
+// information-free fallback the adaptive control plane engages when
+// every candidate looks stalled and load-dependent lb_values carry no
+// signal. The lb_value bookkeeping equals current_load so snapshots and
+// decision events stay meaningful, but selection ignores the values.
+type RoundRobin struct {
+	next uint64
+}
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "round_robin" }
+
+// OnDispatch implements Policy.
+func (*RoundRobin) OnDispatch(c *Candidate, _ RequestInfo) { c.lbValue += LBMult }
+
+// OnComplete implements Policy.
+func (*RoundRobin) OnComplete(c *Candidate, _ RequestInfo) {
+	if c.lbValue >= LBMult {
+		c.lbValue -= LBMult
+	} else {
+		c.lbValue = 0
+	}
+}
+
+// Reseed implements Reseeder: in-flight, matching the bookkeeping above.
+func (*RoundRobin) Reseed(c *Candidate) float64 { return float64(c.inFlight) * LBMult }
+
+// Choose implements Chooser.
+func (r *RoundRobin) Choose(eligible []*Candidate, _ *rand.Rand) *Candidate {
+	c := eligible[r.next%uint64(len(eligible))]
+	r.next++
+	return c
 }

@@ -8,13 +8,13 @@ import (
 )
 
 func TestExtensionPoliciesResolve(t *testing.T) {
-	for _, name := range []string{"recent_request", "two_choices", "random"} {
+	for _, name := range []string{"recent_request", "two_choices", "random", "round_robin"} {
 		p, ok := PolicyByName(name)
 		if !ok || p.Name() != name {
 			t.Fatalf("PolicyByName(%q) = %v, %v", name, p, ok)
 		}
 	}
-	if len(PolicyNames()) != 6 {
+	if len(PolicyNames()) != 7 {
 		t.Fatalf("PolicyNames = %v", PolicyNames())
 	}
 }

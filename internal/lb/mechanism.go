@@ -58,6 +58,19 @@ func (m *OriginalGetEndpoint) Acquire(c *Candidate, done func(ok bool)) {
 	retry := 0
 	var attempt func()
 	attempt = func() {
+		// A candidate drained by the adaptive control plane mid-poll
+		// frees its waiters at the next sweep instead of holding the
+		// worker for the rest of the acquire timeout: quarantine means
+		// no endpoint is coming, and every blocked worker here is one
+		// less worker emptying the web accept queue (the paper's
+		// amplification path from one stalled server to tier-wide
+		// connection drops). Armed probes keep polling — measuring the
+		// drained candidate is their whole purpose. Without quarantine
+		// (static runs) this branch never triggers.
+		if c.quarantined && !c.probeArmed {
+			done(false)
+			return
+		}
 		// Loop guard mirrors Algorithm 1: while retry*JK_SLEEP_DEF <
 		// cache_acquire_timeout.
 		if sim.Time(retry)*sleep >= m.Timeout {

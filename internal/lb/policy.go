@@ -54,6 +54,12 @@ func (TotalRequest) OnDispatch(c *Candidate, _ RequestInfo) { c.lbValue += c.sca
 // OnComplete implements Policy.
 func (TotalRequest) OnComplete(*Candidate, RequestInfo) {}
 
+// Reseed implements Reseeder: the lifetime dispatch count.
+func (TotalRequest) Reseed(c *Candidate) float64 { return c.scaled(float64(c.dispatched) * LBMult) }
+
+// Cumulative marks the monotone bookkeeping for recovery seeding.
+func (TotalRequest) Cumulative() {}
+
 // TotalTraffic is mod_jk's traffic policy (Algorithm 3): rank candidates
 // by the accumulated bytes exchanged, fewest first. The lb_value grows by
 // the request plus response sizes when the response returns. A stalled
@@ -72,6 +78,12 @@ func (TotalTraffic) OnDispatch(*Candidate, RequestInfo) {}
 func (TotalTraffic) OnComplete(c *Candidate, info RequestInfo) {
 	c.lbValue += c.scaled(float64(info.RequestBytes+info.ResponseBytes) * LBMult)
 }
+
+// Reseed implements Reseeder: the lifetime bytes exchanged.
+func (TotalTraffic) Reseed(c *Candidate) float64 { return c.scaled(float64(c.traffic) * LBMult) }
+
+// Cumulative marks the monotone bookkeeping for recovery seeding.
+func (TotalTraffic) Cumulative() {}
 
 // CurrentLoad is the paper's policy-level remedy (Algorithm 4): rank
 // candidates by the number of requests currently being served.
@@ -96,6 +108,12 @@ func (CurrentLoad) OnComplete(c *Candidate, _ RequestInfo) {
 	}
 }
 
+// Reseed implements Reseeder: the in-flight count, which is exactly the
+// value current_load's own bookkeeping would have reached — the
+// invariant lb_value == in-flight (at weight 1) holds immediately after
+// a runtime swap.
+func (CurrentLoad) Reseed(c *Candidate) float64 { return c.scaled(float64(c.inFlight) * LBMult) }
+
 // PolicyByName returns the policy with the given name, used by CLI flags
 // and experiment configs. Beyond the paper's three policies it resolves
 // the extension policies in extensions.go.
@@ -113,6 +131,8 @@ func PolicyByName(name string) (Policy, bool) {
 		return TwoChoices{}, true
 	case "random":
 		return RandomPolicy{}, true
+	case "round_robin":
+		return &RoundRobin{}, true
 	default:
 		return nil, false
 	}
@@ -123,6 +143,6 @@ func PolicyByName(name string) (Policy, bool) {
 func PolicyNames() []string {
 	return []string{
 		"total_request", "total_traffic", "current_load",
-		"recent_request", "two_choices", "random",
+		"recent_request", "two_choices", "random", "round_robin",
 	}
 }

@@ -1,0 +1,102 @@
+package lb
+
+import (
+	"time"
+
+	"millibalance/internal/sim"
+)
+
+// Runtime reconfiguration — the actuation surface of the adaptive
+// control plane (internal/adapt). A balancer normally keeps its policy
+// and mechanism for life, as mod_jk does; these entry points let a
+// controller hot-swap either mid-run and drain/re-admit individual
+// candidates without losing the bookkeeping a swap must preserve:
+// in-flight counts, dispatch/completion totals and cumulative traffic
+// all survive, and each candidate's lb_value is reseeded from them so
+// the incoming policy starts from the state it would have accumulated
+// itself (in particular, current_load's invariant lb_value == in-flight
+// holds immediately after swapping in).
+
+// Reseeder is implemented by every built-in policy: Reseed returns the
+// lb_value the policy would have accumulated for the candidate's
+// current counters, used when the policy is swapped in at runtime.
+type Reseeder interface {
+	Reseed(c *Candidate) float64
+}
+
+// SetPolicy swaps the upper-level policy at runtime, reseeding every
+// candidate's lb_value via the policy's Reseeder (policies without one
+// keep the previous values). Swapping in a Maintainer arms the
+// maintenance tick if it is not already running.
+func (b *Balancer) SetPolicy(p Policy) {
+	if p == nil {
+		panic("lb: SetPolicy with nil policy")
+	}
+	b.policy = p
+	if r, ok := p.(Reseeder); ok {
+		for _, c := range b.cands {
+			c.lbValue = r.Reseed(c)
+		}
+	}
+	if _, ok := p.(Maintainer); ok {
+		if b.cfg.MaintainInterval <= 0 {
+			b.cfg.MaintainInterval = 500 * time.Millisecond
+		}
+		b.startMaintain()
+	}
+}
+
+// SetMechanism swaps the endpoint-acquisition mechanism at runtime.
+// Acquisitions already in flight finish under the old mechanism; the
+// next dispatch uses the new one.
+func (b *Balancer) SetMechanism(m Mechanism) {
+	if m == nil {
+		panic("lb: SetMechanism with nil mechanism")
+	}
+	b.mech = m
+}
+
+// Cumulative marks policies whose lb_value grows monotonically for the
+// life of the run (total_request, total_traffic). A candidate
+// re-admitted from quarantine under such a policy must re-enter at the
+// tier's maximum lb_value — mod_jk's recovery seeding — or its frozen,
+// now-minimal value attracts the entire tier's traffic in one wave (the
+// recovery spike of the paper's Figs. 10–11, self-inflicted).
+type Cumulative interface {
+	Cumulative()
+}
+
+// SetQuarantined drains (or re-admits) a candidate: while quarantined
+// it is skipped by the scheduler and by sticky sessions, except for
+// single probe requests armed via ArmProbe. Lifting the quarantine also
+// disarms any pending probe and, under a Cumulative policy, applies
+// mod_jk recovery seeding.
+func (b *Balancer) SetQuarantined(c *Candidate, q bool) {
+	c.quarantined = q
+	if !q {
+		c.probeArmed = false
+		if _, ok := b.policy.(Cumulative); ok {
+			for _, o := range b.cands {
+				if o.lbValue > c.lbValue {
+					c.lbValue = o.lbValue
+				}
+			}
+		}
+	}
+}
+
+// ArmProbe lets exactly one request through to a quarantined candidate.
+// The probe hook reports how the probe went: rt is the probe's response
+// time on success, and ok=false means the probe could not even acquire
+// an endpoint. Arming is a no-op when the candidate is not quarantined
+// or a probe is already in flight.
+func (b *Balancer) ArmProbe(c *Candidate) {
+	if c.quarantined && !c.probing {
+		c.probeArmed = true
+	}
+}
+
+// SetProbeHook registers the probe outcome callback.
+func (b *Balancer) SetProbeHook(hook func(c *Candidate, rt sim.Time, ok bool)) {
+	b.onProbe = hook
+}

@@ -47,7 +47,7 @@ func (b *Balancer) sessionCandidate(session uint64, tried map[*Candidate]bool) *
 		return nil
 	}
 	c, ok := b.sessions[session]
-	if !ok || c.state == StateError || tried[c] {
+	if !ok || c.state == StateError || tried[c] || c.quarantined {
 		return nil
 	}
 	return c

@@ -76,6 +76,7 @@ type EventLog struct {
 	full      bool
 	appended  uint64
 	overwrote uint64
+	hook      func(Event)
 }
 
 // NewEventLog returns a log bounded at capacity events (minimum one).
@@ -92,16 +93,33 @@ func (l *EventLog) Append(ev Event) {
 		return
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.appended++
 	if len(l.ring) < l.capacity {
 		l.ring = append(l.ring, ev)
+	} else {
+		l.ring[l.next] = ev
+		l.next = (l.next + 1) % l.capacity
+		l.full = true
+		l.overwrote++
+	}
+	hook := l.hook
+	l.mu.Unlock()
+	if hook != nil {
+		hook(ev)
+	}
+}
+
+// SetAppendHook registers a single callback invoked after every Append,
+// outside the log's lock — the subscription point for online consumers
+// such as the adaptive control plane, which may react by appending
+// further events or actuating the balancer. Nil-safe.
+func (l *EventLog) SetAppendHook(hook func(Event)) {
+	if l == nil {
 		return
 	}
-	l.ring[l.next] = ev
-	l.next = (l.next + 1) % l.capacity
-	l.full = true
-	l.overwrote++
+	l.mu.Lock()
+	l.hook = hook
+	l.mu.Unlock()
 }
 
 // Len reports stored events.
