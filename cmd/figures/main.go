@@ -134,10 +134,11 @@ func run(args []string, out io.Writer) error {
 	outDir := fs.String("out", "", "write each figure's output to <dir>/figNN.txt instead of stdout")
 	scale := fs.Float64("scale", 1.0/6, "fraction of the paper's duration for full-run figures")
 	seed := fs.Uint64("seed", 0, "override random seed")
+	par := fs.Int("parallel", 0, "max concurrent simulation runs per figure (0 = GOMAXPROCS, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opt := experiments.Options{DurationScale: *scale, Seed: *seed}
+	opt := experiments.Options{DurationScale: *scale, Seed: *seed, Parallel: *par}
 	if *report {
 		fmt.Fprint(out, experiments.RunAll(opt).Markdown())
 		return nil

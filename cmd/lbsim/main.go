@@ -22,8 +22,41 @@ import (
 	"millibalance/internal/cluster"
 	"millibalance/internal/config"
 	"millibalance/internal/lb"
+	"millibalance/internal/parallel"
 	"millibalance/internal/resource"
+	"millibalance/internal/stats"
 )
+
+// runReplicas executes n copies of the config differing only in seed,
+// fanned out across the parallel harness, and prints one line per seed
+// (in seed order, regardless of completion order) plus the cross-seed
+// mean and standard deviation of the headline metrics.
+func runReplicas(out io.Writer, cfg cluster.Config, n, workers int) error {
+	base := cfg.Seed1
+	start := time.Now()
+	results := parallel.Map(workers, n, func(i int) *cluster.Results {
+		c := cfg
+		c.Seed1 = base + uint64(i)
+		return cluster.Run(c)
+	})
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(out, "policy=%s mechanism=%s clients=%d duration=%v seeds=%d parallel=%d (wall %v)\n",
+		cfg.Policy, cfg.Mechanism, cfg.Clients, cfg.Duration, n,
+		parallel.Workers(workers), elapsed.Round(time.Millisecond))
+	var meanMs, vlrtPct stats.Online
+	for i, res := range results {
+		r := res.Responses
+		ms := float64(r.Mean().Microseconds()) / 1000
+		meanMs.Add(ms)
+		vlrtPct.Add(r.VLRTPercent())
+		fmt.Fprintf(out, "seed=%-8d requests=%-8d meanRT=%9.2fms VLRT=%5.2f%% drops=%d\n",
+			base+uint64(i), r.Total(), ms, r.VLRTPercent(), res.Drops)
+	}
+	fmt.Fprintf(out, "across seeds: meanRT=%.2fms (sd %.2f) VLRT=%.2f%% (sd %.2f)\n",
+		meanMs.Mean(), meanMs.StdDev(), vlrtPct.Mean(), vlrtPct.StdDev())
+	return nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -54,6 +87,8 @@ func run(args []string, out io.Writer) error {
 	adaptLog := fs.String("adapt-log", "", "write controller decisions as JSONL to this file (implies -adaptive)")
 	sticky := fs.Bool("sticky", false, "enable mod_jk sticky sessions")
 	openLoop := fs.Float64("open-loop-rate", 0, "use Poisson arrivals at this rate (req/s) instead of closed-loop clients")
+	seeds := fs.Int("seeds", 1, "run this many seed replicas (seed, seed+1, ...) and aggregate")
+	par := fs.Int("parallel", 0, "max concurrent runs for -seeds (0 = GOMAXPROCS, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,6 +153,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *dumpConfig {
 		return config.Save(out, cfg)
+	}
+	if *seeds > 1 {
+		if *traceFile != "" || *spansFile != "" || *decisionsFile != "" || *adaptLog != "" {
+			return fmt.Errorf("-seeds does not combine with trace/span/decision export")
+		}
+		return runReplicas(out, cfg, *seeds, *par)
 	}
 
 	// Create the export files before the run: a typo'd path should fail

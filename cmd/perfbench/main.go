@@ -1,0 +1,206 @@
+// Command perfbench measures the simulator's hot paths and writes a
+// machine-readable benchmark report (BENCH_PR3.json). It drives the
+// same operations as the go-test benchmarks in internal/sim through
+// testing.Benchmark, then times a full Table I reproduction twice —
+// sequentially and through the parallel harness — so the engine-level
+// allocation work and the experiment-level fan-out are recorded side by
+// side with the host's core count.
+//
+//	perfbench                      # writes BENCH_PR3.json
+//	perfbench -out - -scale 0.05   # print to stdout, faster Table I
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"millibalance/internal/cluster"
+	"millibalance/internal/experiments"
+	"millibalance/internal/parallel"
+	"millibalance/internal/sim"
+)
+
+// EngineBench is one engine microbenchmark measurement.
+type EngineBench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// baseline freezes the pre-overhaul engine (container/heap dispatch,
+// one heap allocation per scheduled timer) measured on the same
+// benchmark bodies, so every regeneration of the report compares the
+// current engine against the same reference point.
+var baseline = map[string]EngineBench{
+	"schedule_fire":           {NsPerOp: 76.46, BytesPerOp: 32, AllocsPerOp: 1},
+	"schedule_fire_depth_512": {NsPerOp: 252.9, BytesPerOp: 32, AllocsPerOp: 1},
+	"timer_reuse":             {NsPerOp: 72.71, BytesPerOp: 32, AllocsPerOp: 1},
+}
+
+// Report is the BENCH_PR3.json schema; EXPERIMENTS.md documents it.
+type Report struct {
+	Schema string `json:"schema"`
+	Host   struct {
+		Cores      int    `json:"cores"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		GoVersion  string `json:"go_version"`
+	} `json:"host"`
+	Engine struct {
+		Baseline          map[string]EngineBench `json:"baseline"`
+		Current           map[string]EngineBench `json:"current"`
+		AllocReductionPct float64                `json:"alloc_reduction_pct"`
+		EventsPerSec      float64                `json:"events_per_sec"`
+	} `json:"engine"`
+	TableI struct {
+		DurationScale float64 `json:"duration_scale"`
+		SequentialSec float64 `json:"sequential_sec"`
+		ParallelSec   float64 `json:"parallel_sec"`
+		Workers       int     `json:"workers"`
+		Speedup       float64 `json:"speedup"`
+	} `json:"table_i"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("perfbench", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_PR3.json", "output path, or - for stdout")
+	scale := fs.Float64("scale", 1.0/12, "Table I duration scale for the wall-clock comparison")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var rep Report
+	rep.Schema = "millibalance-bench/1"
+	rep.Host.Cores = runtime.NumCPU()
+	rep.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Host.GoVersion = runtime.Version()
+
+	fmt.Fprintln(stdout, "engine microbenchmarks...")
+	rep.Engine.Baseline = baseline
+	rep.Engine.Current = map[string]EngineBench{
+		"schedule_fire":           benchScheduleFire(),
+		"schedule_fire_depth_512": benchScheduleFireDepth(),
+		"timer_reuse":             benchTimerReuse(),
+	}
+	base := baseline["schedule_fire"].AllocsPerOp
+	cur := rep.Engine.Current["schedule_fire"].AllocsPerOp
+	if base > 0 {
+		rep.Engine.AllocReductionPct = 100 * float64(base-cur) / float64(base)
+	}
+
+	fmt.Fprintln(stdout, "cluster events/sec...")
+	rep.Engine.EventsPerSec = measureEventsPerSec(*scale)
+
+	fmt.Fprintf(stdout, "Table I wall clock (scale %.4f), sequential then parallel...\n", *scale)
+	seqOpt := experiments.Options{DurationScale: *scale, Parallel: 1}
+	parOpt := experiments.Options{DurationScale: *scale}
+	start := time.Now()
+	experiments.RunTableI(seqOpt)
+	rep.TableI.SequentialSec = time.Since(start).Seconds()
+	start = time.Now()
+	experiments.RunTableI(parOpt)
+	rep.TableI.ParallelSec = time.Since(start).Seconds()
+	rep.TableI.DurationScale = *scale
+	rep.TableI.Workers = parallel.Workers(parOpt.Parallel)
+	if rep.TableI.ParallelSec > 0 {
+		rep.TableI.Speedup = rep.TableI.SequentialSec / rep.TableI.ParallelSec
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		_, err = stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (alloc reduction %.0f%%, Table I speedup %.2fx on %d workers)\n",
+		*out, rep.Engine.AllocReductionPct, rep.TableI.Speedup, rep.TableI.Workers)
+	return nil
+}
+
+func toBench(r testing.BenchmarkResult) EngineBench {
+	return EngineBench{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// benchScheduleFire mirrors BenchmarkEngineScheduleFire: one
+// schedule-then-dispatch round trip per op against an empty heap.
+func benchScheduleFire() EngineBench {
+	return toBench(testing.Benchmark(func(b *testing.B) {
+		e := sim.NewEngine(1, 2)
+		fn := func() {}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Schedule(time.Microsecond, fn)
+			e.Step()
+		}
+	}))
+}
+
+// benchScheduleFireDepth mirrors BenchmarkEngineScheduleFireDepth: the
+// same round trip with 512 standing timers keeping the heap deep.
+func benchScheduleFireDepth() EngineBench {
+	return toBench(testing.Benchmark(func(b *testing.B) {
+		e := sim.NewEngine(1, 2)
+		fn := func() {}
+		for i := 0; i < 512; i++ {
+			e.Schedule(time.Hour, fn)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Schedule(time.Microsecond, fn)
+			e.Step()
+		}
+	}))
+}
+
+// benchTimerReuse mirrors BenchmarkEngineTimerReuse: schedule then stop,
+// exercising the free-list recycle path without dispatch.
+func benchTimerReuse() EngineBench {
+	return toBench(testing.Benchmark(func(b *testing.B) {
+		e := sim.NewEngine(1, 2)
+		fn := func() {}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tm := e.Schedule(time.Microsecond, fn)
+			e.Stop(tm)
+		}
+	}))
+}
+
+// measureEventsPerSec runs one paper-topology simulation and reports
+// dispatched engine events per wall-clock second.
+func measureEventsPerSec(scale float64) float64 {
+	cfg := cluster.PaperConfig().Scale(1, scale)
+	c := cluster.New(cfg)
+	start := time.Now()
+	c.Run()
+	wall := time.Since(start).Seconds()
+	if wall <= 0 {
+		return 0
+	}
+	return float64(c.Eng.Fired()) / wall
+}

@@ -173,7 +173,7 @@ func New(cfg Config) *Cluster {
 	}
 
 	c.retrans = netmodel.NewRetransmitter(eng, cfg.Retransmit)
-	c.rec = metrics.NewResponseRecorder()
+	c.rec = metrics.NewResponseRecorderHorizon(cfg.Duration)
 	if cfg.TraceCapacity > 0 {
 		c.accessLog = trace.NewLog(cfg.TraceCapacity)
 	}
@@ -267,17 +267,21 @@ func (c *Cluster) submit(req *workload.Request) {
 		})
 }
 
-// instrument wires every sampler and hook.
+// instrument wires every sampler and hook. Every windowed series is
+// preallocated for the configured run duration so the recording hot
+// path never regrows a buffer mid-run.
 func (c *Cluster) instrument() {
+	horizon := c.cfg.Duration
+	newSeries := func() *stats.Series { return stats.NewSeriesHorizon(metrics.Window, horizon) }
 	c.poller = metrics.NewPoller(c.Eng, c.cfg.SampleInterval)
 	for _, w := range c.Webs {
 		w := w
 		st := &ServerStats{
 			Name:       w.Name(),
-			CPU:        metrics.NewCPUUtilSampler(w.CPU()),
-			Queue:      stats.NewSeries(metrics.Window),
-			IOWait:     stats.NewSeries(metrics.Window),
-			DirtyBytes: stats.NewSeries(metrics.Window),
+			CPU:        metrics.NewCPUUtilSamplerHorizon(w.CPU(), horizon),
+			Queue:      newSeries(),
+			IOWait:     newSeries(),
+			DirtyBytes: newSeries(),
 		}
 		c.webStats = append(c.webStats, st)
 		c.addServerSamplers(st, c.newDetector(st), func() (int, bool, int64) {
@@ -285,11 +289,11 @@ func (c *Cluster) instrument() {
 		})
 
 		bal := w.Balancer()
-		dist := metrics.NewDistributionRecorder()
+		dist := metrics.NewDistributionRecorderHorizon(horizon)
 		c.dispatch = append(c.dispatch, dist)
 		bal.SetDispatchHook(func(cand *lb.Candidate) { dist.Incr(cand.Name(), c.Eng.Now()) })
 
-		assign := metrics.NewDistributionRecorder()
+		assign := metrics.NewDistributionRecorderHorizon(horizon)
 		c.assign = append(c.assign, assign)
 		bal.SetAssignHook(func(cand *lb.Candidate) {
 			assign.Incr(cand.Name(), c.Eng.Now())
@@ -321,11 +325,13 @@ func (c *Cluster) instrument() {
 
 		lbSeries := make(map[string]*stats.Series, len(c.Apps))
 		for _, a := range c.Apps {
-			lbSeries[a.Name()] = stats.NewSeries(metrics.Window)
+			lbSeries[a.Name()] = newSeries()
 		}
 		c.lbValues = append(c.lbValues, lbSeries)
+		var snapBuf []lb.Snapshot
 		c.poller.Add(func(now sim.Time) {
-			for _, snap := range bal.Snapshot() {
+			snapBuf = bal.AppendSnapshot(snapBuf[:0])
+			for _, snap := range snapBuf {
 				lbSeries[snap.Name].Add(now, snap.LBValue)
 			}
 		})
@@ -334,10 +340,10 @@ func (c *Cluster) instrument() {
 		a := a
 		st := &ServerStats{
 			Name:       a.Name(),
-			CPU:        metrics.NewCPUUtilSampler(a.CPU()),
-			Queue:      stats.NewSeries(metrics.Window),
-			IOWait:     stats.NewSeries(metrics.Window),
-			DirtyBytes: stats.NewSeries(metrics.Window),
+			CPU:        metrics.NewCPUUtilSamplerHorizon(a.CPU(), horizon),
+			Queue:      newSeries(),
+			IOWait:     newSeries(),
+			DirtyBytes: newSeries(),
 		}
 		c.appStats = append(c.appStats, st)
 		c.addServerSamplers(st, c.newDetector(st), func() (int, bool, int64) {
@@ -346,10 +352,10 @@ func (c *Cluster) instrument() {
 	}
 	c.dbStats = &ServerStats{
 		Name:       c.DB.Name(),
-		CPU:        metrics.NewCPUUtilSampler(c.DB.CPU()),
-		Queue:      stats.NewSeries(metrics.Window),
-		IOWait:     stats.NewSeries(metrics.Window),
-		DirtyBytes: stats.NewSeries(metrics.Window),
+		CPU:        metrics.NewCPUUtilSamplerHorizon(c.DB.CPU(), horizon),
+		Queue:      newSeries(),
+		IOWait:     newSeries(),
+		DirtyBytes: newSeries(),
 	}
 	dbDet := c.newDetector(c.dbStats)
 	c.poller.Add(func(now sim.Time) {

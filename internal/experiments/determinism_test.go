@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"millibalance/internal/cluster"
+	"millibalance/internal/parallel"
+)
+
+// The parallel harness must be invisible in the results: every multi-run
+// experiment fans independent engines out across goroutines and collects
+// rows by configuration index, so the rendered output — response-time
+// series, drop counts, controller activity, all of it — has to be
+// byte-identical between Parallel=1 (the sequential path) and any
+// worker count. These tests digest both renderings and compare hashes.
+
+// digest hashes the full rendered output of an experiment, including
+// the raw windowed series where the result type exposes them.
+func digest(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// detOpt trades phenomenon fidelity for speed: determinism does not
+// care whether a flush cycle completes, only that the event order
+// replays exactly, so these runs are much shorter than testOpt.
+var detOpt = Options{DurationScale: 1.0 / 60}
+
+func seqAndPar(t *testing.T, name string, run func(Options) []string) {
+	t.Helper()
+	seq := detOpt
+	seq.Parallel = 1
+	par := detOpt
+	par.Parallel = 4
+	a := digest(run(seq)...)
+	b := digest(run(par)...)
+	if a != b {
+		t.Fatalf("%s: parallel harness changed the results: sequential digest %s, parallel digest %s", name, a, b)
+	}
+}
+
+func TestTableIDeterministicUnderParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism digests are slow")
+	}
+	seqAndPar(t, "TableI", func(o Options) []string {
+		res := RunTableI(o)
+		return []string{res.Render()}
+	})
+}
+
+func TestTableIVDeterministicUnderParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism digests are slow")
+	}
+	seqAndPar(t, "TableIV", func(o Options) []string {
+		res := RunTableIV(o)
+		parts := []string{res.Render()}
+		// The decision logs are part of the result; fold them in too.
+		for _, row := range res.Rows {
+			if row.Decisions != nil {
+				for _, d := range row.Decisions.Decisions() {
+					parts = append(parts, fmt.Sprintf("%v", d))
+				}
+			}
+		}
+		return parts
+	})
+}
+
+func TestGeneralizationDeterministicUnderParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism digests are slow")
+	}
+	seqAndPar(t, "Generalization", func(o Options) []string {
+		res := RunGeneralization(o)
+		return []string{res.Render()}
+	})
+}
+
+func TestFiguresDeterministicUnderParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism digests are slow")
+	}
+	seqAndPar(t, "Figure3", func(o Options) []string {
+		res := RunFigure3(o)
+		return []string{res.Render(), RenderTSV(res.TotalRequestRT, res.TotalTrafficRT)}
+	})
+	seqAndPar(t, "Figure4", func(o Options) []string {
+		res := RunFigure4(o)
+		return []string{res.Render(), RenderHist(res.TotalRequestHist), RenderHist(res.TotalTrafficHist)}
+	})
+	seqAndPar(t, "Figure5", func(o Options) []string {
+		res := RunFigure5(o)
+		// Render ranges over a map; digest the entries in a fixed order
+		// instead.
+		var parts []string
+		for _, m := range []map[string]float64{res.TotalRequest, res.TotalTraffic} {
+			for _, name := range sortedKeys(m) {
+				parts = append(parts, fmt.Sprintf("%s=%.6f\n", name, m[name]))
+			}
+		}
+		return parts
+	})
+	seqAndPar(t, "Figure8", func(o Options) []string {
+		res := RunFigure8(o)
+		return []string{res.Render(), RenderTSV(res.WebTier, res.AppTier, res.DBTier)}
+	})
+	seqAndPar(t, "Figure12", func(o Options) []string {
+		res := RunFigure12(o)
+		return []string{res.Render(), RenderTSV(res.WebTier, res.AppTier, res.DBTier)}
+	})
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestParallelHarnessRaceSmoke runs concurrent mini-cluster simulations
+// through the harness. It stays enabled under -short so the CI race
+// step always exercises cross-goroutine engine execution.
+func TestParallelHarnessRaceSmoke(t *testing.T) {
+	totals := parallel.Map(4, 4, func(i int) uint64 {
+		cfg := cluster.MiniConfig()
+		cfg.Duration = 2 * cfg.SampleInterval * 100
+		cfg.Seed1 = uint64(i + 1)
+		return cluster.Run(cfg).Responses.Total()
+	})
+	for i, n := range totals {
+		if n == 0 {
+			t.Fatalf("mini run %d completed no requests", i)
+		}
+	}
+}

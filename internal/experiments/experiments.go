@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"millibalance/internal/cluster"
+	"millibalance/internal/parallel"
 	"millibalance/internal/stats"
 )
 
@@ -27,7 +28,16 @@ type Options struct {
 	DurationScale float64
 	// Seed overrides the default seed when non-zero.
 	Seed uint64
+	// Parallel bounds how many independent cluster runs an experiment
+	// may execute concurrently: 0 (or negative) means GOMAXPROCS, 1
+	// forces the sequential path. Each run owns its engine and shares
+	// nothing, and results are collected by configuration index, so the
+	// output is byte-identical at every setting.
+	Parallel int
 }
+
+// workers resolves the Parallel knob for the fan-out harness.
+func (o Options) workers() int { return parallel.Workers(o.Parallel) }
 
 func (o Options) apply(cfg cluster.Config) cluster.Config {
 	scale := o.DurationScale

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"millibalance/internal/cluster"
+	"millibalance/internal/parallel"
 	"millibalance/internal/stats"
 )
 
@@ -29,10 +30,18 @@ type Figure3Result struct {
 	FluctuationRatio float64
 }
 
+// runPaperPair runs both original policies side by side on the harness.
+func runPaperPair(opt Options) (tr, tt *cluster.Results) {
+	parallel.All(opt.workers(),
+		func() { tr = runPaperWith(opt, "total_request", "original_get_endpoint") },
+		func() { tt = runPaperWith(opt, "total_traffic", "original_get_endpoint") },
+	)
+	return tr, tt
+}
+
 // RunFigure3 executes both policy runs and extracts the first 10 s.
 func RunFigure3(opt Options) Figure3Result {
-	tr := runPaperWith(opt, "total_request", "original_get_endpoint")
-	tt := runPaperWith(opt, "total_traffic", "original_get_endpoint")
+	tr, tt := runPaperPair(opt)
 
 	cut := func(s *stats.Series) SeriesDump {
 		d := dumpMeans("rt_ms", s)
@@ -96,8 +105,7 @@ type HistBucket struct {
 
 // RunFigure4 executes both policy runs and extracts the distributions.
 func RunFigure4(opt Options) Figure4Result {
-	tr := runPaperWith(opt, "total_request", "original_get_endpoint")
-	tt := runPaperWith(opt, "total_traffic", "original_get_endpoint")
+	tr, tt := runPaperPair(opt)
 
 	collect := func(res *cluster.Results) []HistBucket {
 		var out []HistBucket
@@ -163,8 +171,8 @@ func RunFigure5(opt Options) Figure5Result {
 		out[res.DB.Name] = res.DB.CPU.Average()
 		return out
 	}
-	tr := collect(runPaperWith(opt, "total_request", "original_get_endpoint"))
-	tt := collect(runPaperWith(opt, "total_traffic", "original_get_endpoint"))
+	trRes, ttRes := runPaperPair(opt)
+	tr, tt := collect(trRes), collect(ttRes)
 	maxAvg := 0.0
 	for _, m := range []map[string]float64{tr, tt} {
 		for _, v := range m {

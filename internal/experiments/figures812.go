@@ -3,6 +3,9 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"millibalance/internal/cluster"
+	"millibalance/internal/parallel"
 )
 
 // QueueComparisonResult is the Fig. 8 / Fig. 12 reproduction: per-tier
@@ -30,8 +33,11 @@ type QueueComparisonResult struct {
 // total_request config under natural (writeback-driven)
 // millibottlenecks.
 func runQueueComparison(opt Options, policy, mechanism string) QueueComparisonResult {
-	remedy := runPaperWith(opt, policy, mechanism)
-	original := runPaperWith(opt, "total_request", "original_get_endpoint")
+	var remedy, original *cluster.Results
+	parallel.All(opt.workers(),
+		func() { remedy = runPaperWith(opt, policy, mechanism) },
+		func() { original = runPaperWith(opt, "total_request", "original_get_endpoint") },
+	)
 
 	_, webPeak := remedy.WebTierQueue.PeakWindow()
 	_, appPeak := remedy.AppTierQueue.PeakWindow()

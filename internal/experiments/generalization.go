@@ -7,6 +7,7 @@ import (
 
 	"millibalance/internal/cluster"
 	"millibalance/internal/mbneck"
+	"millibalance/internal/parallel"
 	"millibalance/internal/workload"
 )
 
@@ -104,31 +105,40 @@ func GeneralizationCauses() []string {
 
 // RunGeneralization runs every cause under the stock configuration
 // (total_request + original get_endpoint) and the full remedy
-// (current_load + modified get_endpoint).
+// (current_load + modified get_endpoint). The 4 causes × 2 variants
+// flatten into 8 independent runs for the parallel harness; even index
+// = original, odd = remedy of cause i/2.
 func RunGeneralization(opt Options) GeneralizationResult {
-	var out GeneralizationResult
-	for _, cause := range GeneralizationCauses() {
-		runOne := func(policy, mechanism string) (*cluster.Results, int) {
-			cfg := causeConfig(opt, cause)
-			cfg.Policy = policy
-			cfg.Mechanism = mechanism
-			c := cluster.New(cfg)
-			stalls := injectorFor(cause, c)
-			res := c.Run()
-			return res, stalls()
+	causes := GeneralizationCauses()
+	type runOut struct {
+		res    *cluster.Results
+		stalls int
+	}
+	runs := parallel.Map(opt.workers(), 2*len(causes), func(i int) runOut {
+		cfg := causeConfig(opt, causes[i/2])
+		if i%2 == 0 {
+			cfg.Policy, cfg.Mechanism = "total_request", "original_get_endpoint"
+		} else {
+			cfg.Policy, cfg.Mechanism = "current_load", "modified_get_endpoint"
 		}
-		orig, stallCnt := runOne("total_request", "original_get_endpoint")
-		remedy, _ := runOne("current_load", "modified_get_endpoint")
+		c := cluster.New(cfg)
+		stalls := injectorFor(causes[i/2], c)
+		res := c.Run()
+		return runOut{res, stalls()}
+	})
 
+	var out GeneralizationResult
+	for i, cause := range causes {
+		orig, remedy := runs[2*i], runs[2*i+1]
 		cr := CauseResult{
 			Cause:            cause,
-			OriginalMeanMs:   float64(orig.Responses.Mean().Microseconds()) / 1000,
-			RemedyMeanMs:     float64(remedy.Responses.Mean().Microseconds()) / 1000,
-			OriginalVLRTPct:  orig.Responses.VLRTPercent(),
-			RemedyVLRTPct:    remedy.Responses.VLRTPercent(),
-			OriginalDrops:    orig.Drops,
-			RemedyDrops:      remedy.Drops,
-			InjectedStallCnt: stallCnt,
+			OriginalMeanMs:   float64(orig.res.Responses.Mean().Microseconds()) / 1000,
+			RemedyMeanMs:     float64(remedy.res.Responses.Mean().Microseconds()) / 1000,
+			OriginalVLRTPct:  orig.res.Responses.VLRTPercent(),
+			RemedyVLRTPct:    remedy.res.Responses.VLRTPercent(),
+			OriginalDrops:    orig.res.Drops,
+			RemedyDrops:      remedy.res.Drops,
+			InjectedStallCnt: orig.stalls,
 		}
 		if cr.RemedyMeanMs > 0 {
 			cr.ImprovementX = cr.OriginalMeanMs / cr.RemedyMeanMs

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"millibalance/internal/cluster"
+	"millibalance/internal/parallel"
 )
 
 // TableIRow is one row of the paper's Table I.
@@ -39,16 +40,18 @@ var tableICombos = []struct {
 	{"Current_load with modified get_endpoint", "current_load", "modified_get_endpoint"},
 }
 
-// RunTableI executes all six Table I configurations.
+// RunTableI executes all six Table I configurations, fanned out across
+// the parallel harness; rows come back in the paper's order regardless
+// of which run finishes first.
 func RunTableI(opt Options) TableIResult {
-	var out TableIResult
-	for _, combo := range tableICombos {
+	rows := parallel.Map(opt.workers(), len(tableICombos), func(i int) TableIRow {
+		combo := tableICombos[i]
 		cfg := opt.apply(cluster.PaperConfig())
 		cfg.Policy = combo.policy
 		cfg.Mechanism = combo.mechanism
 		res := cluster.Run(cfg)
 		r := res.Responses
-		out.Rows = append(out.Rows, TableIRow{
+		return TableIRow{
 			Label:         combo.label,
 			Policy:        combo.policy,
 			Mechanism:     combo.mechanism,
@@ -57,9 +60,9 @@ func RunTableI(opt Options) TableIResult {
 			VLRTPct:       r.VLRTPercent(),
 			NormalPct:     r.NormalPercent(),
 			Drops:         res.Drops,
-		})
-	}
-	return out
+		}
+	})
+	return TableIResult{Rows: rows}
 }
 
 // Row returns the row with the given policy and mechanism, or nil.

@@ -6,6 +6,7 @@ import (
 
 	"millibalance/internal/adapt"
 	"millibalance/internal/cluster"
+	"millibalance/internal/parallel"
 )
 
 // Table IV — the adaptive control plane's report card. The paper's
@@ -66,51 +67,60 @@ func TableIVInjectors() []string {
 	return []string{"dirty_page_flush", "gc_pause", "bursty_workload"}
 }
 
-// RunTableIV executes the grid.
+// RunTableIV executes the grid: the 3 injectors × 3 modes arms are laid
+// out in row order and fanned out across the parallel harness.
 func RunTableIV(opt Options) TableIVResult {
-	var out TableIVResult
+	type arm struct {
+		injector string
+		mode     TableIVMode
+	}
+	var arms []arm
 	for _, injector := range TableIVInjectors() {
 		for _, mode := range []TableIVMode{ModeStaticTotalRequest, ModeStaticCurrentLoad, ModeAdaptive} {
-			cfg := causeConfig(opt, injector)
-			switch mode {
-			case ModeStaticCurrentLoad:
-				cfg.Policy = "current_load"
-				cfg.Mechanism = "original_get_endpoint"
-			default: // both start from the worst static configuration
-				cfg.Policy = "total_request"
-				cfg.Mechanism = "original_get_endpoint"
-			}
-			if mode == ModeAdaptive {
-				cfg.Adaptive = &adapt.Config{}
-			}
-			c := cluster.New(cfg)
-			injectorFor(injector, c)
-			res := c.Run()
-
-			row := TableIVRow{
-				Injector:      injector,
-				Mode:          mode,
-				Policy:        cfg.Policy,
-				Mechanism:     cfg.Mechanism,
-				TotalRequests: res.Responses.Total(),
-				AvgRTMillis:   float64(res.Responses.Mean().Microseconds()) / 1000,
-				VLRTPct:       res.Responses.VLRTPercent(),
-				Rejects:       res.Rejects,
-			}
-			if mode == ModeAdaptive && res.Adapt != nil {
-				row.Policy = res.AdaptState.Policy
-				row.Mechanism = res.AdaptState.Mechanism
-				row.Quarantines = res.Adapt.Count(adapt.ActionQuarantine)
-				row.Readmits = res.Adapt.Count(adapt.ActionReadmit)
-				row.Swaps = res.Adapt.Count(adapt.ActionSwapMechanism) +
-					res.Adapt.Count(adapt.ActionSwapPolicy)
-				row.Fallbacks = res.Adapt.Count(adapt.ActionFallback)
-				row.Decisions = res.Adapt
-			}
-			out.Rows = append(out.Rows, row)
+			arms = append(arms, arm{injector, mode})
 		}
 	}
-	return out
+	rows := parallel.Map(opt.workers(), len(arms), func(i int) TableIVRow {
+		injector, mode := arms[i].injector, arms[i].mode
+		cfg := causeConfig(opt, injector)
+		switch mode {
+		case ModeStaticCurrentLoad:
+			cfg.Policy = "current_load"
+			cfg.Mechanism = "original_get_endpoint"
+		default: // both start from the worst static configuration
+			cfg.Policy = "total_request"
+			cfg.Mechanism = "original_get_endpoint"
+		}
+		if mode == ModeAdaptive {
+			cfg.Adaptive = &adapt.Config{}
+		}
+		c := cluster.New(cfg)
+		injectorFor(injector, c)
+		res := c.Run()
+
+		row := TableIVRow{
+			Injector:      injector,
+			Mode:          mode,
+			Policy:        cfg.Policy,
+			Mechanism:     cfg.Mechanism,
+			TotalRequests: res.Responses.Total(),
+			AvgRTMillis:   float64(res.Responses.Mean().Microseconds()) / 1000,
+			VLRTPct:       res.Responses.VLRTPercent(),
+			Rejects:       res.Rejects,
+		}
+		if mode == ModeAdaptive && res.Adapt != nil {
+			row.Policy = res.AdaptState.Policy
+			row.Mechanism = res.AdaptState.Mechanism
+			row.Quarantines = res.Adapt.Count(adapt.ActionQuarantine)
+			row.Readmits = res.Adapt.Count(adapt.ActionReadmit)
+			row.Swaps = res.Adapt.Count(adapt.ActionSwapMechanism) +
+				res.Adapt.Count(adapt.ActionSwapPolicy)
+			row.Fallbacks = res.Adapt.Count(adapt.ActionFallback)
+			row.Decisions = res.Adapt
+		}
+		return row
+	})
+	return TableIVResult{Rows: rows}
 }
 
 // Row returns the row for an injector and mode, or nil.

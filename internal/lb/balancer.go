@@ -95,6 +95,25 @@ type Balancer struct {
 	onProbe    func(c *Candidate, rt sim.Time, ok bool)
 
 	maintainOn bool
+	// scratch backs the eligible-candidate list handed to Chooser
+	// policies, reused across dispatches to keep the ranking loop
+	// allocation-free.
+	scratch []*Candidate
+}
+
+// triedSet tracks the candidates a dispatch already failed on. Candidate
+// sets are tiny (the paper's testbed has four application servers), so a
+// slice with a linear scan beats a map and costs at most one allocation
+// per failing dispatch instead of one per map insert.
+type triedSet []*Candidate
+
+func (t triedSet) has(c *Candidate) bool {
+	for _, x := range t {
+		if x == c {
+			return true
+		}
+	}
+	return false
 }
 
 // New returns a balancer over the candidates. Policy, mechanism and at
@@ -183,11 +202,17 @@ func (b *Balancer) SetStateHook(hook func(c *Candidate, from, to State)) { b.onS
 
 // Snapshot copies every candidate's balancer-visible state.
 func (b *Balancer) Snapshot() []Snapshot {
-	out := make([]Snapshot, len(b.cands))
-	for i, c := range b.cands {
-		out[i] = c.snapshot()
+	return b.AppendSnapshot(nil)
+}
+
+// AppendSnapshot appends every candidate's balancer-visible state to dst
+// and returns the extended slice. Periodic samplers pass a reused buffer
+// to keep the per-tick snapshot allocation-free.
+func (b *Balancer) AppendSnapshot(dst []Snapshot) []Snapshot {
+	for _, c := range b.cands {
+		dst = append(dst, c.snapshot())
 	}
-	return out
+	return dst
 }
 
 // Dispatch picks a candidate, acquires an endpoint through the mechanism
@@ -205,7 +230,7 @@ func (b *Balancer) Dispatch(info RequestInfo, send func(c *Candidate, done func(
 	b.attempt(info, send, reject, nil, 1)
 }
 
-func (b *Balancer) attempt(info RequestInfo, send func(*Candidate, func()), reject func(), tried map[*Candidate]bool, sweep int) {
+func (b *Balancer) attempt(info RequestInfo, send func(*Candidate, func()), reject func(), tried triedSet, sweep int) {
 	c := b.sessionCandidate(info.SessionID, tried)
 	if c == nil {
 		c = b.choose(tried)
@@ -229,9 +254,9 @@ func (b *Balancer) attempt(info RequestInfo, send func(*Candidate, func()), reje
 			}
 			b.noteFailure(c)
 			if tried == nil {
-				tried = make(map[*Candidate]bool, len(b.cands))
+				tried = make(triedSet, 0, len(b.cands))
 			}
-			tried[c] = true
+			tried = append(tried, c)
 			if len(tried) >= b.cfg.MaxAttempts {
 				b.nextSweep(info, send, reject, sweep)
 				return
@@ -315,27 +340,28 @@ func (b *Balancer) doReject(reject func()) {
 // candidates and candidates this dispatch already failed on are
 // excluded. Ties break toward the earliest candidate, matching mod_jk's
 // first-found scan.
-func (b *Balancer) choose(tried map[*Candidate]bool) *Candidate {
+func (b *Balancer) choose(tried triedSet) *Candidate {
 	if c := b.lowest(StateAvailable, tried); c != nil {
 		return c
 	}
 	return b.lowest(StateBusy, tried)
 }
 
-func (b *Balancer) lowest(s State, tried map[*Candidate]bool) *Candidate {
+func (b *Balancer) lowest(s State, tried triedSet) *Candidate {
 	// A quarantined candidate is invisible to the scheduler until the
 	// control plane arms a probe; the armed probe makes it eligible for
 	// exactly one dispatch.
 	skip := func(c *Candidate) bool {
-		return c.state != s || tried[c] || (c.quarantined && !c.probeArmed)
+		return c.state != s || tried.has(c) || (c.quarantined && !c.probeArmed)
 	}
 	if chooser, ok := b.policy.(Chooser); ok {
-		var eligible []*Candidate
+		eligible := b.scratch[:0]
 		for _, c := range b.cands {
 			if !skip(c) {
 				eligible = append(eligible, c)
 			}
 		}
+		b.scratch = eligible
 		if len(eligible) == 0 {
 			return nil
 		}
@@ -387,7 +413,7 @@ func (b *Balancer) setBusy(c *Candidate) {
 	b.transition(c, StateBusy)
 	b.stopTimers(c)
 	c.busyTimer = b.eng.Schedule(b.cfg.BusyRecovery, func() {
-		c.busyTimer = nil
+		c.busyTimer = sim.Timer{}
 		if c.state == StateBusy {
 			b.transition(c, StateAvailable)
 		}
@@ -398,7 +424,7 @@ func (b *Balancer) setError(c *Candidate) {
 	b.transition(c, StateError)
 	b.stopTimers(c)
 	c.errorTimer = b.eng.Schedule(b.cfg.ErrorRecovery, func() {
-		c.errorTimer = nil
+		c.errorTimer = sim.Timer{}
 		if c.state == StateError {
 			b.transition(c, StateAvailable)
 			c.consecFails = 0
@@ -412,12 +438,8 @@ func (b *Balancer) setAvailable(c *Candidate) {
 }
 
 func (b *Balancer) stopTimers(c *Candidate) {
-	if c.busyTimer != nil {
-		b.eng.Stop(c.busyTimer)
-		c.busyTimer = nil
-	}
-	if c.errorTimer != nil {
-		b.eng.Stop(c.errorTimer)
-		c.errorTimer = nil
-	}
+	b.eng.Stop(c.busyTimer)
+	c.busyTimer = sim.Timer{}
+	b.eng.Stop(c.errorTimer)
+	c.errorTimer = sim.Timer{}
 }

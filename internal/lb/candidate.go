@@ -77,8 +77,8 @@ type Candidate struct {
 	probing     bool
 	probeStart  sim.Time
 
-	busyTimer  *sim.Timer
-	errorTimer *sim.Timer
+	busyTimer  sim.Timer
+	errorTimer sim.Timer
 }
 
 // NewCandidate returns a candidate backed by the given endpoint pool

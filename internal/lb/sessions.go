@@ -42,12 +42,12 @@ func (b *Balancer) bindSession(session uint64, c *Candidate) {
 
 // sessionCandidate returns the bound candidate for a session if it is
 // currently eligible (not Error, not already tried this sweep).
-func (b *Balancer) sessionCandidate(session uint64, tried map[*Candidate]bool) *Candidate {
+func (b *Balancer) sessionCandidate(session uint64, tried triedSet) *Candidate {
 	if session == 0 || !b.cfg.StickySessions {
 		return nil
 	}
 	c, ok := b.sessions[session]
-	if !ok || c.state == StateError || tried[c] || c.quarantined {
+	if !ok || c.state == StateError || tried.has(c) || c.quarantined {
 		return nil
 	}
 	return c

@@ -44,8 +44,9 @@ type PeriodicStalls struct {
 	Duration sim.Time
 	Jitter   float64
 
-	timer  *sim.Timer
-	stalls int
+	timer   sim.Timer
+	armed   bool
+	stalls  int
 }
 
 // NewPeriodicStalls returns a periodic injector.
@@ -67,9 +68,10 @@ func (p *PeriodicStalls) Stalls() int { return p.stalls }
 
 // Start implements Injector.
 func (p *PeriodicStalls) Start() {
-	if p.timer != nil {
+	if p.armed {
 		panic("mbneck: Start called twice")
 	}
+	p.armed = true
 	p.arm()
 }
 
@@ -83,10 +85,8 @@ func (p *PeriodicStalls) arm() {
 
 // Stop implements Injector.
 func (p *PeriodicStalls) Stop() {
-	if p.timer != nil {
-		p.eng.Stop(p.timer)
-		p.timer = nil
-	}
+	p.eng.Stop(p.timer)
+	p.timer = sim.Timer{}
 }
 
 // RandomStalls stalls the target with exponential inter-arrivals and
@@ -100,8 +100,9 @@ type RandomStalls struct {
 	MeanInterval sim.Time
 	MeanDuration sim.Time
 
-	timer  *sim.Timer
-	stalls int
+	timer   sim.Timer
+	armed   bool
+	stalls  int
 }
 
 // NewRandomStalls returns a random injector.
@@ -123,9 +124,10 @@ func (r *RandomStalls) Stalls() int { return r.stalls }
 
 // Start implements Injector.
 func (r *RandomStalls) Start() {
-	if r.timer != nil {
+	if r.armed {
 		panic("mbneck: Start called twice")
 	}
+	r.armed = true
 	r.arm()
 }
 
@@ -139,10 +141,8 @@ func (r *RandomStalls) arm() {
 
 // Stop implements Injector.
 func (r *RandomStalls) Stop() {
-	if r.timer != nil {
-		r.eng.Stop(r.timer)
-		r.timer = nil
-	}
+	r.eng.Stop(r.timer)
+	r.timer = sim.Timer{}
 }
 
 // StallEvent is one scripted stall.
@@ -159,7 +159,7 @@ type ScriptedStalls struct {
 	name   string
 	target Stallable
 	events []StallEvent
-	timers []*sim.Timer
+	timers []sim.Timer
 	fired  int
 }
 
@@ -184,7 +184,7 @@ func (s *ScriptedStalls) Start() {
 	if s.timers != nil {
 		panic("mbneck: Start called twice")
 	}
-	s.timers = make([]*sim.Timer, 0, len(s.events))
+	s.timers = make([]sim.Timer, 0, len(s.events))
 	for _, ev := range s.events {
 		ev := ev
 		s.timers = append(s.timers, s.eng.At(ev.At, func() {

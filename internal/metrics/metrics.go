@@ -43,9 +43,15 @@ type ResponseRecorder struct {
 // NewResponseRecorder returns an empty recorder using the standard 50 ms
 // window.
 func NewResponseRecorder() *ResponseRecorder {
+	return NewResponseRecorderHorizon(0)
+}
+
+// NewResponseRecorderHorizon is NewResponseRecorder with the series
+// buffers preallocated for a run of the given expected duration.
+func NewResponseRecorderHorizon(horizon time.Duration) *ResponseRecorder {
 	return &ResponseRecorder{
-		pointInTime: stats.NewSeries(Window),
-		vlrtSeries:  stats.NewSeries(Window),
+		pointInTime: stats.NewSeriesHorizon(Window, horizon),
+		vlrtSeries:  stats.NewSeriesHorizon(Window, horizon),
 	}
 }
 
@@ -116,7 +122,8 @@ type Poller struct {
 	eng      *sim.Engine
 	interval sim.Time
 	fns      []func(now sim.Time)
-	timer    *sim.Timer
+	timer    sim.Timer
+	started  bool
 }
 
 // NewPoller returns a poller with the given sampling interval.
@@ -132,9 +139,10 @@ func (p *Poller) Add(fn func(now sim.Time)) { p.fns = append(p.fns, fn) }
 
 // Start arms the periodic sampling. It may be called once.
 func (p *Poller) Start() {
-	if p.timer != nil {
+	if p.started {
 		panic("metrics: Poller.Start called twice")
 	}
+	p.started = true
 	p.tick()
 }
 
@@ -150,10 +158,8 @@ func (p *Poller) tick() {
 
 // Stop disarms the poller.
 func (p *Poller) Stop() {
-	if p.timer != nil {
-		p.eng.Stop(p.timer)
-		p.timer = nil
-	}
+	p.eng.Stop(p.timer)
+	p.timer = sim.Timer{}
 }
 
 // CPUUtilSampler converts a CPU's busy-core-time integral into a
@@ -175,7 +181,13 @@ type CPUUtilSampler struct {
 // NewCPUUtilSampler returns a sampler over the CPU using the standard
 // window.
 func NewCPUUtilSampler(cpu *resource.CPU) *CPUUtilSampler {
-	return &CPUUtilSampler{cpu: cpu, series: stats.NewSeries(Window)}
+	return NewCPUUtilSamplerHorizon(cpu, 0)
+}
+
+// NewCPUUtilSamplerHorizon is NewCPUUtilSampler with the series buffer
+// preallocated for a run of the given expected duration.
+func NewCPUUtilSamplerHorizon(cpu *resource.CPU, horizon time.Duration) *CPUUtilSampler {
+	return &CPUUtilSampler{cpu: cpu, series: stats.NewSeriesHorizon(Window, horizon)}
 }
 
 // Sample records utilization since the previous sample.
@@ -215,10 +227,16 @@ type GaugeSampler struct {
 
 // NewGaugeSampler returns a sampler over the given read function.
 func NewGaugeSampler(read func() float64) *GaugeSampler {
+	return NewGaugeSamplerHorizon(read, 0)
+}
+
+// NewGaugeSamplerHorizon is NewGaugeSampler with the series buffer
+// preallocated for a run of the given expected duration.
+func NewGaugeSamplerHorizon(read func() float64, horizon time.Duration) *GaugeSampler {
 	if read == nil {
 		panic("metrics: NewGaugeSampler with nil read")
 	}
-	return &GaugeSampler{read: read, series: stats.NewSeries(Window)}
+	return &GaugeSampler{read: read, series: stats.NewSeriesHorizon(Window, horizon)}
 }
 
 // Sample reads the gauge.
@@ -231,20 +249,27 @@ func (g *GaugeSampler) Series() *stats.Series { return g.series }
 // workload-distribution plots (Fig. 6c, 7c, 9b, 13b) use it with one key
 // per application server, fed by the balancer's dispatch hook.
 type DistributionRecorder struct {
-	byKey map[string]*stats.Series
-	keys  []string
+	byKey   map[string]*stats.Series
+	keys    []string
+	horizon time.Duration
 }
 
 // NewDistributionRecorder returns an empty recorder.
 func NewDistributionRecorder() *DistributionRecorder {
-	return &DistributionRecorder{byKey: map[string]*stats.Series{}}
+	return NewDistributionRecorderHorizon(0)
+}
+
+// NewDistributionRecorderHorizon is NewDistributionRecorder with each
+// per-key series preallocated for a run of the given expected duration.
+func NewDistributionRecorderHorizon(horizon time.Duration) *DistributionRecorder {
+	return &DistributionRecorder{byKey: map[string]*stats.Series{}, horizon: horizon}
 }
 
 // Incr counts one event for key at time now.
 func (d *DistributionRecorder) Incr(key string, now sim.Time) {
 	s, ok := d.byKey[key]
 	if !ok {
-		s = stats.NewSeries(Window)
+		s = stats.NewSeriesHorizon(Window, d.horizon)
 		d.byKey[key] = s
 		d.keys = append(d.keys, key)
 	}

@@ -1,0 +1,101 @@
+// Package parallel is the bounded-worker fan-out harness behind the
+// experiment suite. Every table and figure of the paper's evaluation
+// executes N independent cluster.Run configurations; each sim.Engine is
+// single-threaded and shares no state with any other, so those runs are
+// embarrassingly parallel. The harness dispatches them across a bounded
+// set of goroutines and collects results by input index, making the
+// output byte-identical to the sequential order no matter how the runs
+// interleave.
+//
+// A worker count of 1 bypasses goroutines entirely and executes in index
+// order on the calling goroutine — the sequential debug path — so
+// `-parallel 1` reproduces the exact pre-harness behaviour.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values above zero are used
+// as-is; zero and negative values mean GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(i) for every i in [0, n) across at most Workers(workers)
+// goroutines and returns the n results indexed by input, independent of
+// completion order. Work is handed out through an atomic counter, so
+// lightly skewed item costs still pack tightly onto the worker pool.
+//
+// A panic in any fn is captured and re-raised on the calling goroutine
+// once the remaining workers have drained, preserving the sequential
+// path's failure semantics.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  atomic.Bool
+		panicMsg  string
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() {
+						panicMsg = fmt.Sprintf("parallel: worker panic: %v\n%s", r, debug.Stack())
+						panicked.Store(true)
+					})
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicMsg)
+	}
+	return out
+}
+
+// All runs the given functions concurrently on at most Workers(workers)
+// goroutines and returns when every one has finished — the fan-out shape
+// for a fixed set of differently-typed runs (e.g. "original" and
+// "remedy" executed side by side, each writing its own captured
+// variable).
+func All(workers int, fns ...func()) {
+	Map(workers, len(fns), func(i int) struct{} {
+		fns[i]()
+		return struct{}{}
+	})
+}

@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesInputOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		got := Map(workers, 100, func(i int) int { return i * i })
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: len = %d, want 100", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(4, 0, func(i int) int { return i }); got != nil {
+		t.Fatalf("Map over zero items = %v, want nil", got)
+	}
+	if got := Map(4, -3, func(i int) int { return i }); got != nil {
+		t.Fatalf("Map over negative count = %v, want nil", got)
+	}
+}
+
+// One worker must execute inline on the calling goroutine in index
+// order — the sequential debug path.
+func TestMapSingleWorkerIsSequentialInline(t *testing.T) {
+	var order []int
+	Map(1, 10, func(i int) int {
+		order = append(order, i) // safe only if single-goroutine
+		return i
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential path ran out of order: %v", order)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	Map(workers, 64, func(i int) struct{} {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return struct{}{}
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent workers, bound is %d", p, workers)
+	}
+}
+
+func TestMapPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "boom at 7") {
+			t.Fatalf("panic value %v does not carry the original message", r)
+		}
+	}()
+	Map(4, 32, func(i int) int {
+		if i == 7 {
+			panic("boom at 7")
+		}
+		return i
+	})
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+	maxprocs := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != maxprocs {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, maxprocs)
+	}
+	if got := Workers(-2); got != maxprocs {
+		t.Fatalf("Workers(-2) = %d, want GOMAXPROCS %d", got, maxprocs)
+	}
+}
+
+func TestAllRunsEveryFunc(t *testing.T) {
+	var a, b, c int
+	All(4,
+		func() { a = 1 },
+		func() { b = 2 },
+		func() { c = 3 },
+	)
+	if a != 1 || b != 2 || c != 3 {
+		t.Fatalf("All left work undone: %d %d %d", a, b, c)
+	}
+	All(4) // no funcs: must not block or panic
+}

@@ -20,11 +20,11 @@ type CPU struct {
 	eng   *sim.Engine
 	cores int
 
-	running []*sim.Timer // completion timers of executing bursts
+	running []sim.Timer // completion timers of executing bursts
 	runq    sim.FIFO[queuedBurst]
 
 	stallUntil sim.Time
-	stallTimer *sim.Timer
+	stallTimer sim.Timer
 
 	// Busy-core integral for utilization accounting.
 	busyIntegral sim.Time
@@ -109,18 +109,18 @@ func (c *CPU) start(b queuedBurst) {
 	// stalls that open later extend the timer via Stall.
 	finish := b.demand + c.pendingStall()
 	runStart := c.eng.Now()
-	var tm *sim.Timer
+	var tm sim.Timer
 	tm = c.eng.Schedule(finish, func() { c.complete(tm, b, runStart) })
 	c.running = append(c.running, tm)
 }
 
-func (c *CPU) complete(tm *sim.Timer, b queuedBurst, runStart sim.Time) {
+func (c *CPU) complete(tm sim.Timer, b queuedBurst, runStart sim.Time) {
 	c.account()
 	for i, r := range c.running {
 		if r == tm {
 			last := len(c.running) - 1
 			c.running[i] = c.running[last]
-			c.running[last] = nil
+			c.running[last] = sim.Timer{}
 			c.running = c.running[:last]
 			break
 		}
@@ -168,12 +168,10 @@ func (c *CPU) Stall(d sim.Time) {
 	}
 	// Re-arm the bookkeeping event that closes the busy-integral at the
 	// end of the stall window.
-	if c.stallTimer != nil {
-		c.eng.Stop(c.stallTimer)
-	}
+	c.eng.Stop(c.stallTimer)
 	c.stallTimer = c.eng.At(c.stallUntil, func() {
 		c.account()
-		c.stallTimer = nil
+		c.stallTimer = sim.Timer{}
 	})
 }
 

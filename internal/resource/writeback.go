@@ -91,7 +91,8 @@ type Writeback struct {
 	flushes     int
 	bytesEver   int64
 	stallTotal  sim.Time
-	wakeTimer   *sim.Timer
+	wakeTimer   sim.Timer
+	started     bool
 	onFlushHook func(start, duration sim.Time, bytes int64)
 }
 
@@ -112,9 +113,10 @@ func NewWriteback(eng *sim.Engine, cfg WritebackConfig, stall func(sim.Time)) *W
 // after Interval when Phase is zero), then every Interval. It may be
 // called once.
 func (w *Writeback) Start() {
-	if w.wakeTimer != nil {
+	if w.started {
 		panic("resource: Writeback.Start called twice")
 	}
+	w.started = true
 	if w.cfg.Phase > 0 {
 		w.wakeTimer = w.eng.Schedule(w.cfg.Phase, func() {
 			w.Flush()
@@ -127,10 +129,8 @@ func (w *Writeback) Start() {
 
 // Stop disarms the periodic wakeup; an in-progress flush completes.
 func (w *Writeback) Stop() {
-	if w.wakeTimer != nil {
-		w.eng.Stop(w.wakeTimer)
-		w.wakeTimer = nil
-	}
+	w.eng.Stop(w.wakeTimer)
+	w.wakeTimer = sim.Timer{}
 }
 
 // OnFlush registers a hook called at each flush start with its start

@@ -6,11 +6,11 @@
 // The engine is single-threaded by design. All simulated activity is
 // expressed as callbacks scheduled at virtual times; two events scheduled
 // for the same instant fire in schedule order, so a run with a fixed seed
-// is exactly reproducible.
+// is exactly reproducible. Distinct engines share no state, so many
+// engines may run concurrently on separate goroutines.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand/v2"
 	"time"
@@ -20,26 +20,53 @@ import (
 // It reuses time.Duration so call sites can write 50*time.Millisecond.
 type Time = time.Duration
 
-// Timer is a handle to a scheduled event. The zero value is not useful;
-// timers are created by Engine.Schedule and Engine.At.
-type Timer struct {
+// timerNode is one heap entry. Nodes are owned by the engine and recycled
+// through a per-engine free list once fired or stopped: a paper-scale run
+// schedules millions of events but keeps only a few hundred pending, so
+// recycling removes nearly every per-event allocation. The generation
+// counter invalidates external handles when a node is retired.
+type timerNode struct {
 	at    Time
 	seq   uint64
 	index int // position in the heap, -1 once fired or stopped
+	gen   uint64
 	fn    func()
 }
 
-// When reports the virtual time the timer is set to fire at.
-func (t *Timer) When() Time { return t.at }
+// Timer is a generation-checked handle to a scheduled event, returned by
+// Engine.Schedule and Engine.At. The zero value is an empty handle:
+// Stopped reports true and Stop/Reschedule report false. Handles are
+// small values, safe to copy and compare.
+//
+// Once a timer fires or is stopped, its node returns to the engine's
+// free list and may back a later timer; the generation check makes every
+// outstanding handle to the retired timer permanently dead, so holding a
+// stale handle can never stop, move, or observe the recycled node's new
+// occupant.
+type Timer struct {
+	n   *timerNode
+	gen uint64
+}
 
-// Stopped reports whether the timer has fired or been stopped.
-func (t *Timer) Stopped() bool { return t.index == -1 }
+// When reports the virtual time the timer is set to fire at, or zero if
+// the timer already fired or was stopped.
+func (t Timer) When() Time {
+	if t.Stopped() {
+		return 0
+	}
+	return t.n.at
+}
+
+// Stopped reports whether the timer has fired or been stopped (true for
+// the zero handle).
+func (t Timer) Stopped() bool { return t.n == nil || t.gen != t.n.gen || t.n.index == -1 }
 
 // Engine is a discrete-event simulator. The zero value is not ready for
 // use; construct one with NewEngine.
 type Engine struct {
 	now    Time
-	heap   timerHeap
+	heap   []*timerNode
+	free   []*timerNode
 	seq    uint64
 	rng    *rand.Rand
 	fired  uint64
@@ -68,7 +95,7 @@ func (e *Engine) Pending() int { return len(e.heap) }
 // Schedule arranges for fn to run after delay of virtual time. A negative
 // delay is treated as zero. The returned timer may be stopped before it
 // fires.
-func (e *Engine) Schedule(delay Time, fn func()) *Timer {
+func (e *Engine) Schedule(delay Time, fn func()) Timer {
 	if delay < 0 {
 		delay = 0
 	}
@@ -77,7 +104,7 @@ func (e *Engine) Schedule(delay Time, fn func()) *Timer {
 
 // At arranges for fn to run at virtual time t. Times in the past are
 // clamped to now.
-func (e *Engine) At(t Time, fn func()) *Timer {
+func (e *Engine) At(t Time, fn func()) Timer {
 	if fn == nil {
 		panic("sim: At called with nil function")
 	}
@@ -85,36 +112,42 @@ func (e *Engine) At(t Time, fn func()) *Timer {
 		t = e.now
 	}
 	e.seq++
-	tm := &Timer{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.heap, tm)
-	return tm
+	n := e.alloc()
+	n.at = t
+	n.seq = e.seq
+	n.fn = fn
+	e.push(n)
+	return Timer{n: n, gen: n.gen}
 }
 
 // Stop cancels a scheduled timer. It reports whether the timer was still
-// pending (false if it had already fired or been stopped).
-func (e *Engine) Stop(t *Timer) bool {
-	if t == nil || t.index == -1 {
+// pending (false if it had already fired or been stopped, and false for
+// the zero handle).
+func (e *Engine) Stop(t Timer) bool {
+	if t.Stopped() {
 		return false
 	}
-	heap.Remove(&e.heap, t.index)
-	t.index = -1
-	t.fn = nil
+	e.remove(t.n.index)
+	e.recycle(t.n)
 	return true
 }
 
 // Reschedule moves a pending timer to fire at now+delay. It reports
 // whether the timer was still pending and thus moved.
-func (e *Engine) Reschedule(t *Timer, delay Time) bool {
-	if t == nil || t.index == -1 {
+func (e *Engine) Reschedule(t Timer, delay Time) bool {
+	if t.Stopped() {
 		return false
 	}
 	if delay < 0 {
 		delay = 0
 	}
-	t.at = e.now + delay
+	n := t.n
+	n.at = e.now + delay
 	e.seq++
-	t.seq = e.seq
-	heap.Fix(&e.heap, t.index)
+	n.seq = e.seq
+	if !e.down(n.index) {
+		e.up(n.index)
+	}
 	return true
 }
 
@@ -125,11 +158,10 @@ func (e *Engine) Step() bool {
 	if e.halted || len(e.heap) == 0 {
 		return false
 	}
-	tm := heap.Pop(&e.heap).(*Timer)
-	tm.index = -1
-	e.now = tm.at
-	fn := tm.fn
-	tm.fn = nil
+	n := e.popMin()
+	e.now = n.at
+	fn := n.fn
+	e.recycle(n)
 	e.fired++
 	fn()
 	return true
@@ -167,36 +199,116 @@ func (e *Engine) Halt() { e.halted = true }
 // Halted reports whether Halt has been called.
 func (e *Engine) Halted() bool { return e.halted }
 
-// timerHeap is a min-heap ordered by (at, seq) so same-instant events fire
-// in schedule order.
-type timerHeap []*Timer
-
-func (h timerHeap) Len() int { return len(h) }
-
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// alloc pops a retired node from the free list, or makes a new one. The
+// free-list order is deterministic (LIFO), preserving exact replay.
+func (e *Engine) alloc() *timerNode {
+	if k := len(e.free) - 1; k >= 0 {
+		n := e.free[k]
+		e.free[k] = nil
+		e.free = e.free[:k]
+		return n
 	}
-	return h[i].seq < h[j].seq
+	return &timerNode{}
 }
 
-func (h timerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// recycle retires a fired or stopped node: bumping the generation kills
+// every outstanding handle before the node re-enters circulation.
+func (e *Engine) recycle(n *timerNode) {
+	n.fn = nil
+	n.index = -1
+	n.gen++
+	e.free = append(e.free, n)
 }
 
-func (h *timerHeap) Push(x any) {
-	tm := x.(*Timer)
-	tm.index = len(*h)
-	*h = append(*h, tm)
+// The heap below is a hand-inlined binary min-heap ordered by (at, seq),
+// so same-instant events fire in schedule order. Inlining (instead of
+// container/heap) removes the interface dispatch on every sift step in
+// the engine's hottest loop.
+
+func nodeLess(a, b *timerNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
 
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	tm := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return tm
+func (e *Engine) push(n *timerNode) {
+	n.index = len(e.heap)
+	e.heap = append(e.heap, n)
+	e.up(n.index)
+}
+
+func (e *Engine) popMin() *timerNode {
+	n := e.heap[0]
+	last := len(e.heap) - 1
+	if last > 0 {
+		e.heap[0] = e.heap[last]
+		e.heap[0].index = 0
+	}
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if last > 1 {
+		e.down(0)
+	}
+	n.index = -1
+	return n
+}
+
+// remove deletes the node at heap index i.
+func (e *Engine) remove(i int) {
+	last := len(e.heap) - 1
+	if i != last {
+		e.heap[i], e.heap[last] = e.heap[last], e.heap[i]
+		e.heap[i].index = i
+	}
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if i != last {
+		if !e.down(i) {
+			e.up(i)
+		}
+	}
+}
+
+func (e *Engine) up(i int) {
+	n := e.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := e.heap[parent]
+		if !nodeLess(n, p) {
+			break
+		}
+		e.heap[i] = p
+		p.index = i
+		i = parent
+	}
+	e.heap[i] = n
+	n.index = i
+}
+
+// down sifts the node at i toward the leaves and reports whether it moved.
+func (e *Engine) down(i0 int) bool {
+	n := e.heap[i0]
+	i := i0
+	size := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= size {
+			break
+		}
+		best := left
+		if right := left + 1; right < size && nodeLess(e.heap[right], e.heap[left]) {
+			best = right
+		}
+		c := e.heap[best]
+		if !nodeLess(c, n) {
+			break
+		}
+		e.heap[i] = c
+		c.index = i
+		i = best
+	}
+	e.heap[i] = n
+	n.index = i
+	return i > i0
 }

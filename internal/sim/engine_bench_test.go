@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineScheduleFire measures the engine's core loop: schedule
+// one event and dispatch it. The callback is hoisted out of the loop so
+// the measurement isolates the engine's own per-event cost (timer
+// bookkeeping, heap traffic) from the caller's closure allocation.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine(1, 2)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Millisecond, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleFireDepth measures schedule+fire with a standing
+// population of pending timers, so heap sift costs at realistic depths
+// are included (a paper-scale run keeps hundreds of timers pending).
+func BenchmarkEngineScheduleFireDepth(b *testing.B) {
+	const depth = 512
+	e := NewEngine(1, 2)
+	fn := func() {}
+	for i := 0; i < depth; i++ {
+		e.Schedule(time.Duration(i+1)*time.Second, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Millisecond, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineTimerReuse measures the schedule/stop cycle that the
+// balancer's busy/error recovery timers and the CPU model's stall timer
+// exercise constantly: the timer never fires, it is cancelled and
+// replaced.
+func BenchmarkEngineTimerReuse(b *testing.B) {
+	e := NewEngine(1, 2)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := e.Schedule(time.Millisecond, fn)
+		e.Stop(tm)
+	}
+}

@@ -113,17 +113,24 @@ func TestStopPreventsFiring(t *testing.T) {
 	}
 }
 
-func TestStopNilTimer(t *testing.T) {
+func TestStopZeroTimer(t *testing.T) {
 	e := NewEngine(1, 2)
-	if e.Stop(nil) {
-		t.Fatal("Stop(nil) returned true")
+	var zero Timer
+	if !zero.Stopped() {
+		t.Fatal("zero Timer not Stopped")
+	}
+	if e.Stop(zero) {
+		t.Fatal("Stop(zero) returned true")
+	}
+	if e.Reschedule(zero, time.Millisecond) {
+		t.Fatal("Reschedule(zero) returned true")
 	}
 }
 
 func TestStopMiddleOfHeapKeepsOrder(t *testing.T) {
 	e := NewEngine(1, 2)
 	var got []int
-	var timers []*Timer
+	var timers []Timer
 	for i := 0; i < 20; i++ {
 		i := i
 		timers = append(timers, e.Schedule(Time(i)*time.Millisecond, func() { got = append(got, i) }))
@@ -313,7 +320,7 @@ func TestQuickHeapRemoval(t *testing.T) {
 		}
 		var fired []int
 		recs := make([]rec, len(delays))
-		timers := make([]*Timer, len(delays))
+		timers := make([]Timer, len(delays))
 		for i, d := range delays {
 			i := i
 			recs[i] = rec{id: i}

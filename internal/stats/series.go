@@ -42,8 +42,18 @@ func NewSeries(width time.Duration) *Series {
 	return &Series{width: width}
 }
 
-// Width returns the window width.
-func (s *Series) Width() time.Duration { return s.width }
+// NewSeriesHorizon returns a series with window capacity preallocated
+// for observations up to the given horizon, so a run of known duration
+// never regrows the window slice on the recording hot path. A horizon
+// of zero (or less) falls back to on-demand growth; observations past
+// the horizon still grow the slice normally.
+func NewSeriesHorizon(width time.Duration, horizon time.Duration) *Series {
+	s := NewSeries(width)
+	if horizon > 0 {
+		s.windows = make([]Window, 0, int(horizon/width)+1)
+	}
+	return s
+}
 
 // index returns the window index for time t, growing the window slice.
 func (s *Series) index(t time.Duration) int {
@@ -51,11 +61,14 @@ func (s *Series) index(t time.Duration) int {
 		t = 0
 	}
 	i := int(t / s.width)
-	for len(s.windows) <= i {
-		s.windows = append(s.windows, Window{})
+	if n := i + 1 - len(s.windows); n > 0 {
+		s.windows = append(s.windows, make([]Window, n)...)
 	}
 	return i
 }
+
+// Width returns the window width.
+func (s *Series) Width() time.Duration { return s.width }
 
 // Add records observation v at time t.
 func (s *Series) Add(t time.Duration, v float64) {

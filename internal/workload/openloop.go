@@ -34,7 +34,8 @@ type OpenLoop struct {
 	submit SubmitFunc
 	nav    *Navigator
 
-	timer   *sim.Timer
+	timer   sim.Timer
+	started bool
 	nextID  uint64
 	issued  uint64
 	stopped bool
@@ -71,19 +72,18 @@ func (o *OpenLoop) Issued() uint64 { return o.issued }
 
 // Start begins the arrival process. It may be called once.
 func (o *OpenLoop) Start() {
-	if o.timer != nil {
+	if o.started {
 		panic("workload: OpenLoop.Start called twice")
 	}
+	o.started = true
 	o.arm()
 }
 
 // Stop halts arrivals; in-flight requests still complete.
 func (o *OpenLoop) Stop() {
 	o.stopped = true
-	if o.timer != nil {
-		o.eng.Stop(o.timer)
-		o.timer = nil
-	}
+	o.eng.Stop(o.timer)
+	o.timer = sim.Timer{}
 }
 
 func (o *OpenLoop) interarrival() sim.Time {
