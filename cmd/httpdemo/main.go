@@ -13,9 +13,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"millibalance/internal/adapt"
+	"millibalance/internal/faults"
 	"millibalance/internal/httpcluster"
 )
 
@@ -38,6 +40,8 @@ func run(args []string) error {
 	endpoints := fs.Int("endpoints", 4, "proxy endpoint pool per backend")
 	obsOn := fs.Bool("obs", false, "arm span tracing and the balancer event log (GET /admin/trace and /admin/events on the proxy)")
 	adaptive := fs.Bool("adaptive", false, "arm the adaptive control plane (GET /admin/adapt and /admin/adapt/decisions; implies -obs)")
+	faultSpec := fs.String("faults", "", "fault scenario, e.g. 'freeze:periodic:interval=1s:duration=300ms:target=app1,netloss:oneshot:interval=2s:duration=500ms' (replaces the single scripted stall; implies -obs)")
+	resilient := fs.Bool("resilience", false, "arm the proxy resilience layer: attempt deadlines, budgeted retries, fast-fail shedding")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,6 +52,12 @@ func run(args []string) error {
 	mech, err := httpcluster.ParseMechanism(*mechName)
 	if err != nil {
 		return err
+	}
+	var specs []faults.Spec
+	if *faultSpec != "" {
+		if specs, err = faults.ParseScenario(*faultSpec); err != nil {
+			return err
+		}
 	}
 
 	db, err := httpcluster.StartDBServer(200 * time.Microsecond)
@@ -80,18 +90,31 @@ func run(args []string) error {
 		Policy:    policy,
 		Mechanism: mech,
 	}
-	if *obsOn || *adaptive {
+	if *obsOn || *adaptive || len(specs) > 0 {
 		pcfg.SpanCapacity = 1 << 16
 		pcfg.EventCapacity = 1 << 17
 	}
 	if *adaptive {
 		pcfg.Adapt = &adapt.Config{}
 	}
+	if *resilient {
+		pcfg.Resilience = &httpcluster.Resilience{}
+	}
+	var transport *faults.Transport
+	if len(specs) > 0 {
+		transport = faults.NewTransport(nil, 1)
+		pcfg.Transport = transport
+	}
 	proxy, err := httpcluster.StartProxy(pcfg, backends)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = proxy.Close() }()
+
+	injectors, err := buildInjectors(specs, appServers, transport)
+	if err != nil {
+		return err
+	}
 
 	fmt.Printf("3-tier loopback cluster: proxy %s → %d app servers → db %s\n",
 		proxy.URL(), *apps, db.URL())
@@ -103,14 +126,23 @@ func run(args []string) error {
 		fmt.Printf("adaptive: GET %s/admin/adapt (state) and %s/admin/adapt/decisions (JSONL)\n",
 			proxy.URL(), proxy.URL())
 	}
-	fmt.Printf("policy=%s mechanism=%s; stalling app1 for %v at t=%v\n",
-		policy, mech, *stallFor, *stallAt)
-
-	timer := time.AfterFunc(*stallAt, func() {
-		fmt.Printf("!! millibottleneck: app1 frozen for %v\n", *stallFor)
-		appServers[0].Stall(*stallFor)
-	})
-	defer timer.Stop()
+	if len(injectors) > 0 {
+		fmt.Printf("policy=%s mechanism=%s resilience=%v; fault scenario: %s\n",
+			policy, mech, *resilient, *faultSpec)
+		for _, inj := range injectors {
+			inj.Arm(proxy.Events(), proxy.Epoch())
+			inj.Start()
+			defer inj.Stop()
+		}
+	} else {
+		fmt.Printf("policy=%s mechanism=%s; stalling app1 for %v at t=%v\n",
+			policy, mech, *stallFor, *stallAt)
+		timer := time.AfterFunc(*stallAt, func() {
+			fmt.Printf("!! millibottleneck: app1 frozen for %v\n", *stallFor)
+			appServers[0].Stall(*stallFor)
+		})
+		defer timer.Stop()
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
@@ -121,6 +153,12 @@ func run(args []string) error {
 
 	fmt.Printf("\nrequests: %d total, %d failed, %d rejected by the balancer\n",
 		stats.Total(), stats.Failures(), proxy.Balancer().Rejects())
+	if len(injectors) > 0 || *resilient {
+		for _, inj := range injectors {
+			fmt.Printf("fault %s on %s: %d windows\n", inj.Name(), inj.Shape().Target(), inj.Fired())
+		}
+		fmt.Printf("resilience: shed=%d retries=%d\n", proxy.Shed(), proxy.Retries())
+	}
 	fmt.Printf("latency: mean=%v p50=%v p90=%v p99=%v max=%v\n",
 		stats.Mean().Round(time.Microsecond*100), stats.Quantile(0.5).Round(time.Microsecond*100),
 		stats.Quantile(0.9).Round(time.Microsecond*100), stats.Quantile(0.99).Round(time.Microsecond*100),
@@ -147,4 +185,47 @@ func run(args []string) error {
 			tl.Start(i).Seconds(), w.Count, w.Mean(), w.Max)
 	}
 	return nil
+}
+
+// buildInjectors resolves parsed fault specs against the live tier:
+// each spec's target names an app server (default: the first), and the
+// network shapes degrade that server's host on the proxy's transport.
+func buildInjectors(specs []faults.Spec, apps []*httpcluster.AppServer, tr *faults.Transport) ([]*faults.Injector, error) {
+	byName := make(map[string]*httpcluster.AppServer, len(apps))
+	for _, app := range apps {
+		byName[app.Name()] = app
+	}
+	var out []*faults.Injector
+	for _, spec := range specs {
+		target := spec.Target
+		if target == "" {
+			target = apps[0].Name()
+		}
+		app, ok := byName[target]
+		if !ok {
+			return nil, fmt.Errorf("fault target %q: no such app server", target)
+		}
+		var shape faults.Shape
+		switch spec.ShapeKind {
+		case "freeze":
+			shape = faults.Freeze{Name: app.Name(), S: app}
+		case "gc_pause":
+			shape = faults.GCPause{Name: app.Name(), S: app}
+		case "slow":
+			shape = faults.Slow{Name: app.Name(), D: app, Extra: spec.Delay}
+		case "crash":
+			shape = faults.Crash{Name: app.Name(), R: app}
+		case "netdelay", "netloss":
+			shape = faults.NetDegrade{
+				T:       tr,
+				Host:    strings.TrimPrefix(app.URL(), "http://"),
+				Latency: spec.Latency,
+				Loss:    spec.Loss,
+			}
+		default:
+			return nil, fmt.Errorf("fault shape %q not supported by httpdemo", spec.ShapeKind)
+		}
+		out = append(out, spec.Bind(shape))
+	}
+	return out, nil
 }

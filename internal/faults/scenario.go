@@ -1,0 +1,149 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Scenario text format, shared by cmd/httpdemo's -faults flag and the
+// chaos tooling: a comma-separated list of specs, each
+//
+//	shape:schedule[:key=value]...
+//
+// with shapes freeze | gc_pause | slow | crash | netdelay | netloss,
+// schedules periodic | random | oneshot, and keys interval, duration,
+// jitter, count, seed, target, delay (slow's extra service time),
+// latency and loss (the network shapes). Example:
+//
+//	freeze:periodic:interval=2s:duration=300ms:jitter=500ms:target=app1,
+//	netloss:oneshot:interval=5s:duration=1s:loss=0.5:target=app2
+//
+// The same vocabulary maps onto internal/mbneck's simulated injectors
+// (periodic↔PeriodicStalls, random↔RandomStalls, oneshot↔Scripted), so
+// one scenario description drives both substrates.
+
+// Spec is one parsed fault specification, not yet bound to a live
+// target. The caller resolves Target to a Shape (an app server or the
+// proxy transport) and calls Bind.
+type Spec struct {
+	// ShapeKind is one of freeze, gc_pause, slow, crash, netdelay,
+	// netloss.
+	ShapeKind string
+	// Target names the backend the fault afflicts; empty means the
+	// caller's default (typically the first backend).
+	Target string
+	// Sched is the window arrival process.
+	Sched Schedule
+	// Delay is slow's extra per-request service time.
+	Delay time.Duration
+	// Latency and Loss parameterize netdelay / netloss.
+	Latency time.Duration
+	Loss    float64
+}
+
+// Bind attaches the resolved shape, producing a runnable injector.
+func (s Spec) Bind(shape Shape) *Injector { return NewInjector(shape, s.Sched) }
+
+// ParseScenario parses a comma-separated scenario string.
+func ParseScenario(text string) ([]Spec, error) {
+	var out []Spec
+	for _, part := range strings.Split(text, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		spec, err := ParseSpec(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("faults: empty scenario")
+	}
+	return out, nil
+}
+
+// ParseSpec parses one shape:schedule[:key=value]... spec.
+func ParseSpec(text string) (Spec, error) {
+	fields := strings.Split(text, ":")
+	if len(fields) < 2 {
+		return Spec{}, fmt.Errorf("faults: %q: want shape:schedule[:key=value]...", text)
+	}
+	spec := Spec{ShapeKind: fields[0]}
+	switch spec.ShapeKind {
+	case "freeze", "gc_pause", "slow", "crash", "netdelay", "netloss":
+	default:
+		return Spec{}, fmt.Errorf("faults: unknown shape %q", spec.ShapeKind)
+	}
+	switch fields[1] {
+	case "periodic":
+		spec.Sched.Kind = Periodic
+	case "random":
+		spec.Sched.Kind = Random
+	case "oneshot":
+		spec.Sched.Kind = OneShot
+	default:
+		return Spec{}, fmt.Errorf("faults: unknown schedule %q", fields[1])
+	}
+	// Shape-specific defaults; overridable below.
+	spec.Sched.Interval = 500 * time.Millisecond
+	spec.Sched.Duration = 200 * time.Millisecond
+	switch spec.ShapeKind {
+	case "slow":
+		spec.Delay = 50 * time.Millisecond
+	case "netdelay":
+		spec.Latency = 100 * time.Millisecond
+	case "netloss":
+		spec.Loss = 0.5
+	}
+	for _, kv := range fields[2:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("faults: %q: want key=value", kv)
+		}
+		var err error
+		switch key {
+		case "interval":
+			spec.Sched.Interval, err = parseDur(val)
+		case "duration":
+			spec.Sched.Duration, err = parseDur(val)
+		case "jitter":
+			spec.Sched.Jitter, err = parseDur(val)
+		case "count":
+			spec.Sched.Count, err = strconv.Atoi(val)
+		case "seed":
+			spec.Sched.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "target":
+			spec.Target = val
+		case "delay":
+			spec.Delay, err = parseDur(val)
+		case "latency":
+			spec.Latency, err = parseDur(val)
+		case "loss":
+			spec.Loss, err = strconv.ParseFloat(val, 64)
+			if err == nil && (spec.Loss < 0 || spec.Loss > 1) {
+				err = fmt.Errorf("loss outside [0,1]")
+			}
+		default:
+			return Spec{}, fmt.Errorf("faults: unknown key %q in %q", key, text)
+		}
+		if err != nil {
+			return Spec{}, fmt.Errorf("faults: %q: %v", kv, err)
+		}
+	}
+	return spec, nil
+}
+
+func parseDur(s string) (time.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("duration %v not positive", d)
+	}
+	return d, nil
+}

@@ -1,0 +1,201 @@
+package faults
+
+import (
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"millibalance/internal/obs"
+)
+
+// ScheduleKind selects the arrival process of fault windows.
+type ScheduleKind int
+
+const (
+	// Periodic opens a window every Interval ± uniform Jitter — the
+	// simulator's PeriodicStalls (dirty-page writeback cadence).
+	Periodic ScheduleKind = iota
+	// Random opens windows as a Poisson process with mean gap Interval
+	// — the simulator's RandomStalls (JVM GC arrivals).
+	Random
+	// OneShot opens a single window after Interval, then stops — the
+	// scripted what-happens-at-t scenario.
+	OneShot
+)
+
+func (k ScheduleKind) String() string {
+	switch k {
+	case Periodic:
+		return "periodic"
+	case Random:
+		return "random"
+	case OneShot:
+		return "oneshot"
+	default:
+		return "schedule(?)"
+	}
+}
+
+// Schedule describes when fault windows open.
+type Schedule struct {
+	Kind ScheduleKind
+	// Interval is the periodic gap, the random mean gap, or the
+	// one-shot delay.
+	Interval time.Duration
+	// Duration is the window length.
+	Duration time.Duration
+	// Jitter, for Periodic, spreads each gap uniformly over
+	// [Interval-Jitter, Interval+Jitter].
+	Jitter time.Duration
+	// Count, when positive, stops the schedule after that many windows.
+	Count int
+	// Seed makes the jittered/random gaps reproducible; zero derives a
+	// fixed default so runs are deterministic unless varied explicitly.
+	Seed uint64
+}
+
+// Injector binds a Shape to a Schedule and runs it, emitting
+// fault_start/fault_end events. Construct with NewInjector.
+type Injector struct {
+	shape Shape
+	sched Schedule
+
+	log   *obs.EventLog
+	epoch time.Time
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	fired   int
+	started bool
+}
+
+// NewInjector binds shape to sched.
+func NewInjector(shape Shape, sched Schedule) *Injector {
+	if sched.Interval <= 0 {
+		sched.Interval = 500 * time.Millisecond
+	}
+	if sched.Duration <= 0 {
+		sched.Duration = 200 * time.Millisecond
+	}
+	return &Injector{shape: shape, sched: sched}
+}
+
+// Name identifies the injector as shapeKind:scheduleKind.
+func (in *Injector) Name() string {
+	return in.shape.Kind() + ":" + in.sched.Kind.String()
+}
+
+// Shape returns the bound shape.
+func (in *Injector) Shape() Shape { return in.shape }
+
+// Fired reports opened windows.
+func (in *Injector) Fired() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Arm attaches the event log and epoch. Call before Start.
+func (in *Injector) Arm(log *obs.EventLog, epoch time.Time) {
+	in.mu.Lock()
+	in.log = log
+	in.epoch = epoch
+	in.mu.Unlock()
+}
+
+// Start launches the schedule. A second Start is a no-op until Stop.
+func (in *Injector) Start() {
+	in.mu.Lock()
+	if in.started {
+		in.mu.Unlock()
+		return
+	}
+	in.started = true
+	in.stop = make(chan struct{})
+	stop := in.stop
+	in.mu.Unlock()
+	in.wg.Add(1)
+	go in.run(stop)
+}
+
+// Stop halts the schedule and waits for the runner goroutine. Windows
+// already open close on their own timers. Idempotent.
+func (in *Injector) Stop() {
+	in.mu.Lock()
+	if !in.started {
+		in.mu.Unlock()
+		return
+	}
+	in.started = false
+	close(in.stop)
+	in.mu.Unlock()
+	in.wg.Wait()
+}
+
+func (in *Injector) run(stop chan struct{}) {
+	defer in.wg.Done()
+	seed := in.sched.Seed
+	if seed == 0 {
+		seed = 0x6d696c6c69 // deterministic default
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	for n := 0; in.sched.Count <= 0 || n < in.sched.Count; n++ {
+		var gap time.Duration
+		switch in.sched.Kind {
+		case Random:
+			gap = time.Duration(rng.ExpFloat64() * float64(in.sched.Interval))
+		case OneShot:
+			gap = in.sched.Interval
+		default: // Periodic
+			gap = in.sched.Interval
+			if j := in.sched.Jitter; j > 0 {
+				gap += time.Duration(rng.Int64N(int64(2*j))) - j
+			}
+		}
+		if gap < 0 {
+			gap = 0
+		}
+		t := time.NewTimer(gap)
+		select {
+		case <-stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		in.open()
+		if in.sched.Kind == OneShot {
+			return
+		}
+	}
+}
+
+// open fires one fault window and schedules its closing event.
+func (in *Injector) open() {
+	in.mu.Lock()
+	in.fired++
+	log, epoch := in.log, in.epoch
+	in.mu.Unlock()
+	d := in.sched.Duration
+	if log != nil {
+		log.Append(obs.Event{
+			T:       time.Since(epoch),
+			Kind:    obs.KindFaultStart,
+			Source:  in.Name(),
+			Backend: in.shape.Target(),
+			Fault:   in.shape.Kind(),
+			Window:  d,
+		})
+		time.AfterFunc(d, func() {
+			log.Append(obs.Event{
+				T:       time.Since(epoch),
+				Kind:    obs.KindFaultEnd,
+				Source:  in.Name(),
+				Backend: in.shape.Target(),
+				Fault:   in.shape.Kind(),
+				Window:  d,
+			})
+		})
+	}
+	in.shape.Open(d)
+}

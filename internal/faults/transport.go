@@ -1,0 +1,115 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrInjectedLoss marks a request dropped by the loss fault, so tests
+// and metrics can tell injected failures from real ones.
+var ErrInjectedLoss = errors.New("faults: injected packet loss")
+
+// Transport is a fault-wrapping http.RoundTripper for the proxy's
+// upstream client: per-host injected latency (added before the request
+// is forwarded) and probabilistic loss (the request fails without ever
+// reaching the backend — the paper's dropped-packet /
+// retransmission-trigger path). Hosts without an open degradation pass
+// through untouched.
+type Transport struct {
+	// Base performs the real round trips; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+
+	mu    sync.Mutex
+	hosts map[string]netFault
+	rng   *rand.Rand
+}
+
+type netFault struct {
+	latency time.Duration
+	loss    float64
+}
+
+// NewTransport wraps base with a deterministic seeded loss source.
+func NewTransport(base http.RoundTripper, seed uint64) *Transport {
+	if seed == 0 {
+		seed = 0x6e6574
+	}
+	return &Transport{
+		Base: base,
+		rng:  rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+	}
+}
+
+// Degrade opens (or updates) a degradation for host: every request adds
+// latency, and fails with ErrInjectedLoss with probability loss.
+func (t *Transport) Degrade(host string, latency time.Duration, loss float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.hosts == nil {
+		t.hosts = make(map[string]netFault)
+	}
+	t.hosts[host] = netFault{latency: latency, loss: loss}
+}
+
+// Clear removes the host's degradation.
+func (t *Transport) Clear(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.hosts, host)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	f, degraded := t.hosts[req.URL.Host]
+	var drop bool
+	if degraded && f.loss > 0 {
+		drop = t.rng.Float64() < f.loss
+	}
+	t.mu.Unlock()
+	if degraded && f.latency > 0 {
+		timer := time.NewTimer(f.latency)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	if drop {
+		return nil, fmt.Errorf("faults: %s: %w", req.URL.Host, ErrInjectedLoss)
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}
+
+// NetDegrade is the network fault shape: for the window, requests to
+// Host through T gain Latency and fail with probability Loss.
+type NetDegrade struct {
+	T       *Transport
+	Host    string
+	Latency time.Duration
+	Loss    float64
+}
+
+func (n NetDegrade) Kind() string {
+	if n.Loss > 0 && n.Latency <= 0 {
+		return "netloss"
+	}
+	return "netdelay"
+}
+
+func (n NetDegrade) Target() string { return n.Host }
+
+func (n NetDegrade) Open(d time.Duration) {
+	n.T.Degrade(n.Host, n.Latency, n.Loss)
+	time.AfterFunc(d, func() { n.T.Clear(n.Host) })
+}

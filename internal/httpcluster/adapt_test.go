@@ -21,7 +21,7 @@ func TestBalancerRuntimeSwapReseeds(t *testing.T) {
 	}
 	bal := NewBalancer(PolicyTotalRequest, MechanismModified, backends, Config{})
 
-	var releases []func(int64)
+	var releases []Release
 	for i := 0; i < 5; i++ {
 		be, release, err := bal.Acquire(100)
 		if err != nil {
@@ -30,7 +30,7 @@ func TestBalancerRuntimeSwapReseeds(t *testing.T) {
 		_ = be
 		releases = append(releases, release)
 	}
-	releases[0](200) // one completion: 4 in flight, 5 dispatched
+	releases[0].Done(200) // one completion: 4 in flight, 5 dispatched
 
 	bal.SetPolicy(PolicyCurrentLoad)
 	if got, want := bal.CurrentPolicy(), PolicyCurrentLoad; got != want {
@@ -42,7 +42,7 @@ func TestBalancerRuntimeSwapReseeds(t *testing.T) {
 		}
 	}
 	for _, r := range releases[1:] {
-		r(200)
+		r.Done(200)
 	}
 	for _, be := range backends {
 		if be.LBValue() != 0 {
@@ -64,7 +64,7 @@ func TestBalancerRuntimeSwapReseeds(t *testing.T) {
 			t.Fatal(err)
 		}
 		seen[be.Name()]++
-		release(0)
+		release.Done(0)
 	}
 	if seen["a"] != 3 || seen["b"] != 3 {
 		t.Fatalf("round_robin distribution %v, want 3/3", seen)
@@ -99,7 +99,7 @@ func TestBalancerQuarantineAndProbe(t *testing.T) {
 		if be.Name() == "a" {
 			t.Fatal("quarantined backend dispatched")
 		}
-		release(0)
+		release.Done(0)
 	}
 
 	if !bal.ArmProbe("a") {
@@ -112,7 +112,7 @@ func TestBalancerQuarantineAndProbe(t *testing.T) {
 	if be.Name() != "a" {
 		t.Fatalf("probe dispatched to %s, want a", be.Name())
 	}
-	release(0)
+	release.Done(0)
 	mu.Lock()
 	defer mu.Unlock()
 	if len(probes) != 1 || !probes[0] {

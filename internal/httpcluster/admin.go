@@ -65,6 +65,8 @@ type ProxyStats struct {
 	Served    uint64         `json:"served"`
 	Errors    uint64         `json:"errors"`
 	Rejects   uint64         `json:"rejects"`
+	Shed      uint64         `json:"shed"`
+	Retries   uint64         `json:"retries"`
 	Backends  []BackendStats `json:"backends"`
 }
 
@@ -92,6 +94,8 @@ func (p *Proxy) Stats() ProxyStats {
 		Served:    p.served.Load(),
 		Errors:    p.errors.Load(),
 		Rejects:   p.bal.Rejects(),
+		Shed:      p.shed.Load(),
+		Retries:   p.retries.Load(),
 	}
 	for _, be := range p.bal.Backends() {
 		out.Backends = append(out.Backends, BackendStats{

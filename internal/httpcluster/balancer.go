@@ -311,6 +311,11 @@ type Balancer struct {
 	epoch    time.Time
 	source   string
 	rr       uint64
+	// wake is closed and replaced whenever the mechanism is swapped or
+	// a backend is quarantined, so workers sleeping inside the original
+	// mechanism's poll loop re-check their abort conditions immediately
+	// instead of after the full acquire window.
+	wake chan struct{}
 }
 
 // NewBalancer builds a balancer over the backends.
@@ -320,7 +325,7 @@ func NewBalancer(policy Policy, mech Mechanism, backends []*Backend, cfg Config)
 	}
 	copied := make([]*Backend, len(backends))
 	copy(copied, backends)
-	return &Balancer{policy: policy, mech: mech, cfg: cfg.withDefaults(), backends: copied}
+	return &Balancer{policy: policy, mech: mech, cfg: cfg.withDefaults(), backends: copied, wake: make(chan struct{})}
 }
 
 // Backends returns the backend list (shared; do not mutate).
@@ -380,16 +385,68 @@ func (b *Balancer) emitDecision(chosen *Backend) {
 	})
 }
 
+// triedSet tracks the backends a dispatch already failed on. Backend
+// sets are tiny (the paper's testbed has four application servers), so
+// a slice with a linear scan beats a map and costs at most one
+// allocation per failing dispatch instead of one per map insert — the
+// same fix internal/lb carries.
+type triedSet []*Backend
+
+func (t triedSet) has(be *Backend) bool {
+	for _, x := range t {
+		if x == be {
+			return true
+		}
+	}
+	return false
+}
+
+// Release finishes an acquired dispatch. Done records a completed
+// response with its size and returns the endpoint; Fail also returns
+// the endpoint but records an upstream failure, feeding the Busy/Error
+// ladder instead of proving the backend responsive. The zero Release
+// is inert. Passed by value so the proxy hot path allocates nothing.
+type Release struct {
+	bal          *Balancer
+	be           *Backend
+	requestBytes int64
+}
+
+// Done completes the dispatch with the response size.
+func (r Release) Done(responseBytes int64) {
+	if r.bal == nil {
+		return
+	}
+	r.bal.noteComplete(r.be, r.requestBytes, responseBytes)
+	r.be.endpoints <- struct{}{}
+}
+
+// Fail unwinds the dispatch after an upstream failure.
+func (r Release) Fail() {
+	if r.bal == nil {
+		return
+	}
+	r.bal.noteUpstreamFailure(r.be)
+	r.be.endpoints <- struct{}{}
+}
+
+// Backend returns the acquired backend (nil for the zero Release).
+func (r Release) Backend() *Backend { return r.be }
+
 // Acquire picks a backend and obtains an endpoint, blocking the calling
 // goroutine exactly as mod_jk blocks its worker thread. On success it
-// returns the backend and a release function the caller must invoke
-// with the response size once the response is done.
-func (b *Balancer) Acquire(requestBytes int64) (*Backend, func(responseBytes int64), error) {
+// returns the backend and a Release the caller must finish exactly once
+// (Done with the response size, or Fail on upstream failure).
+func (b *Balancer) Acquire(requestBytes int64) (*Backend, Release, error) {
+	// tried is allocated lazily on the first acquisition failure, so
+	// the happy path — first choice has a free endpoint — allocates
+	// nothing at all.
+	var tried triedSet
 	for sweep := 0; sweep < b.cfg.Sweeps; sweep++ {
 		if sweep > 0 {
 			time.Sleep(b.cfg.SweepPause)
+			tried = tried[:0]
 		}
-		tried := make(map[*Backend]bool, len(b.backends))
 		for len(tried) < len(b.backends) {
 			be := b.choose(tried)
 			if be == nil {
@@ -401,13 +458,13 @@ func (b *Balancer) Acquire(requestBytes int64) (*Backend, func(responseBytes int
 			b.emitDecision(be)
 			if b.acquireEndpoint(be) {
 				b.noteDispatch(be)
-				return be, func(responseBytes int64) {
-					b.noteComplete(be, requestBytes, responseBytes)
-					be.endpoints <- struct{}{}
-				}, nil
+				return be, Release{bal: b, be: be, requestBytes: requestBytes}, nil
 			}
 			b.noteFailure(be)
-			tried[be] = true
+			if tried == nil {
+				tried = make(triedSet, 0, len(b.backends))
+			}
+			tried = append(tried, be)
 		}
 	}
 	b.mu.Lock()
@@ -416,50 +473,106 @@ func (b *Balancer) Acquire(requestBytes int64) (*Backend, func(responseBytes int
 	if b.events != nil {
 		b.events.Append(obs.Event{T: time.Since(b.epoch), Kind: obs.KindReject, Source: b.source})
 	}
-	return nil, nil, ErrNoBackend
+	return nil, Release{}, ErrNoBackend
 }
 
 // acquireEndpoint runs the configured mechanism against one backend.
 func (b *Balancer) acquireEndpoint(be *Backend) bool {
-	mech := b.CurrentMechanism()
 	select {
 	case <-be.endpoints:
 		return true
 	default:
 	}
-	if mech == MechanismModified {
+	if b.CurrentMechanism() == MechanismModified {
 		return false
 	}
 	// Algorithm 1: poll while retry*sleep < timeout, holding the
 	// caller. The backend's state is deliberately left untouched for
 	// the whole window — the mechanism-level limitation. With the
 	// defaults this checks at 0, 100 and 200 ms and gives up at 300 ms,
-	// matching the simulation-time mechanism in internal/lb.
+	// matching the simulation-time mechanism in internal/lb. Unlike
+	// the paper's mod_jk, the abort conditions (a runtime
+	// original→modified swap, a quarantine of this backend) are
+	// re-checked every iteration and mid-sleep, so the adaptive control
+	// plane's remediation frees blocked workers immediately instead of
+	// after the rest of the window — the same fix internal/lb shipped
+	// for quarantine-aborted polls.
 	for retry := 1; time.Duration(retry)*b.cfg.AcquireSleep < b.cfg.AcquireTimeout; retry++ {
-		time.Sleep(b.cfg.AcquireSleep)
+		if !b.sleepPoll(be, b.cfg.AcquireSleep) {
+			return false
+		}
 		select {
 		case <-be.endpoints:
 			return true
 		default:
 		}
 	}
-	time.Sleep(b.cfg.AcquireSleep) // the final sleep before the guard fails
+	b.sleepPoll(be, b.cfg.AcquireSleep) // the final sleep before the guard fails
 	return false
+}
+
+// sleepPoll sleeps one poll interval, returning false early when the
+// mechanism is swapped away from original or the backend is drained by
+// the control plane (armed probes keep polling — measuring the drained
+// backend is their whole purpose).
+func (b *Balancer) sleepPoll(be *Backend, d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for {
+		if b.CurrentMechanism() != MechanismOriginal {
+			return false
+		}
+		be.mu.Lock()
+		drained := be.quarantined && !be.probeArmed
+		be.mu.Unlock()
+		if drained {
+			return false
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return true
+		}
+		wake := b.wakeCh()
+		t := time.NewTimer(remain)
+		select {
+		case <-t.C:
+		case <-wake:
+		}
+		t.Stop()
+	}
+}
+
+// wakeCh reads the current wake channel.
+func (b *Balancer) wakeCh() <-chan struct{} {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.wake
+}
+
+// bumpWakeLocked signals every sleeping poller to re-check its abort
+// conditions. The caller holds b.mu.
+func (b *Balancer) bumpWakeLocked() {
+	close(b.wake)
+	b.wake = make(chan struct{})
 }
 
 // choose picks the lowest-lb_value backend: Available first, then Busy;
 // Error, already-tried and quarantined backends (unless probe-armed)
 // are excluded. Under round_robin the lb_values are ignored and the
 // non-excluded backends are rotated through instead.
-func (b *Balancer) choose(tried map[*Backend]bool) *Backend {
+func (b *Balancer) choose(tried triedSet) *Backend {
 	now := time.Now()
 	policy := b.CurrentPolicy()
+	if policy == PolicyRoundRobin {
+		if be := b.rotate(BackendAvailable, tried, now); be != nil {
+			return be
+		}
+		return b.rotate(BackendBusy, tried, now)
+	}
 	pick := func(state BackendState) *Backend {
 		var best *Backend
 		bestVal := 0.0
-		var eligible []*Backend
 		for _, be := range b.backends {
-			if tried[be] {
+			if tried.has(be) {
 				continue
 			}
 			be.mu.Lock()
@@ -470,19 +583,9 @@ func (b *Balancer) choose(tried map[*Backend]bool) *Backend {
 			if st != state || skip {
 				continue
 			}
-			if policy == PolicyRoundRobin {
-				eligible = append(eligible, be)
-				continue
-			}
 			if best == nil || val < bestVal {
 				best, bestVal = be, val
 			}
-		}
-		if policy == PolicyRoundRobin && len(eligible) > 0 {
-			b.mu.Lock()
-			best = eligible[b.rr%uint64(len(eligible))]
-			b.rr++
-			b.mu.Unlock()
 		}
 		return best
 	}
@@ -490,6 +593,34 @@ func (b *Balancer) choose(tried map[*Backend]bool) *Backend {
 		return be
 	}
 	return pick(BackendBusy)
+}
+
+// rotate implements round_robin over the stable backend list: the scan
+// starts at the cursor and the cursor advances to just past the chosen
+// backend, so ineligible entries (Busy flicker, a quarantine) are
+// skipped without skewing the rotation. Indexing a per-call eligible
+// slice with a shared counter — the previous implementation — let
+// membership churn re-align the counter and hand consecutive
+// dispatches to the same backend.
+func (b *Balancer) rotate(state BackendState, tried triedSet, now time.Time) *Backend {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := uint64(len(b.backends))
+	for i := uint64(0); i < n; i++ {
+		be := b.backends[(b.rr+i)%n]
+		if tried.has(be) {
+			continue
+		}
+		be.mu.Lock()
+		be.lazyRecover(now)
+		ok := be.state == state && !(be.quarantined && !be.probeArmed)
+		be.mu.Unlock()
+		if ok {
+			b.rr = (b.rr + i + 1) % n
+			return be
+		}
+	}
+	return nil
 }
 
 func (b *Balancer) noteDispatch(be *Backend) {
@@ -578,4 +709,37 @@ func (b *Balancer) noteFailure(be *Backend) {
 	if probeFailed && b.onProbe != nil {
 		b.onProbe(be, 0, false)
 	}
+}
+
+// noteUpstreamFailure unwinds a dispatched request whose upstream round
+// trip failed (crash, timeout, injected loss): the request is no longer
+// in flight — completed counts it and the in-flight policies decrement —
+// but unlike noteComplete it does not prove the backend responsive. The
+// failure feeds the Busy/Error ladder so the scheduler routes around the
+// backend, and an in-flight probe reports failure.
+func (b *Balancer) noteUpstreamFailure(be *Backend) {
+	policy := b.CurrentPolicy()
+	be.mu.Lock()
+	be.completed++
+	switch policy {
+	case PolicyCurrentLoad:
+		if unit := 1 / be.weightLocked(); be.lbValue >= unit {
+			be.lbValue -= unit
+		} else {
+			be.lbValue = 0
+		}
+	case PolicyRoundRobin:
+		if be.lbValue >= 1 {
+			be.lbValue--
+		} else {
+			be.lbValue = 0
+		}
+	}
+	probeFailed := be.probing
+	be.probing = false
+	be.mu.Unlock()
+	if probeFailed && b.onProbe != nil {
+		b.onProbe(be, 0, false)
+	}
+	b.noteFailure(be)
 }

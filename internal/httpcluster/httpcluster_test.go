@@ -46,12 +46,12 @@ func TestBackendEndpointPool(t *testing.T) {
 	if _, _, err := bal.Acquire(100); err == nil {
 		t.Fatal("third acquire succeeded with pool of 2")
 	}
-	rel1(10)
-	rel2(10)
+	rel1.Done(10)
+	rel2.Done(10)
 	if _, rel, err := bal.Acquire(100); err != nil {
 		t.Fatalf("acquire after release: %v", err)
 	} else {
-		rel(0)
+		rel.Done(0)
 	}
 }
 
@@ -67,8 +67,8 @@ func TestBalancerPolicyBookkeeping(t *testing.T) {
 	if a.LBValue() != 1 || b.LBValue() != 1 {
 		t.Fatalf("lb values %v/%v", a.LBValue(), b.LBValue())
 	}
-	rel1(0)
-	rel2(0)
+	rel1.Done(0)
+	rel2.Done(0)
 	if a.LBValue() != 0 || b.LBValue() != 0 {
 		t.Fatalf("lb values after completion %v/%v", a.LBValue(), b.LBValue())
 	}
@@ -81,7 +81,7 @@ func TestBalancerTotalTrafficBytes(t *testing.T) {
 	if a.LBValue() != 0 {
 		t.Fatalf("traffic lb before completion = %v", a.LBValue())
 	}
-	rel(700)
+	rel.Done(700)
 	if a.LBValue() != 1000 {
 		t.Fatalf("traffic lb = %v, want 1000", a.LBValue())
 	}
@@ -122,13 +122,13 @@ func TestModifiedMechanismFailsFast(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer rel(0)
+	defer rel.Done(0)
 	// Third: a has lb 1 = b lb 1, tie → a → instant fail → b.
 	be3, rel3, err := bal.Acquire(0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer rel3(0)
+	defer rel3.Done(0)
 	if time.Since(start) > 50*time.Millisecond {
 		t.Fatalf("modified mechanism took %v", time.Since(start))
 	}
@@ -526,7 +526,7 @@ func TestHTTPStickySessions(t *testing.T) {
 		t.Fatal(err)
 	}
 	first := be.Name()
-	rel(0)
+	rel.Done(0)
 	for i := 0; i < 5; i++ {
 		be, rel, err := bal.AcquireSession("s1", 0)
 		if err != nil {
@@ -535,7 +535,7 @@ func TestHTTPStickySessions(t *testing.T) {
 		if be.Name() != first {
 			t.Fatalf("session moved from %s to %s", first, be.Name())
 		}
-		rel(0)
+		rel.Done(0)
 	}
 	if bal.Sessions() != 1 {
 		t.Fatalf("Sessions = %d", bal.Sessions())
@@ -545,7 +545,7 @@ func TestHTTPStickySessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rel2(0)
+	rel2.Done(0)
 	if bal.Sessions() != 1 {
 		t.Fatalf("empty key bound: %d", bal.Sessions())
 	}
@@ -564,12 +564,12 @@ func TestHTTPStickyFallbackRebinds(t *testing.T) {
 	if err != nil || be2.Name() != "b" {
 		t.Fatalf("fallback acquire: %v %v", be2, err)
 	}
-	rel2(0)
+	rel2.Done(0)
 	be3, rel3, err := bal.AcquireSession("s1", 0)
 	if err != nil || be3.Name() != "b" {
 		t.Fatalf("rebind not applied: %v %v", be3, err)
 	}
-	rel3(0)
+	rel3.Done(0)
 }
 
 func TestHTTPWeightedDistribution(t *testing.T) {
@@ -584,7 +584,7 @@ func TestHTTPWeightedDistribution(t *testing.T) {
 			t.Fatal(err)
 		}
 		counts[be.Name()]++
-		rel(0)
+		rel.Done(0)
 	}
 	ratio := float64(counts["heavy"]) / float64(counts["light"])
 	if ratio < 2.7 || ratio > 3.3 {

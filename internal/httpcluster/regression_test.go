@@ -1,0 +1,168 @@
+package httpcluster
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression tests for the sim↔proxy parity bugfixes: the wall-clock
+// balancer previously read the mechanism once per dispatch (so blocked
+// pollers never noticed remediation), rotated round_robin over a
+// churning eligible slice, and allocated a tried map per sweep.
+
+// TestSwapMidPollAborts: a worker polling a stalled backend under the
+// original mechanism must be freed as soon as the control plane swaps
+// to the modified mechanism, not after the full acquire window.
+func TestSwapMidPollAborts(t *testing.T) {
+	a := NewBackend("a", "u", 1)
+	bal := NewBalancer(PolicyCurrentLoad, MechanismOriginal, []*Backend{a},
+		Config{AcquireSleep: 100 * time.Millisecond, AcquireTimeout: 300 * time.Millisecond, Sweeps: 1})
+	if _, _, err := bal.Acquire(0); err != nil { // hold the only endpoint
+		t.Fatal(err)
+	}
+
+	done := make(chan time.Duration, 1)
+	start := time.Now()
+	go func() {
+		_, _, _ = bal.Acquire(0) // blocks polling the exhausted pool
+		done <- time.Since(start)
+	}()
+
+	time.Sleep(30 * time.Millisecond) // let the poller enter its sleep
+	bal.SetMechanism(MechanismModified)
+
+	select {
+	case elapsed := <-done:
+		if elapsed > 150*time.Millisecond {
+			t.Fatalf("poller freed after %v, want well before the 300ms window", elapsed)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("poller still blocked 1s after mechanism swap")
+	}
+}
+
+// TestQuarantineMidPollAborts: quarantining the polled backend must
+// abort the poll the same way — no endpoint is coming from a drained
+// backend.
+func TestQuarantineMidPollAborts(t *testing.T) {
+	a := NewBackend("a", "u", 1)
+	b := NewBackend("b", "u", 4)
+	bal := NewBalancer(PolicyTotalRequest, MechanismOriginal, []*Backend{a, b},
+		Config{AcquireSleep: 100 * time.Millisecond, AcquireTimeout: 300 * time.Millisecond, Sweeps: 1})
+	if _, _, err := bal.Acquire(0); err != nil { // a wins the tie-break, pool exhausted
+		t.Fatal(err)
+	}
+	if be, rel, err := bal.Acquire(0); err != nil || be.Name() != "b" {
+		t.Fatalf("second acquire: %v %v", be, err)
+	} else {
+		rel.Done(0) // total_request keeps b's lb_value at 1: tied with a
+	}
+
+	done := make(chan struct{})
+	start := time.Now()
+	go func() {
+		// a has the lower lb_value, so the poller lands on a and blocks.
+		be, rel, err := bal.Acquire(0)
+		if err == nil {
+			if be.Name() != "b" {
+				t.Errorf("post-abort dispatch on %s, want b", be.Name())
+			}
+			rel.Done(0)
+		}
+		close(done)
+	}()
+
+	time.Sleep(30 * time.Millisecond)
+	bal.SetQuarantine("a", true)
+
+	select {
+	case <-done:
+		if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+			t.Fatalf("poller freed after %v, want well before the 300ms window", elapsed)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("poller still blocked 1s after quarantine")
+	}
+}
+
+// TestRoundRobinStableRotation: round_robin must rotate over the stable
+// backend list, so eligibility churn (a quarantine opening and closing)
+// cannot re-align the cursor and hand consecutive dispatches to the
+// same backend.
+func TestRoundRobinStableRotation(t *testing.T) {
+	a := NewBackend("a", "u", 10)
+	b := NewBackend("b", "u", 10)
+	bal := NewBalancer(PolicyRoundRobin, MechanismModified, []*Backend{a, b}, Config{Sweeps: 1})
+
+	dispatch := func(n int) map[string]int {
+		t.Helper()
+		counts := map[string]int{}
+		prev := ""
+		for i := 0; i < n; i++ {
+			be, rel, err := bal.Acquire(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[be.Name()]++
+			if len(counts) == 2 && be.Name() == prev {
+				t.Fatalf("round_robin chose %s twice in a row with both eligible", prev)
+			}
+			prev = be.Name()
+			rel.Done(0)
+		}
+		return counts
+	}
+
+	if got := dispatch(6); got["a"] != 3 || got["b"] != 3 {
+		t.Fatalf("healthy rotation %v, want 3/3", got)
+	}
+
+	// Churn eligibility: with b drained the cursor keeps advancing over
+	// the stable list, and after re-admission rotation resumes fairly.
+	bal.SetQuarantine("b", true)
+	if got := dispatch(3); got["b"] != 0 {
+		t.Fatalf("quarantined backend dispatched: %v", got)
+	}
+	bal.SetQuarantine("b", false)
+	if got := dispatch(6); got["a"] != 3 || got["b"] != 3 {
+		t.Fatalf("post-churn rotation %v, want 3/3", got)
+	}
+}
+
+// TestAcquireZeroAlloc guards the proxy hot path: a successful
+// dispatch-and-complete cycle must not allocate (parity with the
+// internal/lb triedSet fix).
+func TestAcquireZeroAlloc(t *testing.T) {
+	a := NewBackend("a", "u", 4)
+	b := NewBackend("b", "u", 4)
+	bal := NewBalancer(PolicyCurrentLoad, MechanismModified, []*Backend{a, b}, Config{Sweeps: 1})
+	allocs := testing.AllocsPerRun(200, func() {
+		_, rel, err := bal.Acquire(128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel.Done(256)
+	})
+	if allocs != 0 {
+		t.Fatalf("Acquire+Done allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+func BenchmarkAcquireAllocs(b *testing.B) {
+	backends := []*Backend{
+		NewBackend("a", "u", 64),
+		NewBackend("b", "u", 64),
+		NewBackend("c", "u", 64),
+		NewBackend("d", "u", 64),
+	}
+	bal := NewBalancer(PolicyCurrentLoad, MechanismModified, backends, Config{Sweeps: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, rel, err := bal.Acquire(128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel.Done(256)
+	}
+}

@@ -1,0 +1,305 @@
+package httpcluster
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestRetryBudget(t *testing.T) {
+	rb := newRetryBudget(0.5, 3)
+	// Starts full: isolated failures get their retries immediately.
+	for i := 0; i < 3; i++ {
+		if !rb.withdraw() {
+			t.Fatalf("withdraw %d refused with full bucket", i)
+		}
+	}
+	if rb.withdraw() {
+		t.Fatal("withdraw succeeded with empty bucket")
+	}
+	// Two first attempts deposit 2×0.5 = 1 token.
+	rb.deposit()
+	rb.deposit()
+	if !rb.withdraw() {
+		t.Fatal("withdraw refused after refill")
+	}
+	if rb.withdraw() {
+		t.Fatal("second withdraw succeeded on one token")
+	}
+	// The cap bounds banked tokens.
+	for i := 0; i < 100; i++ {
+		rb.deposit()
+	}
+	for i := 0; i < 3; i++ {
+		if !rb.withdraw() {
+			t.Fatalf("withdraw %d refused at cap", i)
+		}
+	}
+	if rb.withdraw() {
+		t.Fatal("bucket held more than its cap")
+	}
+	// Disabled and nil budgets always allow.
+	if newRetryBudget(-1, 10) != nil {
+		t.Fatal("negative refill should disable the budget")
+	}
+	var off *retryBudget
+	off.deposit()
+	if !off.withdraw() {
+		t.Fatal("nil budget refused a retry")
+	}
+}
+
+func TestResilienceDefaults(t *testing.T) {
+	r := Resilience{}.withDefaults()
+	if r.AttemptTimeout != 2*time.Second || r.MaxRetries != 2 || r.ShedAfter != time.Second {
+		t.Fatalf("unexpected defaults: %+v", r)
+	}
+	if r.RetryBudget != 0.2 || r.RetryBudgetCap != 50 || r.RetryBackoff != 5*time.Millisecond {
+		t.Fatalf("unexpected defaults: %+v", r)
+	}
+	if d := (Resilience{MaxRetries: -1}).withDefaults(); d.MaxRetries != 0 {
+		t.Fatalf("MaxRetries -1 → %d, want 0 (disabled)", d.MaxRetries)
+	}
+}
+
+// TestRetryOnCrashedBackend: with resilience armed, a request whose
+// first attempt lands on a dead backend must be retried onto the
+// healthy one and succeed.
+func TestRetryOnCrashedBackend(t *testing.T) {
+	app1, err := StartAppServer(AppServerConfig{Name: "app1", Workers: 4, ServiceTime: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = app1.Close() }()
+	app2, err := StartAppServer(AppServerConfig{Name: "app2", Workers: 4, ServiceTime: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = app2.Close() }()
+
+	backends := []*Backend{
+		NewBackend("app1", app1.URL(), 4),
+		NewBackend("app2", app2.URL(), 4),
+	}
+	proxy, err := StartProxy(ProxyConfig{
+		Workers:    8,
+		Policy:     PolicyTotalRequest, // deterministic: lowest lb_value, scan order
+		Mechanism:  MechanismModified,
+		LB:         Config{Sweeps: 1},
+		Resilience: &Resilience{AttemptTimeout: time.Second, MaxRetries: 2, RetryBackoff: time.Millisecond},
+	}, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = proxy.Close() }()
+
+	app1.Crash()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(proxy.URL() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %q, want 200 via retry", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Backend"); got != "app2" {
+		t.Fatalf("served by %s, want app2", got)
+	}
+	if proxy.Retries() == 0 {
+		t.Fatal("no retry recorded")
+	}
+	// The crashed backend took the upstream failure on its ladder.
+	if st := backends[0].State(); st == BackendAvailable {
+		t.Fatalf("crashed backend still Available after failed attempt")
+	}
+
+	// After restart the backend serves again.
+	if err := app1.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = client.Get(app1.URL() + "/healthz")
+	if err != nil {
+		t.Fatalf("restarted backend unreachable: %v", err)
+	}
+	_ = resp.Body.Close()
+}
+
+// TestRetryBudgetExhaustion: with every backend dead, retries stop once
+// the budget is spent instead of amplifying into a retry storm.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	app, err := StartAppServer(AppServerConfig{Name: "app1", Workers: 4, ServiceTime: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = app.Close() }()
+	backends := []*Backend{NewBackend("app1", app.URL(), 4)}
+	proxy, err := StartProxy(ProxyConfig{
+		Workers:   8,
+		Policy:    PolicyCurrentLoad,
+		Mechanism: MechanismModified,
+		LB:        Config{Sweeps: 1},
+		Resilience: &Resilience{
+			AttemptTimeout: time.Second,
+			MaxRetries:     3,
+			RetryBackoff:   time.Millisecond,
+			RetryBudget:    0.1,
+			RetryBudgetCap: 2,
+		},
+	}, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = proxy.Close() }()
+
+	app.Crash()
+	client := &http.Client{Timeout: 5 * time.Second}
+	for i := 0; i < 10; i++ {
+		resp, err := client.Get(proxy.URL() + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatal("request succeeded against a crashed tier")
+		}
+	}
+	// Budget: cap 2 banked + 10×0.1 deposited = at most 3 retries for
+	// 10 failing requests; without the budget it would be 30.
+	if got := proxy.Retries(); got > 3 {
+		t.Fatalf("retries = %d, want ≤ 3 under the budget", got)
+	}
+}
+
+// TestLoadShedding: with resilience armed and the worker pool pinned,
+// excess requests shed with 503 after ShedAfter instead of queueing
+// indefinitely.
+func TestLoadShedding(t *testing.T) {
+	app, err := StartAppServer(AppServerConfig{Name: "app1", Workers: 4, ServiceTime: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = app.Close() }()
+	backends := []*Backend{NewBackend("app1", app.URL(), 4)}
+	proxy, err := StartProxy(ProxyConfig{
+		Workers:    2,
+		Policy:     PolicyCurrentLoad,
+		Mechanism:  MechanismModified,
+		LB:         Config{Sweeps: 1},
+		Resilience: &Resilience{ShedAfter: 50 * time.Millisecond, MaxRetries: -1},
+	}, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = proxy.Close() }()
+
+	// Pin both worker slots with requests frozen inside the app tier.
+	app.Stall(time.Second)
+	time.Sleep(5 * time.Millisecond)
+	client := &http.Client{Timeout: 5 * time.Second}
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := client.Get(proxy.URL() + "/x")
+			if err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	start := time.Now()
+	resp, err := client.Get(proxy.URL() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 shed", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("shed took %v, want fast-fail near the 50ms budget", elapsed)
+	}
+	if proxy.Shed() == 0 {
+		t.Fatal("no shed recorded")
+	}
+}
+
+// TestAttemptDeadline: a stalled backend must not hold a request past
+// AttemptTimeout when resilience is armed.
+func TestAttemptDeadline(t *testing.T) {
+	app, err := StartAppServer(AppServerConfig{Name: "app1", Workers: 4, ServiceTime: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = app.Close() }()
+	backends := []*Backend{NewBackend("app1", app.URL(), 4)}
+	proxy, err := StartProxy(ProxyConfig{
+		Workers:    8,
+		Policy:     PolicyCurrentLoad,
+		Mechanism:  MechanismModified,
+		LB:         Config{Sweeps: 1},
+		Resilience: &Resilience{AttemptTimeout: 100 * time.Millisecond, MaxRetries: -1},
+	}, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = proxy.Close() }()
+
+	app.Stall(2 * time.Second)
+	time.Sleep(5 * time.Millisecond)
+	client := &http.Client{Timeout: 5 * time.Second}
+	start := time.Now()
+	resp, err := client.Get(proxy.URL() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502 after attempt deadline", resp.StatusCode)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("deadline answered after %v, want near the 100ms attempt budget", elapsed)
+	}
+}
+
+// TestBaselineStillBlocks: without resilience the proxy keeps the
+// paper's baseline behavior — no shedding, workers block.
+func TestBaselineStillBlocks(t *testing.T) {
+	app, err := StartAppServer(AppServerConfig{Name: "app1", Workers: 4, ServiceTime: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = app.Close() }()
+	backends := []*Backend{NewBackend("app1", app.URL(), 4)}
+	proxy, err := StartProxy(ProxyConfig{
+		Workers:   4,
+		Policy:    PolicyCurrentLoad,
+		Mechanism: MechanismModified,
+		LB:        Config{Sweeps: 1},
+	}, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = proxy.Close() }()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(proxy.URL() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if proxy.Shed() != 0 || proxy.Retries() != 0 {
+		t.Fatalf("resilience counters moved without resilience: shed=%d retries=%d", proxy.Shed(), proxy.Retries())
+	}
+}

@@ -56,12 +56,15 @@ func (b *Balancer) SetPolicy(p Policy) {
 }
 
 // SetMechanism swaps the endpoint-acquisition mechanism at runtime.
-// Acquisitions already polling finish under the old mechanism; the next
-// dispatch uses the new one.
+// Acquisitions already polling under the original mechanism re-check
+// the live mechanism every iteration and are woken mid-sleep, so an
+// original→modified swap frees blocked workers immediately instead of
+// holding them for the rest of the acquire window.
 func (b *Balancer) SetMechanism(m Mechanism) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.mech = m
+	b.bumpWakeLocked()
 }
 
 // SetQuarantine drains (or re-admits) a backend by name: while
@@ -74,6 +77,15 @@ func (b *Balancer) SetMechanism(m Mechanism) {
 // whether the backend was found.
 func (b *Balancer) SetQuarantine(name string, on bool) bool {
 	policy := b.CurrentPolicy()
+	if on {
+		// Wake workers polling the drained backend inside the original
+		// mechanism: quarantine means no endpoint is coming, and every
+		// blocked worker is one less goroutine emptying the accept
+		// queue (the paper's amplification path).
+		b.mu.Lock()
+		b.bumpWakeLocked()
+		b.mu.Unlock()
+	}
 	for _, be := range b.backends {
 		if be.name != name {
 			continue

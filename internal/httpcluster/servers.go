@@ -1,6 +1,7 @@
 package httpcluster
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -37,8 +38,8 @@ type AppServerConfig struct {
 // matching the simulated CPU model.
 type AppServer struct {
 	cfg      AppServerConfig
-	ln       net.Listener
-	srv      *http.Server
+	addr     string
+	mux      *http.ServeMux
 	workers  chan struct{}
 	stallMu  sync.RWMutex
 	served   atomic.Uint64
@@ -46,6 +47,17 @@ type AppServer struct {
 	client   *http.Client
 	payload  []byte
 	wg       sync.WaitGroup
+
+	// extraDelay is fault-injected additional service time per request
+	// (nanoseconds), the slow-response degradation shape.
+	extraDelay atomic.Int64
+
+	// srvMu guards the listener/server pair across Crash/Restart/Close.
+	srvMu  sync.Mutex
+	ln     net.Listener
+	srv    *http.Server
+	down   bool
+	closed bool
 }
 
 // StartAppServer launches the server on an ephemeral loopback port.
@@ -65,6 +77,7 @@ func StartAppServer(cfg AppServerConfig) (*AppServer, error) {
 	}
 	a := &AppServer{
 		cfg:     cfg,
+		addr:    ln.Addr().String(),
 		ln:      ln,
 		workers: make(chan struct{}, cfg.Workers),
 		client:  &http.Client{Timeout: 5 * time.Second},
@@ -76,18 +89,20 @@ func StartAppServer(cfg AppServerConfig) (*AppServer, error) {
 		fmt.Fprintln(w, "ok")
 	})
 	a.adminMux(mux)
+	a.mux = mux
 	a.srv = &http.Server{Handler: mux}
 	a.wg.Add(1)
-	go func() {
+	go func(srv *http.Server, ln net.Listener) {
 		defer a.wg.Done()
 		// ErrServerClosed is the normal shutdown path.
-		_ = a.srv.Serve(ln)
-	}()
+		_ = srv.Serve(ln)
+	}(a.srv, ln)
 	return a, nil
 }
 
-// URL returns the server's base URL.
-func (a *AppServer) URL() string { return "http://" + a.ln.Addr().String() }
+// URL returns the server's base URL. The address is stable across
+// Crash/Restart cycles.
+func (a *AppServer) URL() string { return "http://" + a.addr }
 
 // Name returns the configured name.
 func (a *AppServer) Name() string { return a.cfg.Name }
@@ -111,9 +126,83 @@ func (a *AppServer) Stall(d time.Duration) {
 	}()
 }
 
-// Close shuts the server down.
+// SetExtraDelay injects (or, with zero, clears) additional per-request
+// service time — the slow-response degradation fault shape. The delay
+// applies to requests in flight as well, spread over their remaining
+// service slices.
+func (a *AppServer) SetExtraDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	a.extraDelay.Store(int64(d))
+}
+
+// ExtraDelay reads the currently injected additional service time.
+func (a *AppServer) ExtraDelay() time.Duration {
+	return time.Duration(a.extraDelay.Load())
+}
+
+// Crash closes the server abruptly — the listener stops accepting and
+// every open connection (including the proxy's pooled keep-alives) is
+// torn down, so in-flight requests fail the way a process crash fails
+// them. The bound address is retained for Restart. A no-op while
+// already down or closed.
+func (a *AppServer) Crash() {
+	a.srvMu.Lock()
+	defer a.srvMu.Unlock()
+	if a.down || a.closed {
+		return
+	}
+	a.down = true
+	_ = a.srv.Close()
+}
+
+// Restart re-listens on the original address and serves again — the
+// delayed-restart half of the crash fault. A no-op when the server is
+// up; an error when the address cannot be rebound or the server was
+// Closed for good.
+func (a *AppServer) Restart() error {
+	a.srvMu.Lock()
+	defer a.srvMu.Unlock()
+	if a.closed {
+		return fmt.Errorf("httpcluster: %s closed", a.cfg.Name)
+	}
+	if !a.down {
+		return nil
+	}
+	ln, err := net.Listen("tcp", a.addr)
+	if err != nil {
+		return fmt.Errorf("httpcluster: restart %s: %w", a.cfg.Name, err)
+	}
+	a.ln = ln
+	a.srv = &http.Server{Handler: a.mux}
+	a.down = false
+	a.wg.Add(1)
+	go func(srv *http.Server, ln net.Listener) {
+		defer a.wg.Done()
+		_ = srv.Serve(ln)
+	}(a.srv, ln)
+	return nil
+}
+
+// Down reports whether the server is crashed (between Crash and a
+// successful Restart).
+func (a *AppServer) Down() bool {
+	a.srvMu.Lock()
+	defer a.srvMu.Unlock()
+	return a.down
+}
+
+// Close shuts the server down permanently.
 func (a *AppServer) Close() error {
-	err := a.srv.Close()
+	a.srvMu.Lock()
+	a.closed = true
+	var err error
+	if !a.down {
+		err = a.srv.Close()
+		a.down = true
+	}
+	a.srvMu.Unlock()
 	a.wg.Wait()
 	return err
 }
@@ -133,7 +222,7 @@ func (a *AppServer) handle(w http.ResponseWriter, r *http.Request) {
 	a.workers <- struct{}{}
 	defer func() { <-a.workers }()
 
-	slice := a.cfg.ServiceTime / serviceSlices
+	slice := (a.cfg.ServiceTime + a.ExtraDelay()) / serviceSlices
 	for i := 0; i < serviceSlices; i++ {
 		a.stallGate()
 		time.Sleep(slice)
@@ -222,6 +311,15 @@ type ProxyConfig struct {
 	// serves its state at GET /admin/adapt and its decision log at
 	// GET /admin/adapt/decisions.
 	Adapt *adapt.Config
+	// Transport, when non-nil, replaces the upstream client's transport
+	// — the injection point for internal/faults' network latency/loss
+	// RoundTripper.
+	Transport http.RoundTripper
+	// Resilience, when non-nil, arms the graceful-degradation path:
+	// per-attempt deadlines, bounded budgeted retries and fast-fail
+	// load shedding. Nil preserves the paper's baseline blocking
+	// behavior.
+	Resilience *Resilience
 }
 
 // Proxy is the web tier: an HTTP server that forwards each request to
@@ -245,6 +343,11 @@ type Proxy struct {
 	reqID  atomic.Uint64
 	adaptC *adapt.Controller
 	adaptR *adaptRunner
+
+	resil   *Resilience
+	budget  *retryBudget
+	shed    atomic.Uint64
+	retries atomic.Uint64
 }
 
 // StartProxy launches the proxy over the given backends.
@@ -261,8 +364,13 @@ func StartProxy(cfg ProxyConfig, backends []*Backend) (*Proxy, error) {
 		bal:     NewBalancer(cfg.Policy, cfg.Mechanism, backends, cfg.LB),
 		ln:      ln,
 		workers: make(chan struct{}, cfg.Workers),
-		client:  &http.Client{Timeout: 10 * time.Second},
+		client:  &http.Client{Timeout: 10 * time.Second, Transport: cfg.Transport},
 		epoch:   time.Now(),
+	}
+	if cfg.Resilience != nil {
+		r := cfg.Resilience.withDefaults()
+		p.resil = &r
+		p.budget = newRetryBudget(r.RetryBudget, r.RetryBudgetCap)
 	}
 	if cfg.SpanCapacity > 0 {
 		p.tracer = obs.NewTracer(cfg.SpanCapacity)
@@ -295,6 +403,19 @@ func (p *Proxy) Served() uint64 { return p.served.Load() }
 // Errors reports requests answered with an error.
 func (p *Proxy) Errors() uint64 { return p.errors.Load() }
 
+// Shed reports requests fast-failed at the worker-pool door.
+func (p *Proxy) Shed() uint64 { return p.shed.Load() }
+
+// Retries reports resilience-layer retry hops.
+func (p *Proxy) Retries() uint64 { return p.retries.Load() }
+
+// WorkersInFlight reports occupied proxy worker slots.
+func (p *Proxy) WorkersInFlight() int { return len(p.workers) }
+
+// Epoch returns the proxy's start time (the zero point of its span and
+// event timestamps).
+func (p *Proxy) Epoch() time.Time { return p.epoch }
+
 // Tracer exposes the span ring (nil when tracing is disabled).
 func (p *Proxy) Tracer() *obs.Tracer { return p.tracer }
 
@@ -323,7 +444,18 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	start := p.now()
 	sp := p.tracer.Start(p.reqID.Add(1), start)
 	sp.Enter(obs.StageWebAcceptQueue, start)
-	p.workers <- struct{}{}
+	if !p.acquireWorker() {
+		sp.Exit(obs.StageWebAcceptQueue, p.now())
+		p.shed.Add(1)
+		p.errors.Add(1)
+		if p.events != nil {
+			p.events.Append(obs.Event{T: p.now(), Kind: obs.KindShed, Source: "proxy"})
+		}
+		p.tracer.Finish(sp, p.now(), false)
+		p.adaptOutcome(start, false)
+		http.Error(w, "proxy saturated", http.StatusServiceUnavailable)
+		return
+	}
 	defer func() { <-p.workers }()
 	sp.Exit(obs.StageWebAcceptQueue, p.now())
 	sp.Enter(obs.StageWebThread, p.now())
@@ -336,36 +468,138 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	if cookie, err := r.Cookie("JSESSIONID"); err == nil {
 		session = cookie.Value
 	}
-	sp.Enter(obs.StageGetEndpoint, p.now())
-	be, release, err := p.bal.AcquireSession(session, reqBytes)
-	sp.Exit(obs.StageGetEndpoint, p.now())
-	if err != nil {
-		p.errors.Add(1)
-		p.tracer.Finish(sp, p.now(), false)
-		p.adaptOutcome(start, false)
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
+
+	p.budget.deposit()
+	maxAttempts := 1
+	if p.resil != nil {
+		maxAttempts = 1 + p.resil.MaxRetries
 	}
-	sp.Enter(obs.StageAppThread, p.now())
-	resp, err := p.client.Get(be.URL() + r.URL.Path)
-	if err != nil {
+	failStatus := http.StatusServiceUnavailable
+	failMsg := ErrNoBackend.Error()
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			if !p.budget.withdraw() {
+				break
+			}
+			p.retries.Add(1)
+			if p.events != nil {
+				p.events.Append(obs.Event{T: p.now(), Kind: obs.KindRetry, Source: "proxy"})
+			}
+			time.Sleep(p.resil.RetryBackoff << (attempt - 1))
+		}
+
+		sp.Enter(obs.StageGetEndpoint, p.now())
+		var be *Backend
+		var rel Release
+		var err error
+		if attempt == 0 {
+			be, rel, err = p.bal.AcquireSession(session, reqBytes)
+		} else {
+			// Retries skip stickiness: the pinned backend just failed,
+			// so the hop must be free to land elsewhere.
+			be, rel, err = p.bal.Acquire(reqBytes)
+		}
+		sp.Exit(obs.StageGetEndpoint, p.now())
+		if err != nil {
+			failStatus = http.StatusServiceUnavailable
+			failMsg = err.Error()
+			continue
+		}
+
+		sp.Enter(obs.StageAppThread, p.now())
+		resp, err := p.roundTrip(r, be)
+		if err != nil {
+			sp.Exit(obs.StageAppThread, p.now())
+			rel.Fail()
+			failStatus = http.StatusBadGateway
+			failMsg = "upstream: " + err.Error()
+			continue
+		}
+		if resp.StatusCode >= 500 && p.resil != nil && attempt < maxAttempts-1 {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			sp.Exit(obs.StageAppThread, p.now())
+			rel.Fail()
+			failStatus = resp.StatusCode
+			failMsg = "upstream status " + resp.Status
+			continue
+		}
+
+		w.Header().Set("X-Backend", be.Name())
+		w.WriteHeader(resp.StatusCode)
+		n, _ := io.Copy(w, resp.Body)
+		_ = resp.Body.Close()
 		sp.Exit(obs.StageAppThread, p.now())
-		release(0)
-		p.errors.Add(1)
-		p.tracer.Finish(sp, p.now(), false)
-		p.adaptOutcome(start, false)
-		http.Error(w, "upstream: "+err.Error(), http.StatusBadGateway)
+		rel.Done(n)
+		p.served.Add(1)
+		p.tracer.Finish(sp, p.now(), resp.StatusCode < 500)
+		p.adaptOutcome(start, resp.StatusCode < 500)
 		return
 	}
-	defer func() { _ = resp.Body.Close() }()
-	w.Header().Set("X-Backend", be.Name())
-	w.WriteHeader(resp.StatusCode)
-	n, _ := io.Copy(w, resp.Body)
-	sp.Exit(obs.StageAppThread, p.now())
-	release(n)
-	p.served.Add(1)
-	p.tracer.Finish(sp, p.now(), resp.StatusCode < 500)
-	p.adaptOutcome(start, resp.StatusCode < 500)
+	p.errors.Add(1)
+	p.tracer.Finish(sp, p.now(), false)
+	p.adaptOutcome(start, false)
+	http.Error(w, failMsg, failStatus)
+}
+
+// acquireWorker claims a proxy worker slot. Without resilience it
+// blocks indefinitely — the paper's pile-up behavior, where every
+// blocked goroutine is a consumed web-tier thread. With resilience it
+// bounds the wait at ShedAfter and reports false to shed the request.
+func (p *Proxy) acquireWorker() bool {
+	if p.resil == nil {
+		p.workers <- struct{}{}
+		return true
+	}
+	select {
+	case p.workers <- struct{}{}:
+		return true
+	default:
+	}
+	t := time.NewTimer(p.resil.ShedAfter)
+	defer t.Stop()
+	select {
+	case p.workers <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// roundTrip performs one upstream attempt. With resilience armed the
+// attempt carries a deadline; the response body keeps the context alive
+// until closed.
+func (p *Proxy) roundTrip(r *http.Request, be *Backend) (*http.Response, error) {
+	url := be.URL() + r.URL.Path
+	if p.resil == nil {
+		return p.client.Get(url)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), p.resil.AttemptTimeout)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// cancelBody releases the attempt context when the response body is
+// closed, so the deadline governs the full body read.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
 }
 
 // adaptOutcome streams one client-observed outcome into the adaptive

@@ -75,7 +75,7 @@ func (b *Balancer) Sessions() int { return b.sessions.len() }
 // request goes to the backend the session first landed on unless it is
 // in Error or its endpoint acquisition fails — in which case the
 // balancer falls back to normal selection and rebinds.
-func (b *Balancer) AcquireSession(sessionKey string, requestBytes int64) (*Backend, func(int64), error) {
+func (b *Balancer) AcquireSession(sessionKey string, requestBytes int64) (*Backend, Release, error) {
 	if b.cfg.StickySessions && sessionKey != "" {
 		if be := b.sessions.get(sessionKey); be != nil && be.State() != BackendError && !be.Quarantined() {
 			if b.onAssign != nil {
@@ -84,10 +84,7 @@ func (b *Balancer) AcquireSession(sessionKey string, requestBytes int64) (*Backe
 			b.emitDecision(be)
 			if b.acquireEndpoint(be) {
 				b.noteDispatch(be)
-				return be, func(responseBytes int64) {
-					b.noteComplete(be, requestBytes, responseBytes)
-					be.endpoints <- struct{}{}
-				}, nil
+				return be, Release{bal: b, be: be, requestBytes: requestBytes}, nil
 			}
 			b.noteFailure(be)
 		}

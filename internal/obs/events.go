@@ -29,6 +29,19 @@ const (
 	// inside the millibottleneck duration band, with the queue-peak
 	// correlation attached.
 	KindMillibottleneck = "millibottleneck"
+	// KindFaultStart marks the opening of one injected fault window
+	// (internal/faults): Source is the injector, Backend the target,
+	// Fault the shape kind and Window the window length.
+	KindFaultStart = "fault_start"
+	// KindFaultEnd marks the close of that window.
+	KindFaultEnd = "fault_end"
+	// KindShed is a request fast-failed with 503 at the proxy door
+	// because the worker pool stayed saturated past the shed budget —
+	// the resilience layer's alternative to piling blocked goroutines.
+	KindShed = "shed"
+	// KindRetry is one resilience-layer retry hop after an upstream
+	// failure (each hop spends one global retry-budget token).
+	KindRetry = "retry"
 )
 
 // CandidateView is one balancer candidate's load-balancing state as
@@ -64,6 +77,10 @@ type Event struct {
 	SpanEnd     time.Duration `json:"span_end,omitempty"`
 	QueuePeak   float64       `json:"queue_peak,omitempty"`
 	QueuePeakAt time.Duration `json:"queue_peak_at,omitempty"`
+
+	// Fault-injection fields.
+	Fault  string        `json:"fault,omitempty"`
+	Window time.Duration `json:"window,omitempty"`
 }
 
 // EventLog collects events into a bounded ring, overwriting the oldest
