@@ -83,6 +83,9 @@ func figureTable() []figure {
 		{15, "Table IV: adaptive control plane vs static anchors", func(o experiments.Options, w io.Writer, _ bool) {
 			fmt.Fprint(w, experiments.RunTableIV(o).Render())
 		}},
+		{16, "telemetry causal chains under scripted freezes", func(o experiments.Options, w io.Writer, _ bool) {
+			fmt.Fprint(w, experiments.RunFigure16(o).Render())
+		}},
 	}
 }
 
@@ -127,7 +130,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
-	fig := fs.Int("fig", 0, "figure number to regenerate (1-15)")
+	fig := fs.Int("fig", 0, "figure number to regenerate (1-16)")
 	all := fs.Bool("all", false, "regenerate every figure")
 	report := fs.Bool("report", false, "run the complete evaluation and emit a markdown report")
 	tsv := fs.Bool("tsv", false, "emit raw windowed series as TSV")
@@ -179,5 +182,5 @@ func run(args []string, out io.Writer) error {
 			return emit(f)
 		}
 	}
-	return fmt.Errorf("unknown figure %d (have 1-15)", *fig)
+	return fmt.Errorf("unknown figure %d (have 1-16)", *fig)
 }

@@ -12,6 +12,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -19,6 +22,7 @@ import (
 	"millibalance/internal/adapt"
 	"millibalance/internal/faults"
 	"millibalance/internal/httpcluster"
+	"millibalance/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +46,8 @@ func run(args []string) error {
 	adaptive := fs.Bool("adaptive", false, "arm the adaptive control plane (GET /admin/adapt and /admin/adapt/decisions; implies -obs)")
 	faultSpec := fs.String("faults", "", "fault scenario, e.g. 'freeze:periodic:interval=1s:duration=300ms:target=app1,netloss:oneshot:interval=2s:duration=500ms' (replaces the single scripted stall; implies -obs)")
 	resilient := fs.Bool("resilience", false, "arm the proxy resilience layer: attempt deadlines, budgeted retries, fast-fail shedding")
+	telemetryOn := fs.Bool("telemetry", false, "arm the 50 ms telemetry sampler (GET /metrics and /admin/timeline on the proxy)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,6 +106,16 @@ func run(args []string) error {
 	if *resilient {
 		pcfg.Resilience = &httpcluster.Resilience{}
 	}
+	if *telemetryOn {
+		pcfg.Telemetry = &telemetry.Config{}
+	}
+	if *pprofAddr != "" {
+		stopProf, err := servePprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer stopProf()
+	}
 	var transport *faults.Transport
 	if len(specs) > 0 {
 		transport = faults.NewTransport(nil, 1)
@@ -124,6 +140,10 @@ func run(args []string) error {
 	}
 	if *adaptive {
 		fmt.Printf("adaptive: GET %s/admin/adapt (state) and %s/admin/adapt/decisions (JSONL)\n",
+			proxy.URL(), proxy.URL())
+	}
+	if *telemetryOn {
+		fmt.Printf("telemetry: GET %s/metrics (Prometheus) and %s/admin/timeline (JSONL)\n",
 			proxy.URL(), proxy.URL())
 	}
 	if len(injectors) > 0 {
@@ -185,6 +205,27 @@ func run(args []string) error {
 			tl.Start(i).Seconds(), w.Count, w.Mean(), w.Max)
 	}
 	return nil
+}
+
+// servePprof serves the net/http/pprof handlers on their own listener,
+// registered on a private mux so the profiling surface only exists when
+// asked for — the default-mux side effect of importing net/http/pprof
+// is deliberately not relied on.
+func servePprof(addr string) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("pprof: http://%s/debug/pprof/\n", ln.Addr())
+	return func() { _ = srv.Close() }, nil
 }
 
 // buildInjectors resolves parsed fault specs against the live tier:

@@ -25,6 +25,7 @@ import (
 	"millibalance/internal/parallel"
 	"millibalance/internal/resource"
 	"millibalance/internal/stats"
+	"millibalance/internal/telemetry"
 )
 
 // runReplicas executes n copies of the config differing only in seed,
@@ -83,6 +84,7 @@ func run(args []string, out io.Writer) error {
 	traceFile := fs.String("trace", "", "write the per-request access log as CSV to this file")
 	spansFile := fs.String("spans", "", "write request-lifecycle spans as JSONL to this file (enables span tracing)")
 	decisionsFile := fs.String("decisions", "", "write balancer decision/state/detector events as JSONL to this file (enables the event log and online detectors)")
+	timelineFile := fs.String("timeline", "", "write the 50 ms per-tier resource timeline as JSONL to this file (enables the telemetry sampler)")
 	adaptive := fs.Bool("adaptive", false, "arm the millibottleneck-aware adaptive control plane")
 	adaptLog := fs.String("adapt-log", "", "write controller decisions as JSONL to this file (implies -adaptive)")
 	sticky := fs.Bool("sticky", false, "enable mod_jk sticky sessions")
@@ -148,6 +150,9 @@ func run(args []string, out io.Writer) error {
 	if *decisionsFile != "" && cfg.EventCapacity == 0 {
 		cfg.EventCapacity = 4 << 20
 	}
+	if *timelineFile != "" && cfg.Telemetry == nil {
+		cfg.Telemetry = &telemetry.Config{}
+	}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -155,19 +160,19 @@ func run(args []string, out io.Writer) error {
 		return config.Save(out, cfg)
 	}
 	if *seeds > 1 {
-		if *traceFile != "" || *spansFile != "" || *decisionsFile != "" || *adaptLog != "" {
-			return fmt.Errorf("-seeds does not combine with trace/span/decision export")
+		if *traceFile != "" || *spansFile != "" || *decisionsFile != "" || *adaptLog != "" || *timelineFile != "" {
+			return fmt.Errorf("-seeds does not combine with trace/span/decision/timeline export")
 		}
 		return runReplicas(out, cfg, *seeds, *par)
 	}
 
 	// Create the export files before the run: a typo'd path should fail
 	// immediately, not after a possibly minutes-long simulation.
-	var traceOut, spansOut, decisionsOut, adaptOut *os.File
+	var traceOut, spansOut, decisionsOut, adaptOut, timelineOut *os.File
 	for _, e := range []struct {
 		path string
 		dst  **os.File
-	}{{*traceFile, &traceOut}, {*spansFile, &spansOut}, {*decisionsFile, &decisionsOut}, {*adaptLog, &adaptOut}} {
+	}{{*traceFile, &traceOut}, {*spansFile, &spansOut}, {*decisionsFile, &decisionsOut}, {*adaptLog, &adaptOut}, {*timelineFile, &timelineOut}} {
 		if e.path == "" {
 			continue
 		}
@@ -225,6 +230,21 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "adapt decisions: %d written to %s (%d overwritten)\n",
 			res.Adapt.Len(), *adaptLog, res.Adapt.Overwritten())
+	}
+	if timelineOut != nil {
+		if err := res.Timeline.WriteJSONL(timelineOut); err != nil {
+			_ = timelineOut.Close()
+			return err
+		}
+		if err := timelineOut.Close(); err != nil {
+			return err
+		}
+		points := 0
+		for _, tr := range res.Timeline.Tracks() {
+			points += tr.Len()
+		}
+		fmt.Fprintf(out, "timeline: %d tracks (%d points) written to %s\n",
+			len(res.Timeline.Tracks()), points, *timelineFile)
 	}
 
 	r := res.Responses

@@ -75,10 +75,20 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("perfbench", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_PR3.json", "output path, or - for stdout")
+	out := fs.String("out", "", "output path, or - for stdout (default BENCH_PR3.json, or BENCH_PR6.json with -pr6)")
 	scale := fs.Float64("scale", 1.0/12, "Table I duration scale for the wall-clock comparison")
+	pr6 := fs.Bool("pr6", false, "measure the telemetry layer instead: ring/dispatch overhead and ±50ms-sampling throughput (BENCH_PR6.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pr6 {
+		if *out == "" {
+			*out = "BENCH_PR6.json"
+		}
+		return runPR6(*out, stdout)
+	}
+	if *out == "" {
+		*out = "BENCH_PR3.json"
 	}
 
 	var rep Report

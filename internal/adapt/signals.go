@@ -1,0 +1,83 @@
+package adapt
+
+import (
+	"time"
+
+	"millibalance/internal/obs"
+)
+
+// BackendSample is one tick's worth of per-backend balancer counters,
+// the raw material stall synthesis works from. Substrates without an
+// online millibottleneck detector (the wall-clock proxy) read these off
+// their balancer — or off an armed telemetry timeline, which records
+// the same gauges — and feed them to a StallWatch.
+type BackendSample struct {
+	// Completed is the cumulative completion count.
+	Completed uint64
+	// InFlight is the number of dispatched-but-uncompleted requests.
+	InFlight int
+	// FreeEndpoints is the number of idle endpoint-pool tokens.
+	FreeEndpoints int
+}
+
+// stalled reports whether the sample shows the paper's stall signature:
+// the endpoint pool is exhausted, work is in flight, and nothing
+// completed since the previous observation.
+func (s BackendSample) stalled(prevCompleted uint64) bool {
+	return s.Completed == prevCompleted && s.FreeEndpoints == 0 && s.InFlight > 0
+}
+
+// stallState is the per-backend edge-detection state.
+type stallState struct {
+	completed uint64
+	stalled   bool
+	since     time.Duration
+}
+
+// StallWatch synthesizes detector onset/confirmation events from
+// balancer counters, for substrates that lack the simulator's online
+// millibottleneck detectors. A backend whose endpoint pool is exhausted
+// with requests in flight and zero completions across an observation is
+// stalled in exactly the sense the paper's detectors flag; the watch
+// edge-detects that condition and emits obs.KindOnset when a backend
+// enters it and obs.KindMillibottleneck (with the stall's span) when it
+// leaves. Not safe for concurrent use; observe from one goroutine.
+type StallWatch struct {
+	state map[string]*stallState
+}
+
+// NewStallWatch returns an empty watch; backends are tracked lazily on
+// first observation.
+func NewStallWatch() *StallWatch {
+	return &StallWatch{state: map[string]*stallState{}}
+}
+
+// Observe records one backend observation at time now. When the
+// backend's stall state changes it returns the event to emit and
+// fire=true; otherwise fire is false. The first observation of a
+// backend only establishes its completion baseline: "zero completions
+// across an interval" needs two samples, and judging the first one
+// would flag every backend whose very first requests outlive a tick —
+// a startup transient, not a millibottleneck.
+func (w *StallWatch) Observe(now time.Duration, backend string, s BackendSample) (ev obs.Event, fire bool) {
+	st, ok := w.state[backend]
+	if !ok {
+		w.state[backend] = &stallState{completed: s.Completed}
+		return obs.Event{}, false
+	}
+	stalled := s.stalled(st.completed)
+	st.completed = s.Completed
+	switch {
+	case stalled && !st.stalled:
+		st.stalled = true
+		st.since = now
+		return obs.Event{T: now, Kind: obs.KindOnset, Source: backend}, true
+	case !stalled && st.stalled:
+		st.stalled = false
+		return obs.Event{
+			T: now, Kind: obs.KindMillibottleneck, Source: backend,
+			SpanStart: st.since, SpanEnd: now,
+		}, true
+	}
+	return obs.Event{}, false
+}

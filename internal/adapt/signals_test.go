@@ -1,0 +1,72 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+
+	"millibalance/internal/obs"
+)
+
+func TestStallWatchEdgeDetection(t *testing.T) {
+	w := NewStallWatch()
+	tick := 20 * time.Millisecond
+
+	// First observation only baselines, even when it looks stalled:
+	// zero completions with a full pool is indistinguishable from
+	// startup until a second sample shows no progress.
+	ev, fire := w.Observe(tick, "app1", BackendSample{Completed: 0, InFlight: 4, FreeEndpoints: 0})
+	if fire {
+		t.Fatalf("first observation fired %+v, want baseline only", ev)
+	}
+
+	// Second observation with no progress: onset.
+	ev, fire = w.Observe(2*tick, "app1", BackendSample{Completed: 0, InFlight: 4, FreeEndpoints: 0})
+	if !fire || ev.Kind != obs.KindOnset {
+		t.Fatalf("stalled sample -> (%+v, %v), want KindOnset", ev, fire)
+	}
+	if ev.Source != "app1" || ev.T != 2*tick {
+		t.Fatalf("onset event %+v, want source app1 at %v", ev, 2*tick)
+	}
+
+	// Still stalled: no repeat onset.
+	if _, fire = w.Observe(3*tick, "app1", BackendSample{Completed: 0, InFlight: 4, FreeEndpoints: 0}); fire {
+		t.Fatal("repeated stalled sample fired again")
+	}
+
+	// Progress resumes: confirmation spanning the whole stall.
+	ev, fire = w.Observe(4*tick, "app1", BackendSample{Completed: 7, InFlight: 1, FreeEndpoints: 3})
+	if !fire || ev.Kind != obs.KindMillibottleneck {
+		t.Fatalf("recovery sample -> (%+v, %v), want KindMillibottleneck", ev, fire)
+	}
+	if ev.SpanStart != 2*tick || ev.SpanEnd != 4*tick {
+		t.Fatalf("confirmation span [%v, %v], want [%v, %v]", ev.SpanStart, ev.SpanEnd, 2*tick, 4*tick)
+	}
+
+	// Healthy samples never fire, whatever the pool looks like.
+	for i, s := range []BackendSample{
+		{Completed: 8, InFlight: 4, FreeEndpoints: 0}, // busy but progressing
+		{Completed: 8, InFlight: 0, FreeEndpoints: 4}, // idle
+		{Completed: 8, InFlight: 2, FreeEndpoints: 2}, // pool not exhausted
+	} {
+		if ev, fire := w.Observe(time.Duration(5+i)*tick, "app1", s); fire {
+			t.Fatalf("healthy sample %d fired %+v", i, ev)
+		}
+	}
+}
+
+func TestStallWatchTracksBackendsIndependently(t *testing.T) {
+	w := NewStallWatch()
+	stalled := BackendSample{Completed: 3, InFlight: 2, FreeEndpoints: 0}
+	healthy := BackendSample{Completed: 9, InFlight: 1, FreeEndpoints: 3}
+
+	w.Observe(time.Millisecond, "app1", stalled)
+	w.Observe(time.Millisecond, "app2", BackendSample{Completed: 5, InFlight: 0, FreeEndpoints: 4})
+
+	ev, fire := w.Observe(2*time.Millisecond, "app1", stalled)
+	if !fire || ev.Kind != obs.KindOnset || ev.Source != "app1" {
+		t.Fatalf("app1 stall -> (%+v, %v), want onset for app1", ev, fire)
+	}
+	if ev, fire := w.Observe(2*time.Millisecond, "app2", healthy); fire {
+		t.Fatalf("healthy app2 fired %+v", ev)
+	}
+}

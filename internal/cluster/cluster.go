@@ -10,9 +10,11 @@ import (
 	"millibalance/internal/metrics"
 	"millibalance/internal/netmodel"
 	"millibalance/internal/obs"
+	"millibalance/internal/resource"
 	"millibalance/internal/server"
 	"millibalance/internal/sim"
 	"millibalance/internal/stats"
+	"millibalance/internal/telemetry"
 	"millibalance/internal/trace"
 	"millibalance/internal/workload"
 )
@@ -87,6 +89,15 @@ type Results struct {
 	// AdaptState is the controller's final state (zero unless
 	// Config.Adaptive was set).
 	AdaptState adapt.State
+	// Timeline is the fine-grained resource-timeline set (nil unless
+	// Config.Telemetry was set): per-server queue depth, busy fraction,
+	// frozen flag, dirty bytes and pool occupancy at the telemetry
+	// interval.
+	Timeline *telemetry.Timeline
+	// Chains is the online correlator's ranked causal-chain reports, one
+	// per millibottleneck the streaming detectors confirmed (empty
+	// unless both Config.Telemetry and Config.EventCapacity were set).
+	Chains []telemetry.Chain
 }
 
 // Cluster is an assembled, instrumented n-tier system ready to run.
@@ -96,18 +107,22 @@ type Cluster struct {
 	Apps []*server.App
 	DB   *server.DB
 
-	cfg       Config
-	group     *workload.Group
-	openLoop  *workload.OpenLoop
-	retrans   *netmodel.Retransmitter
-	rec       *metrics.ResponseRecorder
-	poller    *metrics.Poller
-	accessLog *trace.Log
-	tracer    *obs.Tracer
-	events    *obs.EventLog
-	detectors map[string]*obs.Detector
-	adapt     *adapt.Controller
-	giveUps   uint64
+	cfg        Config
+	group      *workload.Group
+	openLoop   *workload.OpenLoop
+	retrans    *netmodel.Retransmitter
+	rec        *metrics.ResponseRecorder
+	poller     *metrics.Poller
+	accessLog  *trace.Log
+	tracer     *obs.Tracer
+	events     *obs.EventLog
+	detectors  map[string]*obs.Detector
+	adapt      *adapt.Controller
+	timeline   *telemetry.Timeline
+	telPoller  *metrics.Poller
+	correlator *telemetry.Correlator
+	eventHooks []func(obs.Event)
+	giveUps    uint64
 
 	webStats []*ServerStats
 	appStats []*ServerStats
@@ -228,6 +243,7 @@ func New(cfg Config) *Cluster {
 	}
 
 	c.instrument()
+	c.instrumentTelemetry()
 	if cfg.Adaptive != nil {
 		c.armAdaptive(*cfg.Adaptive)
 	}
@@ -385,6 +401,75 @@ func (c *Cluster) instrument() {
 	c.poller.Add(c.tierDB.Sample)
 }
 
+// instrumentTelemetry arms the fine-grained resource-timeline sampler:
+// one track per (server, signal), fed off the sim clock by a dedicated
+// poller at the telemetry interval. Everything runs on the engine
+// thread at deterministic instants — an armed run replays
+// byte-identically, it just also records where the time went.
+func (c *Cluster) instrumentTelemetry() {
+	if c.cfg.Telemetry == nil {
+		return
+	}
+	tcfg := *c.cfg.Telemetry
+	if tcfg.Interval <= 0 {
+		tcfg.Interval = metrics.Window
+	}
+	if tcfg.Capacity <= 0 && c.cfg.Duration > 0 {
+		// Size rings to hold the whole run so offline correlation sees
+		// every sample; endless runs keep the package default.
+		tcfg.Capacity = int(c.cfg.Duration/tcfg.Interval) + 2
+	}
+	c.timeline = telemetry.NewTimeline(tcfg)
+	s := telemetry.NewSampler(c.timeline)
+	server := func(name string, cpu *resource.CPU, queued func() int) {
+		s.Register(name, telemetry.SignalQueueDepth, func() float64 { return float64(queued()) })
+		s.Register(name, telemetry.SignalBusyFrac, func() float64 {
+			return float64(cpu.BusyCores()) / float64(cpu.Cores())
+		})
+		s.Register(name, telemetry.SignalFrozen, func() float64 {
+			if cpu.Stalled() {
+				return 1
+			}
+			return 0
+		})
+	}
+	for _, w := range c.Webs {
+		w := w
+		server(w.Name(), w.CPU(), w.QueuedRequests)
+		s.Register(w.Name(), telemetry.SignalDirtyBytes, func() float64 { return float64(w.Writeback().DirtyBytes()) })
+	}
+	for _, a := range c.Apps {
+		a := a
+		server(a.Name(), a.CPU(), a.QueuedRequests)
+		s.Register(a.Name(), telemetry.SignalDirtyBytes, func() float64 { return float64(a.Writeback().DirtyBytes()) })
+		s.Register(a.Name(), telemetry.SignalConnPoolInUse, func() float64 { return float64(a.DBConnsInUse()) })
+	}
+	server(c.DB.Name(), c.DB.CPU(), c.DB.QueuedRequests)
+	c.telPoller = metrics.NewPoller(c.Eng, sim.Time(tcfg.Interval))
+	c.telPoller.Add(s.Sample)
+	if c.events != nil {
+		c.correlator = telemetry.NewCorrelator(c.timeline, telemetry.CorrelateConfig{})
+		c.addEventHook(c.correlator.OnEvent)
+	}
+}
+
+// addEventHook subscribes fn to the event log's append stream. The log
+// supports a single hook, so the cluster owns a fan-out; hooks run in
+// subscription order, on the engine thread, outside the log's lock.
+func (c *Cluster) addEventHook(fn func(obs.Event)) {
+	if c.events == nil || fn == nil {
+		return
+	}
+	c.eventHooks = append(c.eventHooks, fn)
+	if len(c.eventHooks) == 1 {
+		c.events.SetAppendHook(func(ev obs.Event) {
+			for _, h := range c.eventHooks {
+				h(ev)
+			}
+		})
+	}
+}
+
 // newDetector attaches a streaming millibottleneck detector to a
 // server's utilization sampler when the event log is enabled; it
 // returns nil (safe to use) otherwise.
@@ -434,6 +519,9 @@ func candidateViews(snaps []lb.Snapshot) []obs.CandidateView {
 // the collected results. It may be called once.
 func (c *Cluster) Run() *Results {
 	c.poller.Start()
+	if c.telPoller != nil {
+		c.telPoller.Start()
+	}
 	if c.openLoop != nil {
 		c.openLoop.Start()
 	} else {
@@ -446,6 +534,9 @@ func (c *Cluster) Run() *Results {
 		c.group.Stop()
 	}
 	c.poller.Stop()
+	if c.telPoller != nil {
+		c.telPoller.Stop()
+	}
 	for _, det := range c.detectors {
 		det.Finish()
 	}
@@ -488,6 +579,8 @@ func (c *Cluster) results() *Results {
 		res.Adapt = c.adapt.Log()
 		res.AdaptState = c.adapt.State()
 	}
+	res.Timeline = c.timeline
+	res.Chains = c.correlator.Chains()
 	for i, w := range c.Webs {
 		c.webStats[i].Served = w.Served()
 		res.Drops += w.Drops()

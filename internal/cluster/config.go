@@ -14,6 +14,7 @@ import (
 	"millibalance/internal/netmodel"
 	"millibalance/internal/resource"
 	"millibalance/internal/sim"
+	"millibalance/internal/telemetry"
 	"millibalance/internal/workload"
 )
 
@@ -89,6 +90,16 @@ type Config struct {
 	// detectors; the most recent EventCapacity events are kept in
 	// Results.Events. Zero disables both.
 	EventCapacity int
+	// Telemetry, when non-nil, arms the fine-grained resource-timeline
+	// sampler (internal/telemetry): every server's queue depth, busy
+	// fraction, frozen flag and dirty bytes are sampled off the sim
+	// clock at Telemetry.Interval (default 50 ms) into preallocated
+	// rings, exposed in Results.Timeline. When the event log is also
+	// enabled, an online correlator turns detector confirmations into
+	// ranked causal chains in Results.Chains. Sampling runs on the
+	// engine thread at deterministic instants, so armed runs replay
+	// byte-identically.
+	Telemetry *telemetry.Config
 	// Adaptive, when non-nil, arms the millibottleneck-aware adaptive
 	// control plane (internal/adapt): the controller subscribes to the
 	// event log, quarantines detected-stalled app servers and hot-swaps

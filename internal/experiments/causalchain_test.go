@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigure16CausalChains is the acceptance gate for the correlation
+// engine: under the writeback-freeze scenario the injected tier must be
+// the #1 causal chain for at least 90 % of VLRT clusters.
+func TestFigure16CausalChains(t *testing.T) {
+	r := RunFigure16(Options{})
+	if r.Clusters < 4 {
+		t.Fatalf("only %d VLRT clusters — the scenario should produce one per stall (8 stalls)", r.Clusters)
+	}
+	if r.TopShare < 0.9 {
+		t.Fatalf("injected tier ranked #1 for %.0f%% of %d clusters, want >= 90%%:\n%s",
+			r.TopShare*100, r.Clusters, r.Render())
+	}
+	if r.OnlineChains == 0 {
+		t.Fatal("online correlator emitted no chains despite detector confirmations")
+	}
+	if r.OnlineTopShare < 0.9 {
+		t.Fatalf("online chains named the injected tier for %.0f%% of %d, want >= 90%%",
+			r.OnlineTopShare*100, r.OnlineChains)
+	}
+	out := r.Render()
+	for _, want := range []string{"Causal chains", "tomcat1", "hit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"millibalance/internal/adapt"
-	"millibalance/internal/obs"
 )
 
 // Adaptive control plane wiring for the wall-clock substrate: one
@@ -58,12 +57,6 @@ func (a proxyActuator) ArmProbe(backend string) {
 	a.bal.ArmProbe(backend)
 }
 
-// backendWatch is the per-backend stall-synthesis state.
-type backendWatch struct {
-	completed uint64
-	stalled   bool
-}
-
 // adaptRunner owns the controller goroutine.
 type adaptRunner struct {
 	p    *Proxy
@@ -71,7 +64,7 @@ type adaptRunner struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 
-	watch       map[string]*backendWatch
+	watch       *adapt.StallWatch
 	lastRejects uint64
 }
 
@@ -93,10 +86,7 @@ func (p *Proxy) armAdapt(acfg adapt.Config) {
 		p:     p,
 		ctrl:  ctrl,
 		stop:  make(chan struct{}),
-		watch: map[string]*backendWatch{},
-	}
-	for _, be := range p.bal.Backends() {
-		r.watch[be.Name()] = &backendWatch{}
+		watch: adapt.NewStallWatch(),
 	}
 	p.adaptR = r
 	r.wg.Add(1)
@@ -132,26 +122,16 @@ func (r *adaptRunner) step() {
 	}
 
 	for _, be := range r.p.bal.Backends() {
-		w := r.watch[be.Name()]
 		be.mu.Lock()
-		completed := be.completed
-		inFlight := be.dispatched - be.completed
-		free := len(be.endpoints)
-		be.mu.Unlock()
-
-		stalled := completed == w.completed && free == 0 && inFlight > 0
-		switch {
-		case stalled && !w.stalled:
-			w.stalled = true
-			r.ctrl.OnEvent(obs.Event{T: now, Kind: obs.KindOnset, Source: be.Name()})
-		case !stalled && w.stalled:
-			w.stalled = false
-			r.ctrl.OnEvent(obs.Event{
-				T: now, Kind: obs.KindMillibottleneck, Source: be.Name(),
-				SpanStart: now - r.ctrl.TickInterval(), SpanEnd: now,
-			})
+		s := adapt.BackendSample{
+			Completed:     be.completed,
+			InFlight:      int(be.dispatched - be.completed),
+			FreeEndpoints: len(be.endpoints),
 		}
-		w.completed = completed
+		be.mu.Unlock()
+		if ev, fire := r.watch.Observe(now, be.Name(), s); fire {
+			r.ctrl.OnEvent(ev)
+		}
 	}
 
 	r.ctrl.Tick(now)

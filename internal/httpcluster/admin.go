@@ -110,11 +110,26 @@ func (p *Proxy) Stats() ProxyStats {
 	return out
 }
 
+// promContentType is the Prometheus text exposition format version the
+// /metrics endpoint speaks.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// ndjsonHeaders marks a response as newline-delimited JSON. nosniff
+// keeps browsers from content-sniffing the stream into something
+// executable — these endpoints echo request-derived data (URLs, backend
+// names), so they must never be interpreted as HTML.
+func ndjsonHeaders(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+}
+
 // adminHandler serves the proxy's admin surface; non-admin paths fall
 // through to the forwarding handler. /admin/trace streams the recorded
-// request-lifecycle spans and /admin/events the balancer decision /
-// state / reject log, both as JSON Lines; they answer 404 when the
-// corresponding capacity was not configured.
+// request-lifecycle spans, /admin/events the balancer decision / state
+// / reject log and /admin/timeline the telemetry resource timeline,
+// all as JSON Lines; /metrics serves the same timeline's latest points
+// in Prometheus text format. Each answers 404 when the corresponding
+// capacity or config was not set.
 func (p *Proxy) adminHandler(forward http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
@@ -127,7 +142,7 @@ func (p *Proxy) adminHandler(forward http.HandlerFunc) http.HandlerFunc {
 				http.Error(w, "span tracing disabled (ProxyConfig.SpanCapacity)", http.StatusNotFound)
 				return
 			}
-			w.Header().Set("Content-Type", "application/x-ndjson")
+			ndjsonHeaders(w)
 			_ = p.tracer.WriteJSONL(w)
 			return
 		case "/admin/events":
@@ -135,7 +150,7 @@ func (p *Proxy) adminHandler(forward http.HandlerFunc) http.HandlerFunc {
 				http.Error(w, "event log disabled (ProxyConfig.EventCapacity)", http.StatusNotFound)
 				return
 			}
-			w.Header().Set("Content-Type", "application/x-ndjson")
+			ndjsonHeaders(w)
 			_ = p.events.WriteJSONL(w)
 			return
 		case "/admin/adapt":
@@ -151,8 +166,25 @@ func (p *Proxy) adminHandler(forward http.HandlerFunc) http.HandlerFunc {
 				http.Error(w, "adaptive control plane disabled (ProxyConfig.Adapt)", http.StatusNotFound)
 				return
 			}
-			w.Header().Set("Content-Type", "application/x-ndjson")
+			ndjsonHeaders(w)
 			_ = p.adaptC.Log().WriteJSONL(w)
+			return
+		case "/admin/timeline":
+			if p.sampler == nil {
+				http.Error(w, "telemetry disabled (ProxyConfig.Telemetry)", http.StatusNotFound)
+				return
+			}
+			ndjsonHeaders(w)
+			_ = p.Timeline().WriteJSONL(w)
+			return
+		case "/metrics":
+			if p.sampler == nil {
+				http.Error(w, "telemetry disabled (ProxyConfig.Telemetry)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", promContentType)
+			w.Header().Set("X-Content-Type-Options", "nosniff")
+			_ = p.Timeline().WriteProm(w, "millibalance")
 			return
 		}
 		forward(w, r)

@@ -235,6 +235,16 @@ func (b *Backend) Completed() uint64 {
 	return b.completed
 }
 
+// InFlight reads dispatched-but-uncompleted requests.
+func (b *Backend) InFlight() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return int(b.dispatched - b.completed)
+}
+
+// FreeEndpoints reads the idle endpoint-pool tokens.
+func (b *Backend) FreeEndpoints() int { return len(b.endpoints) }
+
 // Config tunes the balancer; zero values use mod_jk-equivalent
 // defaults.
 type Config struct {

@@ -13,6 +13,7 @@ import (
 
 	"millibalance/internal/adapt"
 	"millibalance/internal/obs"
+	"millibalance/internal/telemetry"
 )
 
 // AppServerConfig sizes a loopback application server.
@@ -320,6 +321,15 @@ type ProxyConfig struct {
 	// load shedding. Nil preserves the paper's baseline blocking
 	// behavior.
 	Resilience *Resilience
+	// Telemetry, when non-nil, arms the fine-grained resource timeline
+	// sampler (internal/telemetry): a background goroutine records
+	// proxy worker saturation, accept-queue wait, per-backend
+	// in-flight/pool/completion gauges and Go runtime signals at the
+	// configured sub-second interval (default 50 ms). The timeline is
+	// exported as Prometheus text at GET /metrics and as JSON Lines at
+	// GET /admin/timeline. Nil keeps the dispatch hot path free of any
+	// sampling work.
+	Telemetry *telemetry.Config
 }
 
 // Proxy is the web tier: an HTTP server that forwards each request to
@@ -348,6 +358,9 @@ type Proxy struct {
 	budget  *retryBudget
 	shed    atomic.Uint64
 	retries atomic.Uint64
+
+	sampler *telemetry.WallSampler
+	waiting atomic.Int64 // requests blocked on a worker slot
 }
 
 // StartProxy launches the proxy over the given backends.
@@ -381,6 +394,9 @@ func StartProxy(cfg ProxyConfig, backends []*Backend) (*Proxy, error) {
 	}
 	if cfg.Adapt != nil {
 		p.armAdapt(*cfg.Adapt)
+	}
+	if cfg.Telemetry != nil {
+		p.armTelemetry(*cfg.Telemetry)
 	}
 	p.srv = &http.Server{Handler: p.adminHandler(p.handle)}
 	p.wg.Add(1)
@@ -433,8 +449,40 @@ func (p *Proxy) Close() error {
 	if p.adaptR != nil {
 		p.adaptR.close()
 	}
+	p.sampler.Stop()
 	return err
 }
+
+// armTelemetry builds the wall sampler over the proxy's own gauges and
+// the balancer's per-backend counters. Called from StartProxy before
+// the listener serves traffic.
+func (p *Proxy) armTelemetry(tcfg telemetry.Config) {
+	s := telemetry.NewWallSampler("proxy", tcfg)
+	s.Register("proxy", telemetry.SignalWorkersBusy, func() float64 {
+		return float64(len(p.workers))
+	})
+	s.Register("proxy", telemetry.SignalAcceptWait, func() float64 {
+		return float64(p.waiting.Load())
+	})
+	for _, be := range p.bal.Backends() {
+		be := be
+		s.Register(be.Name(), telemetry.SignalInFlight, func() float64 {
+			return float64(be.InFlight())
+		})
+		s.Register(be.Name(), telemetry.SignalPoolFree, func() float64 {
+			return float64(be.FreeEndpoints())
+		})
+		s.Register(be.Name(), telemetry.SignalCompleted, func() float64 {
+			return float64(be.Completed())
+		})
+	}
+	p.sampler = s
+	s.Start()
+}
+
+// Timeline exposes the telemetry timeline (nil when telemetry is
+// disabled).
+func (p *Proxy) Timeline() *telemetry.Timeline { return p.sampler.Timeline() }
 
 func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	// All span calls are nil-safe no-ops when tracing is disabled. The
@@ -547,14 +595,18 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 // blocked goroutine is a consumed web-tier thread. With resilience it
 // bounds the wait at ShedAfter and reports false to shed the request.
 func (p *Proxy) acquireWorker() bool {
-	if p.resil == nil {
-		p.workers <- struct{}{}
-		return true
-	}
 	select {
 	case p.workers <- struct{}{}:
 		return true
 	default:
+	}
+	// Contended: count the wait so the telemetry accept_wait gauge sees
+	// queued requests the way the simulator's accept queue does.
+	p.waiting.Add(1)
+	defer p.waiting.Add(-1)
+	if p.resil == nil {
+		p.workers <- struct{}{}
+		return true
 	}
 	t := time.NewTimer(p.resil.ShedAfter)
 	defer t.Stop()

@@ -44,9 +44,9 @@ type PeriodicStalls struct {
 	Duration sim.Time
 	Jitter   float64
 
-	timer   sim.Timer
-	armed   bool
-	stalls  int
+	timer  sim.Timer
+	armed  bool
+	stalls int
 }
 
 // NewPeriodicStalls returns a periodic injector.
@@ -100,9 +100,9 @@ type RandomStalls struct {
 	MeanInterval sim.Time
 	MeanDuration sim.Time
 
-	timer   sim.Timer
-	armed   bool
-	stalls  int
+	timer  sim.Timer
+	armed  bool
+	stalls int
 }
 
 // NewRandomStalls returns a random injector.

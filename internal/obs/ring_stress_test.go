@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Ring wraparound stress under concurrent append/snapshot, run with
+// -race in CI. Both rings copy elements by value while holding their
+// mutex, so a snapshot taken mid-wraparound must still be a contiguous
+// oldest-first run of the appended sequence — no tears (reordered
+// elements) and no gaps (elements skipped while the write cursor laps
+// the reader). The tests pin that invariant by encoding a sequence
+// number into each element and checking every snapshot is consecutive;
+// any torn window shows up as a sequence jump, and any unsynchronized
+// access shows up as a race report.
+
+// checkContiguous fails if seq is not a strictly +1 run.
+func checkContiguous(t *testing.T, what string, seq []uint64) {
+	t.Helper()
+	for i := 1; i < len(seq); i++ {
+		if seq[i] != seq[i-1]+1 {
+			t.Fatalf("%s: torn snapshot: element %d has seq %d after %d (want %d)",
+				what, i, seq[i], seq[i-1], seq[i-1]+1)
+		}
+	}
+}
+
+func TestEventLogWraparoundConcurrentSnapshots(t *testing.T) {
+	const capacity = 64
+	const appends = 50_000
+	l := NewEventLog(capacity)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				evs := l.Events()
+				if len(evs) > capacity {
+					t.Errorf("snapshot has %d events, capacity %d", len(evs), capacity)
+					return
+				}
+				seq := make([]uint64, len(evs))
+				for i, ev := range evs {
+					seq[i] = uint64(ev.T)
+				}
+				checkContiguous(t, "events", seq)
+			}
+		}()
+	}
+
+	// The appender wraps the 64-slot ring ~780 times while snapshots
+	// run, so reads land on every cursor position.
+	for i := 1; i <= appends; i++ {
+		l.Append(Event{T: time.Duration(i), Kind: KindDecision})
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := l.Appended(); got != appends {
+		t.Fatalf("Appended() = %d, want %d", got, appends)
+	}
+	if got := l.Overwritten(); got != appends-capacity {
+		t.Fatalf("Overwritten() = %d, want %d", got, appends-capacity)
+	}
+	final := l.Events()
+	if len(final) != capacity {
+		t.Fatalf("final snapshot has %d events, want %d", len(final), capacity)
+	}
+	if first := uint64(final[0].T); first != appends-capacity+1 {
+		t.Fatalf("final snapshot starts at seq %d, want %d", first, appends-capacity+1)
+	}
+}
+
+func TestTracerWraparoundConcurrentSnapshots(t *testing.T) {
+	const capacity = 64
+	const finishes = 50_000
+	tr := NewTracer(capacity)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				spans := tr.Spans()
+				seq := make([]uint64, len(spans))
+				for i, sp := range spans {
+					seq[i] = sp.RequestID
+					// A recorded span must be complete: Finish stamps
+					// EndAt before the ring copy, so a zero end on a
+					// nonzero start is a torn element.
+					if sp.EndAt < sp.StartAt {
+						t.Errorf("span %d torn: EndAt %v < StartAt %v", sp.RequestID, sp.EndAt, sp.StartAt)
+						return
+					}
+				}
+				checkContiguous(t, "spans", seq)
+			}
+		}()
+	}
+
+	for i := 1; i <= finishes; i++ {
+		sp := tr.Start(uint64(i), time.Duration(i))
+		sp.Enter(StageWebThread, time.Duration(i))
+		tr.Finish(sp, time.Duration(i)+time.Microsecond, true)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := tr.Finished(); got != finishes {
+		t.Fatalf("Finished() = %d, want %d", got, finishes)
+	}
+	final := tr.Spans()
+	if len(final) != capacity {
+		t.Fatalf("final snapshot has %d spans, want %d", len(final), capacity)
+	}
+	if first := final[0].RequestID; first != finishes-capacity+1 {
+		t.Fatalf("final snapshot starts at id %d, want %d", first, finishes-capacity+1)
+	}
+}

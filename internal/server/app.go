@@ -87,6 +87,10 @@ func (a *App) Served() uint64 { return a.served }
 // servlet thread plus in service.
 func (a *App) QueuedRequests() int { return a.workers.Waiting() + a.workers.InUse() }
 
+// DBConnsInUse reports occupied database connection-pool slots — the
+// app tier's connection-pool-occupancy telemetry signal.
+func (a *App) DBConnsInUse() int { return a.queries.conns.InUse() }
+
 // Handle processes one interaction and calls done when the response is
 // ready to travel back. The servlet demand is split 70/30 around the
 // database phase so that a mid-request stall also freezes response

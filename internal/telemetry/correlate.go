@@ -1,0 +1,381 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"millibalance/internal/obs"
+	"millibalance/internal/stats"
+)
+
+// VLRTCluster is one burst of very-long-response-time requests, bounded
+// by the completion times of its members — the paper's unit of damage
+// (Fig. 2a/6a/7a spikes), and the thing the correlation engine explains.
+type VLRTCluster struct {
+	Start time.Duration `json:"start"`
+	End   time.Duration `json:"end"`
+	Count int           `json:"count"`
+}
+
+// ClustersFromSeries groups the non-empty windows of a VLRT-per-window
+// series (metrics.ResponseRecorder.VLRTWindows) into clusters, joining
+// windows separated by at most gap.
+func ClustersFromSeries(s *stats.Series, gap time.Duration) []VLRTCluster {
+	if s == nil {
+		return nil
+	}
+	var out []VLRTCluster
+	for i := 0; i < s.Len(); i++ {
+		w := s.At(i)
+		if w.Count == 0 {
+			continue
+		}
+		start, end := s.Start(i), s.Start(i)+s.Width()
+		if n := len(out); n > 0 && start-out[n-1].End <= gap {
+			out[n-1].End = end
+			out[n-1].Count += int(w.Count)
+			continue
+		}
+		out = append(out, VLRTCluster{Start: start, End: end, Count: int(w.Count)})
+	}
+	return out
+}
+
+// ClusterSpans groups finished spans whose response time meets the
+// threshold into clusters by completion-time adjacency — the same
+// clustering as ClustersFromSeries but driven straight off the PR 1
+// span stream.
+func ClusterSpans(spans []obs.Span, threshold, gap time.Duration) []VLRTCluster {
+	var times []time.Duration
+	for i := range spans {
+		if spans[i].ResponseTime() >= threshold {
+			times = append(times, spans[i].EndAt)
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	var out []VLRTCluster
+	for _, t := range times {
+		if n := len(out); n > 0 && t-out[n-1].End <= gap {
+			out[n-1].End = t
+			out[n-1].Count++
+			continue
+		}
+		out = append(out, VLRTCluster{Start: t, End: t, Count: 1})
+	}
+	return out
+}
+
+// Link is one ranked causal-chain entry: a resource spike on (Source,
+// Signal) inside the cluster's lookback window, scored by how anomalous
+// the spike is against the track's own baseline (Z), how much of the
+// window stayed elevated (Overlap) and how far the spike precedes the
+// cluster (Lag).
+type Link struct {
+	Source string `json:"source"`
+	Signal string `json:"signal"`
+
+	// Peak is the spike value, observed at PeakAt.
+	Peak   float64       `json:"peak"`
+	PeakAt time.Duration `json:"peak_at"`
+	// Onset is when the spike began: the start of the contiguous
+	// elevated run of samples containing the peak. Links are ranked by
+	// onset — a causal chain is a propagation sequence, and the paper's
+	// Fig. 6 reading identifies the root as the tier whose resource
+	// deviated first, not hardest: queue spillover makes neighbours
+	// spike harder in absolute terms moments later, and every tier's
+	// signals are on incommensurable scales, but the order in which
+	// strong anomalies appeared is scale-free. The MinZ bar exists to
+	// keep weak jitter out of this ordering.
+	Onset time.Duration `json:"onset"`
+	// Baseline and Sigma are the track's robust whole-run centre and
+	// scale: median and 1.4826×MAD. Robust statistics matter here — a
+	// tier that stalls every few seconds would inflate its own mean and
+	// standard deviation with its spikes and then look unremarkable
+	// against them, exactly inverting the ranking; the median ignores
+	// the spikes and keeps the repeat offender anomalous.
+	Baseline float64 `json:"baseline"`
+	Sigma    float64 `json:"sigma"`
+	// Z is the spike's z-score against that baseline.
+	Z float64 `json:"z"`
+	// Lag is cluster start minus spike time: positive means the spike
+	// preceded the VLRT burst, the causal direction.
+	Lag time.Duration `json:"lag"`
+	// Overlap is the elevated fraction of the lookback window, 0..1.
+	Overlap float64 `json:"overlap"`
+	// Dominance is this source's excursion (peak minus baseline)
+	// relative to the largest excursion any source showed on the same
+	// signal in the same window, 0..1. A tier that stalls every few
+	// seconds has an inflated self-baseline σ and hence a modest
+	// z-score, while its neighbours' small spillover wiggles look wildly
+	// anomalous against their quiet baselines; comparing peers on the
+	// same signal — the way the paper reads Fig. 6 — undoes that
+	// inversion.
+	Dominance float64 `json:"dominance"`
+	// Score is the ranking key: Z weighted by overlap, lag direction and
+	// peer dominance.
+	Score float64 `json:"score"`
+}
+
+// Chain is the ranked causal-chain report for one VLRT cluster.
+type Chain struct {
+	Cluster VLRTCluster `json:"cluster"`
+	Links   []Link      `json:"links"`
+}
+
+// Root returns the top-ranked link — the earliest strong spike, the
+// chain's inferred root cause — or ok=false for an empty chain.
+func (c Chain) Root() (Link, bool) {
+	if len(c.Links) == 0 {
+		return Link{}, false
+	}
+	return c.Links[0], true
+}
+
+// CorrelateConfig tunes the correlation engine.
+type CorrelateConfig struct {
+	// Window is the lookback before a cluster's start in which a
+	// resource spike counts as a candidate cause. Default 2.5 s — wide
+	// enough to reach back across one TCP retransmission (the paper's
+	// dominant VLRT mechanism puts the stall 1–3 s before the cluster).
+	Window time.Duration
+	// MinZ is the minimum robust z-score for a spike to enter a chain.
+	// Default 8: against a median/MAD baseline genuine millibottleneck
+	// excursions score in the tens to hundreds while ordinary load
+	// jitter stays in single digits, and the bar must separate the two
+	// because link ranking is by onset — admit jitter and any
+	// coincidental pre-stall flutter would claim the root slot.
+	MinZ float64
+	// MaxLinks caps the links per chain. Default 5.
+	MaxLinks int
+}
+
+func (c CorrelateConfig) withDefaults() CorrelateConfig {
+	if c.Window <= 0 {
+		c.Window = 2500 * time.Millisecond
+	}
+	if c.MinZ <= 0 {
+		c.MinZ = 8
+	}
+	if c.MaxLinks <= 0 {
+		c.MaxLinks = 5
+	}
+	return c
+}
+
+// Correlate aligns the tracks against the VLRT clusters and returns one
+// ranked chain per cluster — the programmatic Figures 6–7: "which
+// tier's resource spiked just before this burst of very long requests,
+// and how hard".
+func Correlate(tracks []*Track, clusters []VLRTCluster, cfg CorrelateConfig) []Chain {
+	cfg = cfg.withDefaults()
+	chains := make([]Chain, len(clusters))
+	for i, cl := range clusters {
+		chains[i].Cluster = cl
+	}
+	var buf []Point
+	for _, tr := range tracks {
+		if tr == nil {
+			continue
+		}
+		buf = tr.Snapshot(buf[:0])
+		if len(buf) < 2 {
+			continue
+		}
+		mean, sigma, ok := robustBaseline(buf)
+		if !ok {
+			continue // flat track: nothing ever spiked here
+		}
+		for i := range chains {
+			if link, ok := scoreTrack(tr, buf, mean, sigma, chains[i].Cluster, cfg); ok {
+				chains[i].Links = append(chains[i].Links, link)
+			}
+		}
+	}
+	for i := range chains {
+		links := chains[i].Links
+		// Peer dominance: within one (cluster, signal) group, scale each
+		// link's score by its excursion relative to the group's largest.
+		maxExc := make(map[string]float64, len(links))
+		for _, l := range links {
+			if exc := l.Peak - l.Baseline; exc > maxExc[l.Signal] {
+				maxExc[l.Signal] = exc
+			}
+		}
+		for j := range links {
+			l := &links[j]
+			l.Dominance = 1
+			if top := maxExc[l.Signal]; top > 0 {
+				l.Dominance = (l.Peak - l.Baseline) / top
+			}
+			l.Score *= l.Dominance
+		}
+		// Causal order: earliest spike onset first (onsets are
+		// sample-aligned, so simultaneous discoveries compare equal),
+		// breaking ties by score.
+		sort.SliceStable(links, func(a, b int) bool {
+			if links[a].Onset != links[b].Onset {
+				return links[a].Onset < links[b].Onset
+			}
+			return links[a].Score > links[b].Score
+		})
+		if len(links) > cfg.MaxLinks {
+			chains[i].Links = links[:cfg.MaxLinks]
+		}
+	}
+	return chains
+}
+
+// robustBaseline estimates a track's quiet-time centre and scale as
+// median and 1.4826×MAD. A zero MAD (binary or mostly-constant signals,
+// e.g. the frozen flag) falls back to a floor of 5 % of the track's
+// range, so rare excursions on such signals still get a finite, large
+// z-score. ok is false for perfectly flat tracks.
+func robustBaseline(pts []Point) (center, scale float64, ok bool) {
+	vals := make([]float64, len(pts))
+	lo, hi := pts[0].V, pts[0].V
+	for i, p := range pts {
+		vals[i] = p.V
+		if p.V < lo {
+			lo = p.V
+		}
+		if p.V > hi {
+			hi = p.V
+		}
+	}
+	if hi == lo {
+		return 0, 0, false
+	}
+	sort.Float64s(vals)
+	median := vals[len(vals)/2]
+	for i, v := range vals {
+		vals[i] = v - median
+		if vals[i] < 0 {
+			vals[i] = -vals[i]
+		}
+	}
+	sort.Float64s(vals)
+	scale = 1.4826 * vals[len(vals)/2]
+	if scale == 0 {
+		scale = 0.05 * (hi - lo)
+	}
+	return median, scale, true
+}
+
+// scoreTrack scores one track against one cluster's lookback window.
+func scoreTrack(tr *Track, pts []Point, mean, sigma float64, cl VLRTCluster, cfg CorrelateConfig) (Link, bool) {
+	from, to := cl.Start-cfg.Window, cl.End
+	var (
+		peak    float64
+		peakAt  time.Duration
+		peakIdx int
+		inWin   int
+		raised  int
+		found   bool
+	)
+	// The elevation threshold is halfway between baseline and the MinZ
+	// bar: low enough to measure spike width, high enough to ignore
+	// baseline jitter.
+	elevated := mean + cfg.MinZ*sigma/2
+	for i, p := range pts {
+		if p.T < from || p.T > to {
+			continue
+		}
+		inWin++
+		if p.V > elevated {
+			raised++
+		}
+		if !found || p.V > peak {
+			peak, peakAt, peakIdx, found = p.V, p.T, i, true
+		}
+	}
+	if !found || inWin == 0 {
+		return Link{}, false
+	}
+	// Spike onset: walk back from the peak while samples stay elevated.
+	onset := peakAt
+	for i := peakIdx; i >= 0 && pts[i].V > elevated; i-- {
+		onset = pts[i].T
+	}
+	z := (peak - mean) / sigma
+	if z < cfg.MinZ {
+		return Link{}, false
+	}
+	lag := cl.Start - peakAt
+	overlap := float64(raised) / float64(inWin)
+	// Causes precede effects: a spike at or before the cluster start
+	// keeps its full score; one that only appears after the burst began
+	// is discounted toward half weight (it may be damage, not cause).
+	lagWeight := 1.0
+	if lag < 0 {
+		span := float64(cl.End - cl.Start + cfg.Window)
+		if span > 0 {
+			frac := float64(-lag) / span
+			if frac > 1 {
+				frac = 1
+			}
+			lagWeight = 1 - frac/2
+		}
+	}
+	return Link{
+		Source:   tr.Source(),
+		Signal:   tr.Signal(),
+		Peak:     peak,
+		PeakAt:   peakAt,
+		Onset:    onset,
+		Baseline: mean,
+		Sigma:    sigma,
+		Z:        z,
+		Lag:      lag,
+		Overlap:  overlap,
+		Score:    z * (0.5 + 0.5*overlap) * lagWeight,
+	}, true
+}
+
+// Correlator is the online face of the engine: wired to the PR 1 event
+// stream, it runs a correlation pass the moment the streaming detector
+// closes a millibottleneck span, against the live rings — so operators
+// get ranked causal chains during the run, not only from post-mortem
+// analysis.
+type Correlator struct {
+	tl  *Timeline
+	cfg CorrelateConfig
+
+	mu     sync.Mutex
+	chains []Chain
+}
+
+// NewCorrelator returns a correlator over the timeline. Nil-safe to
+// use with a nil timeline (every method no-ops).
+func NewCorrelator(tl *Timeline, cfg CorrelateConfig) *Correlator {
+	if tl == nil {
+		return nil
+	}
+	return &Correlator{tl: tl, cfg: cfg.withDefaults()}
+}
+
+// OnEvent consumes the observability event stream; millibottleneck
+// confirmations trigger a correlation pass over the saturation span.
+// Nil-safe.
+func (c *Correlator) OnEvent(ev obs.Event) {
+	if c == nil || ev.Kind != obs.KindMillibottleneck {
+		return
+	}
+	cluster := VLRTCluster{Start: ev.SpanStart, End: ev.SpanEnd, Count: 1}
+	chains := Correlate(c.tl.Tracks(), []VLRTCluster{cluster}, c.cfg)
+	c.mu.Lock()
+	c.chains = append(c.chains, chains...)
+	c.mu.Unlock()
+}
+
+// Chains returns the chains emitted so far, oldest first. Nil-safe.
+func (c *Correlator) Chains() []Chain {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Chain, len(c.chains))
+	copy(out, c.chains)
+	return out
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4), hand-rolled: the export
+// surface needs exactly gauges and counters with one label, which is a
+// page of code against pulling in a client library.
+
+// PromLabel is one name="value" pair.
+type PromLabel struct{ Name, Value string }
+
+// WritePromHeader writes the # HELP / # TYPE preamble for a metric.
+func WritePromHeader(w io.Writer, name, help, typ string) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WritePromSample writes one sample line with optional labels.
+func WritePromSample(w io.Writer, name string, labels []PromLabel, v float64) error {
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.Name)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(l.Value))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	if _, err := fmt.Fprintf(w, "%s %g\n", sb.String(), v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WriteProm exports the latest point of every track as Prometheus
+// gauges named prefix_<signal>{source="..."}, grouped per signal under
+// one TYPE header. Monotone signals (completed_total, GC pause total)
+// are typed counter. Nil-safe (writes nothing).
+func (tl *Timeline) WriteProm(w io.Writer, prefix string) error {
+	if tl == nil {
+		return nil
+	}
+	bySignal := make(map[string][]*Track)
+	for _, t := range tl.Tracks() {
+		bySignal[t.Signal()] = append(bySignal[t.Signal()], t)
+	}
+	signals := make([]string, 0, len(bySignal))
+	for sig := range bySignal {
+		signals = append(signals, sig)
+	}
+	sort.Strings(signals)
+	for _, sig := range signals {
+		name := prefix + "_" + sanitizeMetricName(sig)
+		typ := "gauge"
+		if sig == SignalCompleted || sig == SignalGCPauseTotal {
+			typ = "counter"
+		}
+		if err := WritePromHeader(w, name, "latest "+sig+" sample from the telemetry timeline", typ); err != nil {
+			return err
+		}
+		for _, t := range bySignal[sig] {
+			p, ok := t.Latest()
+			if !ok {
+				continue
+			}
+			if err := WritePromSample(w, name, []PromLabel{{Name: "source", Value: t.Source()}}, p.V); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sanitizeMetricName maps a signal name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:].
+func sanitizeMetricName(s string) string {
+	var sb strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

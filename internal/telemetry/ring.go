@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Point is one timestamped sample in a resource timeline. T is the
+// offset from the timeline's epoch (virtual time in the simulator, time
+// since sampler start in the wall-clock substrate).
+type Point struct {
+	T time.Duration `json:"t"`
+	V float64       `json:"v"`
+}
+
+// slot is one ring cell, published with a per-slot sequence word. The
+// sequence carries the sample's generation, not just an odd/even parity
+// bit: after sample index i lands in the slot, seq == 2*(i+1); while
+// the writer is mid-update, seq is odd. A reader that wants index i can
+// therefore tell apart "torn" (odd), "stale" (an older generation) and
+// "already overwritten" (a newer generation) with one load, and skip
+// the slot instead of returning garbage.
+type slot struct {
+	seq atomic.Uint64
+	t   atomic.Int64
+	v   atomic.Uint64 // math.Float64bits
+}
+
+// Ring is a preallocated single-writer, many-reader ring of samples.
+// Append never allocates and never blocks; Snapshot and Latest are
+// wait-free and never observe a torn sample. The single-writer
+// restriction is structural: each sampler goroutine owns the rings it
+// feeds, so no write-side coordination is needed and the hot path is a
+// handful of atomic stores.
+type Ring struct {
+	slots []slot
+	head  atomic.Uint64 // lifetime count of published samples
+}
+
+// NewRing returns a ring holding the last capacity samples (minimum
+// one). All memory is allocated up front.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{slots: make([]slot, capacity)}
+}
+
+// Cap reports the ring capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Head reports the lifetime number of published samples. Sample indices
+// [max(0, Head-Cap), Head) are addressable; older ones were overwritten.
+func (r *Ring) Head() uint64 { return r.head.Load() }
+
+// Len reports the number of samples currently stored.
+func (r *Ring) Len() int {
+	h := r.head.Load()
+	if c := uint64(len(r.slots)); h > c {
+		return int(c)
+	}
+	return int(h)
+}
+
+// Append publishes one sample. It must only be called from the ring's
+// single writer goroutine. It performs no allocation.
+func (r *Ring) Append(t time.Duration, v float64) {
+	i := r.head.Load()
+	s := &r.slots[i%uint64(len(r.slots))]
+	s.seq.Store(2*i + 1) // odd: mid-update, readers skip
+	s.t.Store(int64(t))
+	s.v.Store(math.Float64bits(v))
+	s.seq.Store(2 * (i + 1)) // even: generation i published
+	r.head.Store(i + 1)
+}
+
+// load reads sample index i, reporting whether the slot still held that
+// generation for the whole read.
+func (r *Ring) load(i uint64) (Point, bool) {
+	s := &r.slots[i%uint64(len(r.slots))]
+	want := 2 * (i + 1)
+	if s.seq.Load() != want {
+		return Point{}, false
+	}
+	p := Point{T: time.Duration(s.t.Load()), V: math.Float64frombits(s.v.Load())}
+	if s.seq.Load() != want {
+		return Point{}, false
+	}
+	return p, true
+}
+
+// Snapshot appends the stored samples, oldest first, to dst and returns
+// the extended slice. Samples overwritten mid-scan are skipped rather
+// than returned torn, so a snapshot taken while the writer runs is a
+// consistent (possibly slightly shorter) window. Pass a reused dst to
+// avoid allocation.
+func (r *Ring) Snapshot(dst []Point) []Point {
+	h := r.head.Load()
+	lo := uint64(0)
+	if c := uint64(len(r.slots)); h > c {
+		lo = h - c
+	}
+	for i := lo; i < h; i++ {
+		if p, ok := r.load(i); ok {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+// Latest returns the most recent sample, or ok=false when the ring is
+// empty (or the newest slots were all mid-overwrite, which a reader can
+// treat the same way).
+func (r *Ring) Latest() (Point, bool) {
+	h := r.head.Load()
+	lo := uint64(0)
+	if c := uint64(len(r.slots)); h > c {
+		lo = h - c
+	}
+	for i := h; i > lo; i-- {
+		if p, ok := r.load(i - 1); ok {
+			return p, true
+		}
+	}
+	return Point{}, false
+}

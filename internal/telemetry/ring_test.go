@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingAppendSnapshot(t *testing.T) {
+	r := NewRing(4)
+	if _, ok := r.Latest(); ok {
+		t.Fatal("Latest on empty ring reported a point")
+	}
+	if got := r.Snapshot(nil); len(got) != 0 {
+		t.Fatalf("Snapshot on empty ring = %v", got)
+	}
+	for i := 0; i < 3; i++ {
+		r.Append(time.Duration(i)*time.Millisecond, float64(i))
+	}
+	got := r.Snapshot(nil)
+	if len(got) != 3 {
+		t.Fatalf("Snapshot len = %d, want 3", len(got))
+	}
+	for i, p := range got {
+		if p.T != time.Duration(i)*time.Millisecond || p.V != float64(i) {
+			t.Fatalf("point %d = %+v", i, p)
+		}
+	}
+	if p, ok := r.Latest(); !ok || p.V != 2 {
+		t.Fatalf("Latest = %+v ok=%v, want V=2", p, ok)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Append(time.Duration(i), float64(i))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Head() != 10 {
+		t.Fatalf("Head = %d, want 10", r.Head())
+	}
+	got := r.Snapshot(nil)
+	if len(got) != 4 {
+		t.Fatalf("Snapshot len = %d, want 4", len(got))
+	}
+	for i, p := range got {
+		want := float64(6 + i) // samples 6..9 survive
+		if p.V != want {
+			t.Fatalf("point %d = %+v, want V=%g", i, p, want)
+		}
+	}
+	if p, ok := r.Latest(); !ok || p.V != 9 {
+		t.Fatalf("Latest = %+v ok=%v, want V=9", p, ok)
+	}
+}
+
+func TestRingSnapshotReusesBuffer(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 8; i++ {
+		r.Append(time.Duration(i), float64(i))
+	}
+	buf := make([]Point, 0, 8)
+	got := r.Snapshot(buf)
+	if len(got) != 8 || cap(got) != 8 {
+		t.Fatalf("Snapshot len=%d cap=%d, want 8/8", len(got), cap(got))
+	}
+}
+
+// TestRingAppendZeroAlloc pins the sampler hot path at zero
+// allocations; the CI telemetry smoke runs it by name.
+func TestRingAppendZeroAlloc(t *testing.T) {
+	r := NewRing(64)
+	n := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Append(time.Duration(n), float64(n))
+		n++
+	})
+	if allocs != 0 {
+		t.Fatalf("Ring.Append allocates %.1f per op, want 0", allocs)
+	}
+	tl := NewTimeline(Config{Capacity: 64})
+	s := NewSampler(tl)
+	v := 0.0
+	s.Register("srv", SignalQueueDepth, func() float64 { return v })
+	s.Register("srv", SignalBusyFrac, func() float64 { return v / 2 })
+	allocs = testing.AllocsPerRun(1000, func() {
+		v++
+		s.Sample(time.Duration(v))
+	})
+	if allocs != 0 {
+		t.Fatalf("Sampler.Sample allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestRingConcurrentReaders hammers one writer against several
+// snapshot/latest readers under -race: readers must never observe a
+// torn sample — every point they see must satisfy the writer's
+// invariant V == float64(T).
+func TestRingConcurrentReaders(t *testing.T) {
+	r := NewRing(32)
+	const total = 200_000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []Point
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				buf = r.Snapshot(buf[:0])
+				last := time.Duration(-1)
+				for _, p := range buf {
+					if p.V != float64(p.T) {
+						t.Errorf("torn point: %+v", p)
+						return
+					}
+					if p.T <= last {
+						t.Errorf("out-of-order snapshot: %v after %v", p.T, last)
+						return
+					}
+					last = p.T
+				}
+				if p, ok := r.Latest(); ok && p.V != float64(p.T) {
+					t.Errorf("torn latest: %+v", p)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		r.Append(time.Duration(i), float64(i))
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,279 @@
+// Package telemetry is the repo's milliScope-style fine-grained
+// monitoring layer: per-tier resource timelines sampled at a sub-second
+// interval (50 ms by default, the paper's plotting granularity) into
+// preallocated lock-free rings, plus the cross-tier correlation engine
+// that aligns those timelines against VLRT clusters and ranks causal
+// chains — the programmatic version of the paper's Figures 6–7
+// methodology.
+//
+// The same Timeline/Track model serves both substrates. The simulator
+// samples deterministic signals (queue lengths, busy fraction, frozen
+// flags, dirty bytes) off the virtual clock, so replays stay
+// byte-identical; the wall-clock substrate samples real process signals
+// (goroutines, GC pause totals via runtime/metrics, heap bytes,
+// per-backend in-flight and pool occupancy) from a background goroutine.
+// Either way each ring has exactly one writer, which is what lets
+// Append stay a handful of atomic stores with zero allocation while
+// exporters read concurrently.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Canonical signal names. Sources are entity names (server, backend or
+// process); signals are what was measured there. Keeping the vocabulary
+// shared between substrates is what makes the correlation engine and
+// the export surfaces substrate-agnostic.
+const (
+	// SignalQueueDepth is requests inside a server: waiting plus in
+	// service (the paper's queue plots).
+	SignalQueueDepth = "queue_depth"
+	// SignalBusyFrac is the busy-core fraction over the sampling
+	// interval, 0..1.
+	SignalBusyFrac = "busy_frac"
+	// SignalFrozen is 1 while the entity's CPU is stall-frozen
+	// (writeback flush, injected freeze), else 0.
+	SignalFrozen = "frozen"
+	// SignalDirtyBytes is the writeback daemon's dirty-page backlog.
+	SignalDirtyBytes = "dirty_bytes"
+	// SignalConnPoolInUse is occupied connection-pool slots (the app
+	// tier's DB pool, or a proxy backend's endpoint pool).
+	SignalConnPoolInUse = "conn_pool_in_use"
+	// SignalInFlight is dispatched-but-uncompleted requests on a
+	// backend.
+	SignalInFlight = "in_flight"
+	// SignalPoolFree is free endpoint-pool slots on a backend.
+	SignalPoolFree = "pool_free"
+	// SignalCompleted is the lifetime completed-request counter of a
+	// backend (a monotone counter sampled as a gauge; consumers diff
+	// adjacent points for progress).
+	SignalCompleted = "completed_total"
+	// SignalAcceptWait is requests blocked waiting for a worker slot —
+	// the accept-queue wait of the wall-clock proxy.
+	SignalAcceptWait = "accept_wait"
+	// SignalWorkersBusy is occupied proxy worker slots.
+	SignalWorkersBusy = "workers_busy"
+	// SignalGoroutines is the process goroutine count.
+	SignalGoroutines = "goroutines"
+	// SignalGCPauseTotal is the cumulative GC pause total in seconds,
+	// estimated from runtime/metrics pause histograms.
+	SignalGCPauseTotal = "gc_pause_total_seconds"
+	// SignalHeapBytes is live heap object bytes.
+	SignalHeapBytes = "heap_bytes"
+)
+
+// Config sizes a timeline.
+type Config struct {
+	// Interval is the sampling interval. Default 50 ms — fine enough to
+	// see millibottlenecks, the whole point of the layer.
+	Interval time.Duration
+	// Capacity is the per-track ring capacity. Default 4096 samples
+	// (~3.4 minutes at 50 ms).
+	Capacity int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 4096
+	}
+	return c
+}
+
+// Track is one (source, signal) timeline backed by its own ring.
+type Track struct {
+	source string
+	signal string
+	ring   *Ring
+}
+
+// Source names the sampled entity.
+func (t *Track) Source() string { return t.source }
+
+// Signal names what was sampled.
+func (t *Track) Signal() string { return t.signal }
+
+// Append publishes one sample; single-writer, zero-alloc.
+func (t *Track) Append(at time.Duration, v float64) { t.ring.Append(at, v) }
+
+// Snapshot appends the track's stored points, oldest first, to dst.
+func (t *Track) Snapshot(dst []Point) []Point { return t.ring.Snapshot(dst) }
+
+// Latest returns the most recent point.
+func (t *Track) Latest() (Point, bool) { return t.ring.Latest() }
+
+// Len reports stored points.
+func (t *Track) Len() int { return t.ring.Len() }
+
+// Timeline is a set of tracks sharing one sampling interval and ring
+// capacity. Tracks are registered during setup; sampling and reading
+// may then proceed concurrently. All methods are nil-safe so disabled
+// telemetry costs a nil check, nothing more.
+type Timeline struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	tracks []*Track
+	index  map[trackKey]*Track
+}
+
+type trackKey struct{ source, signal string }
+
+// NewTimeline returns an empty timeline with defaults applied.
+func NewTimeline(cfg Config) *Timeline {
+	cfg = cfg.withDefaults()
+	return &Timeline{cfg: cfg, index: make(map[trackKey]*Track)}
+}
+
+// Interval reports the sampling interval.
+func (tl *Timeline) Interval() time.Duration {
+	if tl == nil {
+		return 0
+	}
+	return tl.cfg.Interval
+}
+
+// AddTrack registers (or returns the existing) track for the pair.
+func (tl *Timeline) AddTrack(source, signal string) *Track {
+	if tl == nil {
+		return nil
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	key := trackKey{source, signal}
+	if t, ok := tl.index[key]; ok {
+		return t
+	}
+	t := &Track{source: source, signal: signal, ring: NewRing(tl.cfg.Capacity)}
+	tl.tracks = append(tl.tracks, t)
+	tl.index[key] = t
+	return t
+}
+
+// Tracks returns the registered tracks in registration order.
+func (tl *Timeline) Tracks() []*Track {
+	if tl == nil {
+		return nil
+	}
+	tl.mu.RLock()
+	defer tl.mu.RUnlock()
+	out := make([]*Track, len(tl.tracks))
+	copy(out, tl.tracks)
+	return out
+}
+
+// Lookup returns the track for the pair, or nil.
+func (tl *Timeline) Lookup(source, signal string) *Track {
+	if tl == nil {
+		return nil
+	}
+	tl.mu.RLock()
+	defer tl.mu.RUnlock()
+	return tl.index[trackKey{source, signal}]
+}
+
+// Signals returns the distinct signal names across tracks, sorted — the
+// grouping the Prometheus exporter needs for its TYPE headers.
+func (tl *Timeline) Signals() []string {
+	if tl == nil {
+		return nil
+	}
+	tl.mu.RLock()
+	defer tl.mu.RUnlock()
+	seen := make(map[string]bool)
+	var out []string
+	for _, t := range tl.tracks {
+		if !seen[t.signal] {
+			seen[t.signal] = true
+			out = append(out, t.signal)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// timelineLine is the JSONL export row.
+type timelineLine struct {
+	Source string        `json:"source"`
+	Signal string        `json:"signal"`
+	T      time.Duration `json:"t"`
+	V      float64       `json:"v"`
+}
+
+// WriteJSONL writes every track's stored points as JSON Lines, one
+// point per line, tracks in registration order, points oldest first.
+// Nil-safe (writes nothing).
+func (tl *Timeline) WriteJSONL(w io.Writer) error {
+	if tl == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	var buf []Point
+	for _, t := range tl.Tracks() {
+		buf = t.Snapshot(buf[:0])
+		for _, p := range buf {
+			if err := enc.Encode(timelineLine{Source: t.Source(), Signal: t.Signal(), T: p.T, V: p.V}); err != nil {
+				return fmt.Errorf("telemetry: encode point: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Sampler drives a fixed set of gauges into their tracks. It owns the
+// write side of every registered track (the single-writer contract),
+// so whoever calls Sample must do so from one goroutine — the sim
+// engine thread or the wall sampler's ticker goroutine.
+type Sampler struct {
+	tl     *Timeline
+	gauges []gauge
+}
+
+type gauge struct {
+	track *Track
+	read  func() float64
+}
+
+// NewSampler returns a sampler feeding the timeline.
+func NewSampler(tl *Timeline) *Sampler {
+	if tl == nil {
+		return nil
+	}
+	return &Sampler{tl: tl}
+}
+
+// Register adds a gauge: read is called on every Sample and its value
+// appended to the (source, signal) track. Nil-safe.
+func (s *Sampler) Register(source, signal string, read func() float64) {
+	if s == nil || read == nil {
+		return
+	}
+	s.gauges = append(s.gauges, gauge{track: s.tl.AddTrack(source, signal), read: read})
+}
+
+// Sample reads every gauge and appends one point per track, all
+// timestamped at. Zero allocations. Nil-safe.
+func (s *Sampler) Sample(at time.Duration) {
+	if s == nil {
+		return
+	}
+	for i := range s.gauges {
+		s.gauges[i].track.Append(at, s.gauges[i].read())
+	}
+}
+
+// Timeline exposes the timeline being fed.
+func (s *Sampler) Timeline() *Timeline {
+	if s == nil {
+		return nil
+	}
+	return s.tl
+}

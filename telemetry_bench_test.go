@@ -1,0 +1,40 @@
+// Benchmark guard for the telemetry layer's pay-for-what-you-use
+// claim, the PR 6 twin of the tracing guard in obs_bench_test.go: the
+// "disabled" sub-benchmark runs the simulation with no timeline sampler
+// and must stay within noise of the untouched hot path, while "enabled"
+// runs the identical cluster with 50 ms sub-second sampling and the
+// online correlator armed. cmd/perfbench -pr6 records the same pair in
+// BENCH_PR6.json with a ≤5 % overhead budget.
+package millibalance_test
+
+import (
+	"testing"
+	"time"
+
+	"millibalance/internal/cluster"
+	"millibalance/internal/telemetry"
+)
+
+func BenchmarkTelemetrySamplingOverhead(b *testing.B) {
+	base := cluster.MiniConfig()
+	base.Duration = 5 * time.Second
+	run := func(b *testing.B, enabled bool) {
+		for i := 0; i < b.N; i++ {
+			// The arms differ only in Telemetry, so the delta is the
+			// sampler alone (the online correlator additionally needs an
+			// event log; its cost rides the tracing guard's budget).
+			cfg := base
+			if enabled {
+				cfg.Telemetry = &telemetry.Config{}
+			}
+			res := cluster.Run(cfg)
+			if res.Responses.Total() == 0 {
+				b.Fatal("no requests completed")
+			}
+			b.ReportMetric(float64(res.Responses.Total()), "requests")
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "ms/run")
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("enabled", func(b *testing.B) { run(b, true) })
+}
