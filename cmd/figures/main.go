@@ -86,6 +86,9 @@ func figureTable() []figure {
 		{16, "telemetry causal chains under scripted freezes", func(o experiments.Options, w io.Writer, _ bool) {
 			fmt.Fprint(w, experiments.RunFigure16(o).Render())
 		}},
+		{17, "prequal probing vs the paper's arms across fault shapes", func(o experiments.Options, w io.Writer, _ bool) {
+			fmt.Fprint(w, experiments.RunFig17(o).Render())
+		}},
 	}
 }
 
@@ -130,7 +133,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
-	fig := fs.Int("fig", 0, "figure number to regenerate (1-16)")
+	fig := fs.Int("fig", 0, "figure number to regenerate (1-17)")
 	all := fs.Bool("all", false, "regenerate every figure")
 	report := fs.Bool("report", false, "run the complete evaluation and emit a markdown report")
 	tsv := fs.Bool("tsv", false, "emit raw windowed series as TSV")
@@ -182,5 +185,5 @@ func run(args []string, out io.Writer) error {
 			return emit(f)
 		}
 	}
-	return fmt.Errorf("unknown figure %d (have 1-16)", *fig)
+	return fmt.Errorf("unknown figure %d (have 1-17)", *fig)
 }

@@ -6,14 +6,14 @@ import (
 	"testing"
 )
 
-func TestFigureTableCoversAllSixteen(t *testing.T) {
+func TestFigureTableCoversAllSeventeen(t *testing.T) {
 	figs := figureTable()
-	if len(figs) != 16 {
+	if len(figs) != 17 {
 		t.Fatalf("%d figures registered", len(figs))
 	}
 	seen := map[int]bool{}
 	for _, f := range figs {
-		if f.id < 1 || f.id > 16 || seen[f.id] {
+		if f.id < 1 || f.id > 17 || seen[f.id] {
 			t.Fatalf("bad or duplicate figure id %d", f.id)
 		}
 		seen[f.id] = true

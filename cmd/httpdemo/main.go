@@ -34,7 +34,8 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("httpdemo", flag.ContinueOnError)
-	policyName := fs.String("policy", "total_request", "total_request, total_traffic or current_load")
+	policyName := fs.String("policy", "total_request",
+		"load balancing policy: "+strings.Join(httpcluster.PolicyNames(), ", "))
 	mechName := fs.String("mechanism", "original", "original or modified")
 	apps := fs.Int("apps", 2, "application servers")
 	clients := fs.Int("clients", 24, "closed-loop clients")

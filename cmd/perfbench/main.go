@@ -75,9 +75,10 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("perfbench", flag.ContinueOnError)
-	out := fs.String("out", "", "output path, or - for stdout (default BENCH_PR3.json, or BENCH_PR6.json with -pr6)")
+	out := fs.String("out", "", "output path, or - for stdout (default BENCH_PR3.json; BENCH_PR6.json with -pr6, BENCH_PR7.json with -pr7)")
 	scale := fs.Float64("scale", 1.0/12, "Table I duration scale for the wall-clock comparison")
 	pr6 := fs.Bool("pr6", false, "measure the telemetry layer instead: ring/dispatch overhead and ±50ms-sampling throughput (BENCH_PR6.json)")
+	pr7 := fs.Bool("pr7", false, "measure the probing subsystem instead: prequal dispatch overhead and probe-pool microbenchmarks (BENCH_PR7.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,6 +87,12 @@ func run(args []string, stdout io.Writer) error {
 			*out = "BENCH_PR6.json"
 		}
 		return runPR6(*out, stdout)
+	}
+	if *pr7 {
+		if *out == "" {
+			*out = "BENCH_PR7.json"
+		}
+		return runPR7(*out, stdout)
 	}
 	if *out == "" {
 		*out = "BENCH_PR3.json"

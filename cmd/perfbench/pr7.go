@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"millibalance/internal/httpcluster"
+	"millibalance/internal/probe"
+)
+
+// PR7Report is the BENCH_PR7.json schema: the probing subsystem's
+// overhead evidence. Dispatch compares the prequal balancer hot path
+// against the current_load baseline (prequal must be 0 allocs/op — the
+// CI gate), Pool holds the probe-pool microbenchmarks the dispatch
+// path is built on.
+type PR7Report struct {
+	Schema string `json:"schema"`
+	Host   struct {
+		Cores      int    `json:"cores"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		GoVersion  string `json:"go_version"`
+	} `json:"host"`
+	Dispatch struct {
+		Prequal     EngineBench `json:"prequal"`
+		CurrentLoad EngineBench `json:"current_load"`
+		OverheadPct float64     `json:"overhead_pct"`
+	} `json:"dispatch"`
+	Pool struct {
+		Observe EngineBench `json:"observe"`
+		Pick    EngineBench `json:"pick"`
+	} `json:"pool"`
+}
+
+// runPR7 measures the prequal dispatch overhead evidence and writes
+// the report.
+func runPR7(out string, stdout io.Writer) error {
+	var rep PR7Report
+	rep.Schema = "millibalance-bench-pr7/1"
+	rep.Host.Cores = runtime.NumCPU()
+	rep.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Host.GoVersion = runtime.Version()
+
+	fmt.Fprintln(stdout, "probe pool microbenchmarks...")
+	rep.Pool.Observe = benchPoolObserve()
+	rep.Pool.Pick = benchPoolPick()
+
+	fmt.Fprintln(stdout, "dispatch hot path, prequal vs current_load...")
+	rep.Dispatch.Prequal = benchPrequalDispatch(true)
+	rep.Dispatch.CurrentLoad = benchPrequalDispatch(false)
+	if rep.Dispatch.Prequal.AllocsPerOp != 0 {
+		return fmt.Errorf("prequal dispatch allocates %d/op, want 0",
+			rep.Dispatch.Prequal.AllocsPerOp)
+	}
+	if rep.Dispatch.CurrentLoad.NsPerOp > 0 {
+		rep.Dispatch.OverheadPct = 100 * (rep.Dispatch.Prequal.NsPerOp -
+			rep.Dispatch.CurrentLoad.NsPerOp) / rep.Dispatch.CurrentLoad.NsPerOp
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err = stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (prequal dispatch %d allocs/op, %.1f%% over current_load)\n",
+		out, rep.Dispatch.Prequal.AllocsPerOp, rep.Dispatch.OverheadPct)
+	return nil
+}
+
+// steadyPools builds pools whose samples never expire, isolating the
+// selection path from probing I/O — the same shape as the
+// BenchmarkPrequalDispatchOverhead fixture in internal/httpcluster.
+func steadyPools(names ...string) *probe.Pools {
+	start := time.Now()
+	pools := probe.NewPools(probe.Config{TTL: time.Hour, ReuseBudget: 1 << 30},
+		func() time.Duration { return time.Since(start) })
+	for i, name := range names {
+		pools.Observe(name, float64(i+1), time.Duration(i+1)*time.Millisecond)
+	}
+	return pools
+}
+
+// benchPrequalDispatch measures a balancer acquire/release round trip
+// under prequal (pools attached) or the current_load baseline.
+func benchPrequalDispatch(prequal bool) EngineBench {
+	return toBench(testing.Benchmark(func(b *testing.B) {
+		backends := []*httpcluster.Backend{
+			httpcluster.NewBackend("a", "u", 64),
+			httpcluster.NewBackend("b", "u", 64),
+		}
+		policy := httpcluster.PolicyCurrentLoad
+		if prequal {
+			policy = httpcluster.PolicyPrequal
+		}
+		bal := httpcluster.NewBalancer(policy, httpcluster.MechanismModified,
+			backends, httpcluster.Config{Sweeps: 1})
+		if prequal {
+			bal.SetProbePools(steadyPools("a", "b"), nil)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, rel, err := bal.Acquire(128)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rel.Done(256)
+		}
+	}))
+}
+
+// benchPoolObserve measures one sample insertion into a full pool —
+// eviction included, the steady state of a live prober.
+func benchPoolObserve() EngineBench {
+	return toBench(testing.Benchmark(func(b *testing.B) {
+		pools := steadyPools("a")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pools.Observe("a", float64(i%8), time.Millisecond)
+		}
+	}))
+}
+
+// benchPoolPick measures the hot/cold selection over a three-backend
+// candidate set with fresh samples.
+func benchPoolPick() EngineBench {
+	return toBench(testing.Benchmark(func(b *testing.B) {
+		pools := steadyPools("a", "b", "c")
+		names := []string{"a", "b", "c"}
+		rng := rand.New(rand.NewPCG(3, 5))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if pools.Pick(names, rng) < 0 {
+				b.Fatal("empty pick")
+			}
+		}
+	}))
+}

@@ -33,10 +33,13 @@ func (a webActuator) Backends() []string {
 
 // SetPolicy implements adapt.Actuator. Each balancer gets a fresh
 // policy instance so stateful policies (round_robin's rotation) stay
-// per-balancer, matching how New distributes mechanisms.
+// per-balancer, matching how New distributes mechanisms. Resolution
+// goes through newPolicy so a prequal target arrives with the
+// cluster's probe pools attached; the balancer's SetPolicy then
+// triggers the pool reseeding (clear + immediate probe round).
 func (a webActuator) SetPolicy(name string) {
 	for _, w := range a.c.Webs {
-		p, ok := lb.PolicyByName(name)
+		p, ok := a.c.newPolicy(name)
 		if !ok {
 			return
 		}

@@ -10,6 +10,7 @@ import (
 	"millibalance/internal/metrics"
 	"millibalance/internal/netmodel"
 	"millibalance/internal/obs"
+	"millibalance/internal/probe"
 	"millibalance/internal/resource"
 	"millibalance/internal/server"
 	"millibalance/internal/sim"
@@ -121,6 +122,8 @@ type Cluster struct {
 	timeline   *telemetry.Timeline
 	telPoller  *metrics.Poller
 	correlator *telemetry.Correlator
+	pools      *probe.Pools
+	prober     *probe.SimProber
 	eventHooks []func(obs.Event)
 	giveUps    uint64
 
@@ -169,7 +172,8 @@ func New(cfg Config) *Cluster {
 			Writeback:   wb,
 		}, c.DB))
 	}
-	policy, _ := lb.PolicyByName(cfg.Policy)
+	c.armProbing()
+	policy, _ := c.newPolicy(cfg.Policy)
 	for i := 0; i < cfg.NumWeb; i++ {
 		mech, _ := lb.MechanismByName(cfg.Mechanism, eng)
 		c.Webs = append(c.Webs, server.NewWeb(eng, server.WebConfig{
@@ -443,6 +447,17 @@ func (c *Cluster) instrumentTelemetry() {
 		server(a.Name(), a.CPU(), a.QueuedRequests)
 		s.Register(a.Name(), telemetry.SignalDirtyBytes, func() float64 { return float64(a.Writeback().DirtyBytes()) })
 		s.Register(a.Name(), telemetry.SignalConnPoolInUse, func() float64 { return float64(a.DBConnsInUse()) })
+		if c.pools != nil {
+			name := a.Name()
+			s.Register(name, telemetry.SignalProbePoolDepth, func() float64 { return float64(c.pools.Depth(name)) })
+			s.Register(name, telemetry.SignalProbeStalenessMs, func() float64 {
+				age, ok := c.pools.Staleness(name)
+				if !ok {
+					return -1
+				}
+				return float64(age) / float64(time.Millisecond)
+			})
+		}
 	}
 	server(c.DB.Name(), c.DB.CPU(), c.DB.QueuedRequests)
 	c.telPoller = metrics.NewPoller(c.Eng, sim.Time(tcfg.Interval))
@@ -505,11 +520,15 @@ func candidateViews(snaps []lb.Snapshot) []obs.CandidateView {
 	out := make([]obs.CandidateView, len(snaps))
 	for i, s := range snaps {
 		out[i] = obs.CandidateView{
-			Name:          s.Name,
-			LBValue:       s.LBValue,
-			State:         s.State.String(),
-			InFlight:      s.InFlight,
-			FreeEndpoints: s.FreeEndpoints,
+			Name:           s.Name,
+			LBValue:        s.LBValue,
+			State:          s.State.String(),
+			InFlight:       s.InFlight,
+			FreeEndpoints:  s.FreeEndpoints,
+			ProbeInFlight:  s.ProbeInFlight,
+			ProbeLatencyMs: float64(s.ProbeLatency) / float64(time.Millisecond),
+			ProbeAgeMs:     float64(s.ProbeAge) / float64(time.Millisecond),
+			ProbeFresh:     s.ProbeFresh,
 		}
 	}
 	return out
@@ -521,6 +540,9 @@ func (c *Cluster) Run() *Results {
 	c.poller.Start()
 	if c.telPoller != nil {
 		c.telPoller.Start()
+	}
+	if c.prober != nil {
+		c.prober.Start()
 	}
 	if c.openLoop != nil {
 		c.openLoop.Start()

@@ -7,11 +7,13 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"millibalance/internal/adapt"
 	"millibalance/internal/lb"
 	"millibalance/internal/netmodel"
+	"millibalance/internal/probe"
 	"millibalance/internal/resource"
 	"millibalance/internal/sim"
 	"millibalance/internal/telemetry"
@@ -100,6 +102,13 @@ type Config struct {
 	// engine thread at deterministic instants, so armed runs replay
 	// byte-identically.
 	Telemetry *telemetry.Config
+	// Probe, when non-nil, tunes the asynchronous probing subsystem
+	// (internal/probe). Probing also arms implicitly — with defaults —
+	// whenever prequal appears as the static Policy or among the
+	// adaptive ladder's swap targets; runs that can never dispatch
+	// through prequal skip the subsystem, keeping their event sequences
+	// unchanged.
+	Probe *probe.Config
 	// Adaptive, when non-nil, arms the millibottleneck-aware adaptive
 	// control plane (internal/adapt): the controller subscribes to the
 	// event log, quarantines detected-stalled app servers and hot-swaps
@@ -122,7 +131,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: non-positive think time %v", c.ThinkTime)
 	}
 	if _, ok := lb.PolicyByName(c.Policy); !ok {
-		return fmt.Errorf("cluster: unknown policy %q", c.Policy)
+		return fmt.Errorf("cluster: unknown policy %q (have %s)", c.Policy, strings.Join(lb.PolicyNames(), ", "))
 	}
 	if _, ok := lb.MechanismByName(c.Mechanism, nil); !ok {
 		return fmt.Errorf("cluster: unknown mechanism %q", c.Mechanism)
@@ -134,7 +143,7 @@ func (c Config) Validate() error {
 				continue
 			}
 			if _, ok := lb.PolicyByName(p); !ok {
-				return fmt.Errorf("cluster: unknown adaptive policy %q", p)
+				return fmt.Errorf("cluster: unknown adaptive policy %q (have %s)", p, strings.Join(lb.PolicyNames(), ", "))
 			}
 		}
 		if ac.MechanismTarget != "" {

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"time"
+
+	"millibalance/internal/lb"
+	"millibalance/internal/netmodel"
+	"millibalance/internal/probe"
+)
+
+// Probe wiring for the deterministic substrate: the prober's probe
+// RTTs are ordinary engine events — a link traversal, a tiny CPU burst
+// on the probed app server, a link traversal back — so armed runs
+// replay byte-identically. A frozen app server holds its probe until
+// the stall ends, which is exactly what lets the pools go stale and the
+// prequal policy stop routing to it.
+
+// probeServiceDemand is the CPU burst a probe costs the probed server —
+// a counter read plus marshalling, far below a request's service time.
+const probeServiceDemand = 50 * time.Microsecond
+
+// armProbing builds the probe pools and the sim prober when this run
+// can need them: an explicit Config.Probe, prequal as the static
+// policy, or prequal anywhere in the adaptive ladder's swap targets.
+// Runs that can never dispatch through prequal skip the subsystem
+// entirely, keeping their event sequences — and digests — unchanged.
+func (c *Cluster) armProbing() {
+	need := c.cfg.Probe != nil || c.cfg.Policy == "prequal"
+	if ac := c.cfg.Adaptive; ac != nil && (ac.PolicyTarget == "prequal" || ac.FallbackPolicy == "prequal") {
+		need = true
+	}
+	if !need {
+		return
+	}
+	var pcfg probe.Config
+	if c.cfg.Probe != nil {
+		pcfg = *c.cfg.Probe
+	}
+	c.pools = probe.NewPools(pcfg, func() time.Duration { return c.Eng.Now() })
+	targets := make([]probe.SimTarget, 0, len(c.Apps))
+	for _, a := range c.Apps {
+		a := a
+		targets = append(targets, probe.SimTarget{
+			Name:     a.Name(),
+			Link:     netmodel.NewLink(c.Eng, c.cfg.LinkLatency),
+			InFlight: func() float64 { return float64(a.QueuedRequests()) },
+			Service:  func(done func()) { a.CPU().Submit(probeServiceDemand, done) },
+		})
+	}
+	c.prober = probe.NewSimProber(c.Eng, c.pools, targets)
+}
+
+// newPolicy resolves a policy name the way lb.PolicyByName does, but
+// additionally attaches this cluster's probe pools to a prequal result
+// and hooks its runtime reseeding (pool clear + an immediate probe
+// round) so a hot-swap starts from live data.
+func (c *Cluster) newPolicy(name string) (lb.Policy, bool) {
+	p, ok := lb.PolicyByName(name)
+	if !ok {
+		return nil, false
+	}
+	if pq, isPQ := p.(*lb.Prequal); isPQ && c.pools != nil {
+		pq.AttachPools(c.pools)
+		pq.SetSeedHook(func() {
+			c.pools.Clear()
+			c.prober.ProbeAll()
+		})
+	}
+	return p, ok
+}
+
+// Pools exposes the probe pools (nil unless probing is armed).
+func (c *Cluster) Pools() *probe.Pools { return c.pools }

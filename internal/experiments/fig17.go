@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"millibalance/internal/cluster"
+	"millibalance/internal/mbneck"
+	"millibalance/internal/parallel"
+	"millibalance/internal/sim"
+)
+
+// Figure 17 — the probing subsystem's report card. The paper's counter
+// policies fail under millibottlenecks because the stalled backend
+// stops generating the events they count; the mechanism remedy
+// (modified get_endpoint) sidesteps that by failing fast. Prequal
+// (internal/probe + the prequal policy) attacks the same failure from
+// the signal side: asynchronous probes decouple evidence from dispatch,
+// and a stalled backend ages out of the probe pools instead of
+// attracting traffic. This figure asks whether that signal-side fix
+// alone — while still running the ORIGINAL blocking get_endpoint — can
+// match the full remedy, across the same five fault shapes the
+// wall-clock chaos suite (internal/faults, PR 4) exercises. Each shape
+// runs three ways: the worst static arm, the full remedy, and prequal
+// on the original mechanism.
+
+// Fig17Arm names one column group of Figure 17.
+type Fig17Arm string
+
+const (
+	// Fig17Original is the paper's worst configuration: total_request
+	// over the original blocking get_endpoint.
+	Fig17Original Fig17Arm = "original_total_request"
+	// Fig17Remedy is the paper's full remedy: current_load over the
+	// modified fail-fast get_endpoint.
+	Fig17Remedy Fig17Arm = "remedy_current_load"
+	// Fig17Prequal is probing-only: the prequal policy over the
+	// ORIGINAL blocking get_endpoint — no mechanism remedy at all.
+	Fig17Prequal Fig17Arm = "prequal_original_mech"
+)
+
+// Fig17Row is one fault shape × arm measurement.
+type Fig17Row struct {
+	Shape     string
+	Arm       Fig17Arm
+	Policy    string
+	Mechanism string
+
+	TotalRequests  uint64
+	AvgRTMillis    float64
+	VLRTPct        float64
+	Rejects        uint64
+	InjectedStalls int
+}
+
+// Fig17Result holds the 5 shapes × 3 arms grid.
+type Fig17Result struct {
+	Rows []Fig17Row
+}
+
+// Fig17Shapes lists the exercised fault shapes — the sim analogues of
+// the wall-clock chaos suite's five: the native dirty-page freeze,
+// clocked GC pauses, sustained slow response, crash-length outages and
+// lossy-network retransmission storms (modelled as frequent brief
+// stalls, the queue signature loss produces upstream).
+func Fig17Shapes() []string {
+	return []string{"freeze", "gc_pause", "slow", "crash", "netloss"}
+}
+
+// fig17Config returns the base config for a shape, before the arm's
+// policy and mechanism are chosen. Only freeze uses the native
+// writeback millibottleneck; the other shapes inject over the quiet
+// baseline so each run isolates one cause.
+func fig17Config(opt Options, shape string) cluster.Config {
+	if shape == "freeze" {
+		return opt.apply(cluster.PaperConfig())
+	}
+	return opt.apply(cluster.BaselineConfig())
+}
+
+// fig17Injector arms the shape's stall source on a built cluster and
+// returns a fired-stall counter. Durations derive from the run length
+// so scaled CI runs keep the same relative shape.
+func fig17Injector(shape string, c *cluster.Cluster, duration sim.Time) func() int {
+	switch shape {
+	case "gc_pause":
+		return injectorFor("gc_pause", c)
+	case "slow":
+		// A stream of sub-TTL stalls on one server: never long enough to
+		// trip staleness exclusion on its own, just a persistently slow
+		// backend — the shape probes must expose through latency.
+		inj := mbneck.NewPeriodicStalls(c.Eng, "slow-app1", c.Apps[0].CPU(),
+			duration/25, duration/250, 0.2)
+		inj.Start()
+		return inj.Stalls
+	case "crash":
+		// Two crash-length outages on one server, placed at fixed
+		// fractions of the run.
+		inj := mbneck.NewScriptedStalls(c.Eng, "crash-app1", c.Apps[0].CPU(), []mbneck.StallEvent{
+			{At: duration / 4, Duration: duration / 10},
+			{At: duration * 3 / 5, Duration: duration / 10},
+		})
+		inj.Start()
+		return inj.Fired
+	case "netloss":
+		// Loss-and-retransmit waves: random, brief, frequent freezes.
+		inj := mbneck.NewRandomStalls(c.Eng, "netloss-app1", c.Apps[0].CPU(),
+			duration/40, duration/300)
+		inj.Start()
+		return inj.Stalls
+	default: // freeze: the native writeback daemons are the injector
+		return func() int { return 0 }
+	}
+}
+
+// RunFig17 executes the grid: 5 shapes × 3 arms, fanned out across the
+// parallel harness and collected by index.
+func RunFig17(opt Options) Fig17Result {
+	type arm struct {
+		shape string
+		arm   Fig17Arm
+	}
+	var arms []arm
+	for _, shape := range Fig17Shapes() {
+		for _, a := range []Fig17Arm{Fig17Original, Fig17Remedy, Fig17Prequal} {
+			arms = append(arms, arm{shape, a})
+		}
+	}
+	rows := parallel.Map(opt.workers(), len(arms), func(i int) Fig17Row {
+		shape, a := arms[i].shape, arms[i].arm
+		cfg := fig17Config(opt, shape)
+		switch a {
+		case Fig17Remedy:
+			cfg.Policy, cfg.Mechanism = "current_load", "modified_get_endpoint"
+		case Fig17Prequal:
+			cfg.Policy, cfg.Mechanism = "prequal", "original_get_endpoint"
+		default:
+			cfg.Policy, cfg.Mechanism = "total_request", "original_get_endpoint"
+		}
+		c := cluster.New(cfg)
+		stalls := fig17Injector(shape, c, cfg.Duration)
+		res := c.Run()
+		return Fig17Row{
+			Shape:          shape,
+			Arm:            a,
+			Policy:         cfg.Policy,
+			Mechanism:      cfg.Mechanism,
+			TotalRequests:  res.Responses.Total(),
+			AvgRTMillis:    float64(res.Responses.Mean().Microseconds()) / 1000,
+			VLRTPct:        res.Responses.VLRTPercent(),
+			Rejects:        res.Rejects,
+			InjectedStalls: stalls(),
+		}
+	})
+	return Fig17Result{Rows: rows}
+}
+
+// Row returns the row for a shape and arm, or nil.
+func (f Fig17Result) Row(shape string, arm Fig17Arm) *Fig17Row {
+	for i := range f.Rows {
+		if f.Rows[i].Shape == shape && f.Rows[i].Arm == arm {
+			return &f.Rows[i]
+		}
+	}
+	return nil
+}
+
+// PrequalWithinFactor reports whether the prequal arm's %VLRT lands
+// within the given factor of the full remedy's for the shape — the
+// Figure 17 acceptance criterion (factor 2), with the same absolute
+// floor Table IV uses so a zero-VLRT remedy cannot fail a residue of
+// one per thousand.
+func (f Fig17Result) PrequalWithinFactor(shape string, factor float64) bool {
+	pq := f.Row(shape, Fig17Prequal)
+	rm := f.Row(shape, Fig17Remedy)
+	if pq == nil || rm == nil {
+		return false
+	}
+	return pq.VLRTPct <= rm.VLRTPct*factor || pq.VLRTPct <= 0.1
+}
+
+// PrequalImproves reports whether prequal beat the original arm it
+// shares a mechanism with, on both average RT and %VLRT.
+func (f Fig17Result) PrequalImproves(shape string) bool {
+	pq := f.Row(shape, Fig17Prequal)
+	or := f.Row(shape, Fig17Original)
+	if pq == nil || or == nil {
+		return false
+	}
+	return pq.AvgRTMillis <= or.AvgRTMillis && pq.VLRTPct <= or.VLRTPct
+}
+
+// Render prints the grid.
+func (f Fig17Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 17 — prequal (probing, original mechanism) vs the paper's arms, per fault shape\n")
+	fmt.Fprintf(&b, "%-10s %-24s %-14s %-22s %10s %12s %9s %8s %7s\n",
+		"shape", "arm", "policy", "mechanism", "#req", "avg RT (ms)", "%VLRT", "rejects", "stalls")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-10s %-24s %-14s %-22s %10d %12.2f %8.2f%% %8d %7d\n",
+			r.Shape, string(r.Arm), r.Policy, r.Mechanism,
+			r.TotalRequests, r.AvgRTMillis, r.VLRTPct, r.Rejects, r.InjectedStalls)
+	}
+	for _, shape := range Fig17Shapes() {
+		fmt.Fprintf(&b, "\n%s: prequal within 2x of remedy VLRT: %v; improves on original: %v",
+			shape, f.PrequalWithinFactor(shape, 2), f.PrequalImproves(shape))
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+// TestFig17PrequalMatchesRemedy is the PR acceptance criterion: across
+// all five fault shapes, the prequal arm — probing policy over the
+// ORIGINAL blocking get_endpoint — must keep its %VLRT within 2x of the
+// full remedy arm (current_load + modified get_endpoint). Probing alone
+// closes most of the gap the mechanism remedy exists to close.
+func TestFig17PrequalMatchesRemedy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fifteen paper-scale runs")
+	}
+	res := RunFig17(testOpt)
+	if len(res.Rows) != 15 {
+		t.Fatalf("got %d rows, want 15", len(res.Rows))
+	}
+	for _, shape := range Fig17Shapes() {
+		pq := res.Row(shape, Fig17Prequal)
+		rm := res.Row(shape, Fig17Remedy)
+		if pq == nil || rm == nil {
+			t.Fatalf("%s: missing arm rows", shape)
+		}
+		if pq.TotalRequests == 0 {
+			t.Fatalf("%s: prequal arm completed no requests", shape)
+		}
+		if !res.PrequalWithinFactor(shape, 2) {
+			t.Errorf("%s: prequal VLRT %.2f%% not within 2x of remedy %.2f%%\n%s",
+				shape, pq.VLRTPct, rm.VLRTPct, res.Render())
+		}
+	}
+	// The injected shapes must actually fire (freeze relies on the
+	// native writeback daemons instead of an injector).
+	for _, shape := range []string{"gc_pause", "slow", "crash", "netloss"} {
+		if row := res.Row(shape, Fig17Prequal); row.InjectedStalls == 0 {
+			t.Errorf("%s: injector never fired", shape)
+		}
+	}
+}
+
+func TestFig17DeterministicUnderParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism digests are slow")
+	}
+	seqAndPar(t, "Fig17", func(o Options) []string {
+		res := RunFig17(o)
+		return []string{res.Render()}
+	})
+}

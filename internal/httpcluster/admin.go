@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"millibalance/internal/probe"
 )
 
 // Admin endpoints: the app server exposes POST /admin/stall?d=300ms for
@@ -43,6 +45,20 @@ func (a *AppServer) adminMux(mux *http.ServeMux) {
 			Served:   a.served.Load(),
 			InFlight: a.InFlight(),
 			Workers:  cap(a.workers),
+		})
+	})
+	mux.HandleFunc("/admin/probe", func(w http.ResponseWriter, _ *http.Request) {
+		// One stall-gate pass before answering: a stall-frozen server
+		// freezes its own probe replies with it, so the prober's pool
+		// ages past the TTL — the exclusion signal prequal relies on.
+		// Deliberately no worker slot: the probe measures load, it must
+		// not queue behind it.
+		a.stallGate()
+		ndjsonHeaders(w)
+		_ = json.NewEncoder(w).Encode(probe.Report{
+			Backend:       a.cfg.Name,
+			InFlight:      a.inflight.Load(),
+			EWMALatencyMs: float64(a.EWMALatency()) / float64(time.Millisecond),
 		})
 	})
 }

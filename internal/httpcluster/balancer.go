@@ -14,10 +14,13 @@ package httpcluster
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
+	"strings"
 	"sync"
 	"time"
 
 	"millibalance/internal/obs"
+	"millibalance/internal/probe"
 )
 
 // Policy selects the lb_value bookkeeping (Algorithms 2–4).
@@ -34,6 +37,12 @@ const (
 	// adaptive control plane's fallback when every backend looks
 	// stalled and lb_values carry no signal.
 	PolicyRoundRobin
+	// PolicyPrequal ranks by asynchronous probe replies (internal/probe):
+	// sample d backends, classify hot/cold by probed in-flight quantile,
+	// pick the cold one with the lowest estimated latency. Requires probe
+	// pools (ProxyConfig.Probe or StartProxy's implicit arming); a
+	// detached prequal falls back to in-flight ranking.
+	PolicyPrequal
 )
 
 // String returns the policy name.
@@ -47,9 +56,17 @@ func (p Policy) String() string {
 		return "current_load"
 	case PolicyRoundRobin:
 		return "round_robin"
+	case PolicyPrequal:
+		return "prequal"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
+}
+
+// PolicyNames lists the accepted policy names, in enum order — for CLI
+// usage strings and ParsePolicy's error.
+func PolicyNames() []string {
+	return []string{"total_request", "total_traffic", "current_load", "round_robin", "prequal"}
 }
 
 // ParsePolicy resolves a policy name.
@@ -63,8 +80,10 @@ func ParsePolicy(name string) (Policy, error) {
 		return PolicyCurrentLoad, nil
 	case "round_robin":
 		return PolicyRoundRobin, nil
+	case "prequal":
+		return PolicyPrequal, nil
 	default:
-		return 0, fmt.Errorf("httpcluster: unknown policy %q", name)
+		return 0, fmt.Errorf("httpcluster: unknown policy %q (have %s)", name, strings.Join(PolicyNames(), ", "))
 	}
 }
 
@@ -326,6 +345,16 @@ type Balancer struct {
 	// mechanism's poll loop re-check their abort conditions immediately
 	// instead of after the full acquire window.
 	wake chan struct{}
+
+	// Prequal state (all guarded by mu): the probe pools the policy
+	// consults, a hook firing an immediate reseed probe round after a
+	// runtime swap to prequal, the sampling source, and scratch slices
+	// keeping the dispatch hot path allocation-free.
+	pools        *probe.Pools
+	reseedProbes func()
+	prng         *rand.Rand
+	prEligible   []*Backend
+	prNames      []string
 }
 
 // NewBalancer builds a balancer over the backends.
@@ -340,6 +369,30 @@ func NewBalancer(policy Policy, mech Mechanism, backends []*Backend, cfg Config)
 
 // Backends returns the backend list (shared; do not mutate).
 func (b *Balancer) Backends() []*Backend { return b.backends }
+
+// SetProbePools wires the prequal policy's probe pools and the reseed
+// hook fired after a runtime swap to prequal (typically WallProber's
+// Reseed: clear the pools, fire an immediate probe round). Call before
+// serving traffic. Without pools a prequal balancer degrades to
+// in-flight ranking.
+func (b *Balancer) SetProbePools(pools *probe.Pools, reseed func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.pools = pools
+	b.reseedProbes = reseed
+	if b.prng == nil {
+		// The wall-clock substrate makes no determinism promise; a fixed
+		// seed just keeps the sampling source self-contained.
+		b.prng = rand.New(rand.NewPCG(0x7072657175616c, uint64(len(b.backends))))
+	}
+}
+
+// ProbePools exposes the wired pools (nil when probing is off).
+func (b *Balancer) ProbePools() *probe.Pools {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.pools
+}
 
 // Rejects reports dispatches that failed on every sweep.
 func (b *Balancer) Rejects() uint64 {
@@ -374,17 +427,27 @@ func (b *Balancer) emitDecision(chosen *Backend) {
 	if b.events == nil {
 		return
 	}
+	pools := b.ProbePools()
 	views := make([]obs.CandidateView, 0, len(b.backends))
 	for _, be := range b.backends {
 		be.mu.Lock()
-		views = append(views, obs.CandidateView{
+		v := obs.CandidateView{
 			Name:          be.name,
 			LBValue:       be.lbValue,
 			State:         stateName(be.state),
 			InFlight:      int(be.dispatched - be.completed),
 			FreeEndpoints: len(be.endpoints),
-		})
+		}
 		be.mu.Unlock()
+		if pools != nil {
+			if smp, ok := pools.Peek(be.name); ok {
+				v.ProbeInFlight = smp.InFlight
+				v.ProbeLatencyMs = float64(smp.Latency) / float64(time.Millisecond)
+				v.ProbeAgeMs = float64(smp.Age) / float64(time.Millisecond)
+				v.ProbeFresh = true
+			}
+		}
+		views = append(views, v)
 	}
 	b.events.Append(obs.Event{
 		T:          time.Since(b.epoch),
@@ -578,6 +641,15 @@ func (b *Balancer) choose(tried triedSet) *Backend {
 		}
 		return b.rotate(BackendBusy, tried, now)
 	}
+	if policy == PolicyPrequal {
+		if be := b.choosePrequal(tried, now); be != nil {
+			return be
+		}
+		// No sampled backend had fresh probe data (or pools are
+		// detached): fall through to the lb_value scan, which under
+		// prequal bookkeeping ranks by in-flight — the stalled backend
+		// with requests piled on it still loses.
+	}
 	pick := func(state BackendState) *Backend {
 		var best *Backend
 		bestVal := 0.0
@@ -598,6 +670,49 @@ func (b *Balancer) choose(tried triedSet) *Backend {
 			}
 		}
 		return best
+	}
+	if be := pick(BackendAvailable); be != nil {
+		return be
+	}
+	return pick(BackendBusy)
+}
+
+// choosePrequal runs the hot/cold probe selection over the eligible
+// backends (Available first, then Busy — the same two-level order as
+// the lb_value scan). Returns nil when the pools are detached or no
+// sampled backend holds a fresh probe, leaving the caller to fall back.
+// Holds b.mu for the pools consultation; the scratch slices make the
+// happy path allocation-free.
+func (b *Balancer) choosePrequal(tried triedSet, now time.Time) *Backend {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.pools == nil {
+		return nil
+	}
+	pick := func(state BackendState) *Backend {
+		b.prEligible = b.prEligible[:0]
+		b.prNames = b.prNames[:0]
+		for _, be := range b.backends {
+			if tried.has(be) {
+				continue
+			}
+			be.mu.Lock()
+			be.lazyRecover(now)
+			ok := be.state == state && !(be.quarantined && !be.probeArmed)
+			be.mu.Unlock()
+			if !ok {
+				continue
+			}
+			b.prEligible = append(b.prEligible, be)
+			b.prNames = append(b.prNames, be.name)
+		}
+		if len(b.prEligible) == 0 {
+			return nil
+		}
+		if i := b.pools.Pick(b.prNames, b.prng); i >= 0 {
+			return b.prEligible[i]
+		}
+		return nil
 	}
 	if be := pick(BackendAvailable); be != nil {
 		return be
@@ -649,7 +764,10 @@ func (b *Balancer) noteDispatch(be *Backend) {
 		be.probeStart = time.Now()
 	}
 	switch policy {
-	case PolicyTotalRequest, PolicyCurrentLoad:
+	case PolicyTotalRequest, PolicyCurrentLoad, PolicyPrequal:
+		// Prequal keeps current_load's in-flight bookkeeping so its
+		// fallback ranking (and a later swap away from it) has sane
+		// lb_values — the probe pools, not lb_value, drive its choices.
 		be.lbValue += 1 / be.weightLocked()
 	case PolicyRoundRobin:
 		be.lbValue++
@@ -671,7 +789,7 @@ func (b *Balancer) noteComplete(be *Backend, requestBytes, responseBytes int64) 
 	switch policy {
 	case PolicyTotalTraffic:
 		be.lbValue += float64(requestBytes+responseBytes) / be.weightLocked()
-	case PolicyCurrentLoad:
+	case PolicyCurrentLoad, PolicyPrequal:
 		if unit := 1 / be.weightLocked(); be.lbValue >= unit {
 			be.lbValue -= unit
 		} else {
@@ -732,7 +850,7 @@ func (b *Balancer) noteUpstreamFailure(be *Backend) {
 	be.mu.Lock()
 	be.completed++
 	switch policy {
-	case PolicyCurrentLoad:
+	case PolicyCurrentLoad, PolicyPrequal:
 		if unit := 1 / be.weightLocked(); be.lbValue >= unit {
 			be.lbValue -= unit
 		} else {

@@ -33,11 +33,14 @@ func (b *Balancer) CurrentMechanism() Mechanism {
 
 // SetPolicy swaps the lb_value bookkeeping at runtime, reseeding every
 // backend's lb_value from its preserved counters — exactly the value
-// the incoming policy would have accumulated itself.
+// the incoming policy would have accumulated itself. Swapping to
+// prequal additionally reseeds the probe pools (clear plus an
+// immediate probe round), so the incoming policy starts from live
+// evidence rather than samples gathered under the previous regime.
 func (b *Balancer) SetPolicy(p Policy) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.policy = p
+	reseed := b.reseedProbes
 	for _, be := range b.backends {
 		be.mu.Lock()
 		switch p {
@@ -45,13 +48,19 @@ func (b *Balancer) SetPolicy(p Policy) {
 			be.lbValue = float64(be.dispatched) / be.weightLocked()
 		case PolicyTotalTraffic:
 			be.lbValue = float64(be.traffic) / be.weightLocked()
-		case PolicyCurrentLoad:
+		case PolicyCurrentLoad, PolicyPrequal:
 			be.lbValue = float64(be.dispatched-be.completed) / be.weightLocked()
 		case PolicyRoundRobin:
 			// Unscaled in-flight bookkeeping, matching lb.RoundRobin.
 			be.lbValue = float64(be.dispatched - be.completed)
 		}
 		be.mu.Unlock()
+	}
+	b.mu.Unlock()
+	// The reseed hook fires probes over real sockets; run it outside
+	// every balancer lock.
+	if p == PolicyPrequal && reseed != nil {
+		reseed()
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"strings"
@@ -13,6 +14,7 @@ import (
 
 	"millibalance/internal/adapt"
 	"millibalance/internal/obs"
+	"millibalance/internal/probe"
 	"millibalance/internal/telemetry"
 )
 
@@ -52,6 +54,11 @@ type AppServer struct {
 	// extraDelay is fault-injected additional service time per request
 	// (nanoseconds), the slow-response degradation shape.
 	extraDelay atomic.Int64
+
+	// ewmaLat is the request-latency EWMA served at GET /admin/probe,
+	// stored as float64 bits so readers and the CAS update loop stay
+	// lock-free.
+	ewmaLat atomic.Uint64
 
 	// srvMu guards the listener/server pair across Crash/Restart/Close.
 	srvMu  sync.Mutex
@@ -218,6 +225,7 @@ func (a *AppServer) stallGate() {
 const serviceSlices = 8
 
 func (a *AppServer) handle(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	a.inflight.Add(1)
 	defer a.inflight.Add(-1)
 	a.workers <- struct{}{}
@@ -239,8 +247,34 @@ func (a *AppServer) handle(w http.ResponseWriter, r *http.Request) {
 	}
 	a.stallGate()
 	a.served.Add(1)
+	a.recordLatency(time.Since(start))
 	w.Header().Set("X-App-Server", a.cfg.Name)
 	_, _ = w.Write(a.payload)
+}
+
+// appEWMAAlpha weights the latest request latency in the server's EWMA.
+const appEWMAAlpha = 0.2
+
+// recordLatency folds one completed request's latency into the EWMA
+// with a lock-free CAS loop; the first observation seeds it directly.
+func (a *AppServer) recordLatency(d time.Duration) {
+	for {
+		old := a.ewmaLat.Load()
+		cur := math.Float64frombits(old)
+		next := float64(d)
+		if old != 0 {
+			next = cur + appEWMAAlpha*(float64(d)-cur)
+		}
+		if a.ewmaLat.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// EWMALatency reads the request-latency estimate served at
+// GET /admin/probe (zero until the first request completes).
+func (a *AppServer) EWMALatency() time.Duration {
+	return time.Duration(math.Float64frombits(a.ewmaLat.Load()))
 }
 
 // DBServer is the database stub: each query burns a fixed service time
@@ -312,6 +346,13 @@ type ProxyConfig struct {
 	// serves its state at GET /admin/adapt and its decision log at
 	// GET /admin/adapt/decisions.
 	Adapt *adapt.Config
+	// Probe, when non-nil, tunes the asynchronous probing subsystem
+	// (internal/probe) behind the prequal policy. Probing also arms
+	// implicitly — with defaults — whenever prequal is the configured
+	// Policy or appears among the adaptive ladder's swap targets;
+	// otherwise the prober, its goroutines and the /admin/probe polling
+	// never exist.
+	Probe *probe.Config
 	// Transport, when non-nil, replaces the upstream client's transport
 	// — the injection point for internal/faults' network latency/loss
 	// RoundTripper.
@@ -361,6 +402,9 @@ type Proxy struct {
 
 	sampler *telemetry.WallSampler
 	waiting atomic.Int64 // requests blocked on a worker slot
+
+	pools  *probe.Pools
+	prober *probe.WallProber
 }
 
 // StartProxy launches the proxy over the given backends.
@@ -392,6 +436,7 @@ func StartProxy(cfg ProxyConfig, backends []*Backend) (*Proxy, error) {
 		p.events = obs.NewEventLog(cfg.EventCapacity)
 		p.bal.SetEventLog(p.events, "proxy", p.epoch)
 	}
+	p.armProbing(backends)
 	if cfg.Adapt != nil {
 		p.armAdapt(*cfg.Adapt)
 	}
@@ -449,9 +494,49 @@ func (p *Proxy) Close() error {
 	if p.adaptR != nil {
 		p.adaptR.close()
 	}
+	if p.prober != nil {
+		p.prober.Stop()
+	}
 	p.sampler.Stop()
 	return err
 }
+
+// armProbing builds the probe pools, wires them into the balancer and
+// starts the wall prober when this proxy can dispatch through prequal:
+// an explicit ProxyConfig.Probe, prequal as the configured policy, or
+// prequal anywhere in the adaptive ladder's swap targets. Called from
+// StartProxy before armAdapt so a controller-driven swap to prequal
+// finds the reseed hook already in place.
+func (p *Proxy) armProbing(backends []*Backend) {
+	need := p.cfg.Probe != nil || p.cfg.Policy == PolicyPrequal
+	if ac := p.cfg.Adapt; ac != nil && (ac.PolicyTarget == "prequal" || ac.FallbackPolicy == "prequal") {
+		need = true
+	}
+	if !need {
+		return
+	}
+	var pcfg probe.Config
+	if p.cfg.Probe != nil {
+		pcfg = *p.cfg.Probe
+	}
+	// The pools share the proxy's epoch so probe sample ages line up
+	// with span and event timestamps.
+	p.pools = probe.NewPools(pcfg, p.now)
+	targets := make([]probe.WallTarget, 0, len(backends))
+	for _, be := range backends {
+		targets = append(targets, probe.WallTarget{Name: be.Name(), URL: be.URL()})
+	}
+	// Rate-couple the probe loop to the proxy's served counter and carry
+	// probes over the same (possibly fault-wrapped) transport as
+	// requests, so probes see the network the traffic sees.
+	p.prober = probe.NewWallProber(p.pools, targets, p.served.Load, p.cfg.Transport)
+	p.bal.SetProbePools(p.pools, p.prober.Reseed)
+	p.prober.Start()
+}
+
+// ProbePools exposes the probing subsystem's pools (nil when probing is
+// not armed).
+func (p *Proxy) ProbePools() *probe.Pools { return p.pools }
 
 // armTelemetry builds the wall sampler over the proxy's own gauges and
 // the balancer's per-backend counters. Called from StartProxy before
@@ -475,6 +560,19 @@ func (p *Proxy) armTelemetry(tcfg telemetry.Config) {
 		s.Register(be.Name(), telemetry.SignalCompleted, func() float64 {
 			return float64(be.Completed())
 		})
+		if p.pools != nil {
+			name := be.Name()
+			s.Register(name, telemetry.SignalProbePoolDepth, func() float64 {
+				return float64(p.pools.Depth(name))
+			})
+			s.Register(name, telemetry.SignalProbeStalenessMs, func() float64 {
+				age, ok := p.pools.Staleness(name)
+				if !ok {
+					return -1
+				}
+				return float64(age) / float64(time.Millisecond)
+			})
+		}
 	}
 	p.sampler = s
 	s.Start()

@@ -14,8 +14,9 @@ import (
 
 // startTelemetryTier brings up a one-backend tier with every admin
 // surface armed: spans, events, the adaptive controller and the
-// telemetry sampler.
-func startTelemetryTier(t *testing.T) (*Proxy, func()) {
+// telemetry sampler. The app server is returned too so tests can hit
+// its own admin surface (/admin/probe).
+func startTelemetryTier(t *testing.T) (*Proxy, *AppServer, func()) {
 	t.Helper()
 	app, err := StartAppServer(AppServerConfig{Name: "app1", Workers: 16, ServiceTime: time.Millisecond})
 	if err != nil {
@@ -34,7 +35,7 @@ func startTelemetryTier(t *testing.T) (*Proxy, func()) {
 		_ = app.Close()
 		t.Fatal(err)
 	}
-	return proxy, func() {
+	return proxy, app, func() {
 		_ = proxy.Close()
 		_ = app.Close()
 	}
@@ -45,23 +46,28 @@ func startTelemetryTier(t *testing.T) (*Proxy, func()) {
 // stream forbids content sniffing, because they echo request-derived
 // strings and must never be interpreted as HTML.
 func TestAdminStreamHeaders(t *testing.T) {
-	proxy, shutdown := startTelemetryTier(t)
+	proxy, app, shutdown := startTelemetryTier(t)
 	defer shutdown()
 	client := &http.Client{Timeout: 5 * time.Second}
 	doRequest(context.Background(), client, proxy.URL()+"/x")
 
 	cases := []struct {
+		base        string
 		path        string
 		contentType string
 	}{
-		{"/admin/trace", "application/x-ndjson"},
-		{"/admin/events", "application/x-ndjson"},
-		{"/admin/adapt/decisions", "application/x-ndjson"},
-		{"/admin/timeline", "application/x-ndjson"},
-		{"/metrics", promContentType},
+		{proxy.URL(), "/admin/trace", "application/x-ndjson"},
+		{proxy.URL(), "/admin/events", "application/x-ndjson"},
+		{proxy.URL(), "/admin/adapt/decisions", "application/x-ndjson"},
+		{proxy.URL(), "/admin/timeline", "application/x-ndjson"},
+		{proxy.URL(), "/metrics", promContentType},
+		// The app server's probe endpoint follows the same convention:
+		// it echoes a configured backend name into the stream, so it
+		// must never be sniffed into HTML either.
+		{app.URL(), "/admin/probe", "application/x-ndjson"},
 	}
 	for _, tc := range cases {
-		resp, err := client.Get(proxy.URL() + tc.path)
+		resp, err := client.Get(tc.base + tc.path)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.path, err)
 		}
@@ -82,7 +88,7 @@ func TestAdminStreamHeaders(t *testing.T) {
 // TestProxyTelemetryExport drives traffic through a telemetry-armed
 // proxy and checks both export formats carry the expected tracks.
 func TestProxyTelemetryExport(t *testing.T) {
-	proxy, shutdown := startTelemetryTier(t)
+	proxy, _, shutdown := startTelemetryTier(t)
 	defer shutdown()
 	client := &http.Client{Timeout: 5 * time.Second}
 	for i := 0; i < 10; i++ {

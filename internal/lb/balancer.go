@@ -207,10 +207,22 @@ func (b *Balancer) Snapshot() []Snapshot {
 
 // AppendSnapshot appends every candidate's balancer-visible state to dst
 // and returns the extended slice. Periodic samplers pass a reused buffer
-// to keep the per-tick snapshot allocation-free.
+// to keep the per-tick snapshot allocation-free. When the active policy
+// exposes probe-pool samples (ProbeViewer), each snapshot carries the
+// probe values a dispatch at this instant would have seen.
 func (b *Balancer) AppendSnapshot(dst []Snapshot) []Snapshot {
+	pv, hasPV := b.policy.(ProbeViewer)
 	for _, c := range b.cands {
-		dst = append(dst, c.snapshot())
+		s := c.snapshot()
+		if hasPV {
+			if smp, ok := pv.ProbeView(c.name); ok {
+				s.ProbeInFlight = smp.InFlight
+				s.ProbeLatency = smp.Latency
+				s.ProbeAge = smp.Age
+				s.ProbeFresh = true
+			}
+		}
+		dst = append(dst, s)
 	}
 	return dst
 }

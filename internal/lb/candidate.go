@@ -142,6 +142,15 @@ type Snapshot struct {
 	Completed     uint64
 	FreeEndpoints int
 	Quarantined   bool
+
+	// Probe* mirror the freshest probe-pool sample when the active
+	// policy exposes one (ProbeViewer); ProbeFresh is false — and the
+	// other fields zero — for every other policy or when the backend's
+	// pool has aged out.
+	ProbeInFlight float64
+	ProbeLatency  sim.Time
+	ProbeAge      sim.Time
+	ProbeFresh    bool
 }
 
 func (c *Candidate) snapshot() Snapshot {

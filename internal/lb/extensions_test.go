@@ -14,7 +14,7 @@ func TestExtensionPoliciesResolve(t *testing.T) {
 			t.Fatalf("PolicyByName(%q) = %v, %v", name, p, ok)
 		}
 	}
-	if len(PolicyNames()) != 7 {
+	if len(PolicyNames()) != 8 {
 		t.Fatalf("PolicyNames = %v", PolicyNames())
 	}
 }

@@ -133,6 +133,11 @@ func PolicyByName(name string) (Policy, bool) {
 		return RandomPolicy{}, true
 	case "round_robin":
 		return &RoundRobin{}, true
+	case "prequal":
+		// Detached: the substrate wiring attaches the probe pools (see
+		// Prequal.AttachPools); until then selection falls back to the
+		// in-flight ranking.
+		return NewPrequal(nil), true
 	default:
 		return nil, false
 	}
@@ -144,5 +149,6 @@ func PolicyNames() []string {
 	return []string{
 		"total_request", "total_traffic", "current_load",
 		"recent_request", "two_choices", "random", "round_robin",
+		"prequal",
 	}
 }

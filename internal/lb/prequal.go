@@ -1,0 +1,114 @@
+package lb
+
+import (
+	"math/rand/v2"
+
+	"millibalance/internal/probe"
+)
+
+// ProbeViewer is an optional Policy extension: policies backed by
+// probe pools expose the freshest sample per candidate so snapshots and
+// decision-log events can record the probe values each choice saw.
+type ProbeViewer interface {
+	ProbeView(name string) (probe.Sample, bool)
+}
+
+// Prequal is the probing policy (Wydrowski et al., arXiv:2312.10172)
+// adapted to the mod_jk two-level scheduler: selection consults only
+// the asynchronous probe pools — sample d candidates, classify them hot
+// or cold by the in-flight quantile of the fresh probes, dispatch to
+// the cold candidate with the lowest estimated latency, else the one
+// with the lowest probed in-flight count. It never reads the cumulative
+// counters that invert under millibottlenecks: a frozen backend stops
+// answering probes, its pooled samples age past the staleness TTL, and
+// it silently drops out of selection — no mechanism remedy required.
+//
+// The lb_value bookkeeping mirrors current_load (in-flight) so
+// snapshots, decision events and the no-fresh-data fallback ranking
+// stay meaningful, but a healthy probe pool overrides it entirely.
+type Prequal struct {
+	pools *probe.Pools
+	seed  func()
+	// names backs the Pick call with the eligible candidates' names,
+	// reused across dispatches to keep the hot path allocation-free.
+	names []string
+}
+
+// NewPrequal returns a prequal policy reading the given pools. A nil
+// pools is legal — PolicyByName cannot know the substrate's prober —
+// and makes the policy behave exactly like current_load with randomized
+// d-sampling off (pure min-lb_value fallback) until AttachPools runs.
+func NewPrequal(pools *probe.Pools) *Prequal { return &Prequal{pools: pools} }
+
+// AttachPools connects the policy to a substrate's probe pools.
+func (p *Prequal) AttachPools(pools *probe.Pools) { p.pools = pools }
+
+// Pools returns the attached pools (nil when detached).
+func (p *Prequal) Pools() *probe.Pools { return p.pools }
+
+// SetSeedHook registers the reseeding action SeedPools runs on a
+// runtime swap-in — typically pool clear plus an immediate probe round
+// from the substrate's prober.
+func (p *Prequal) SetSeedHook(fn func()) { p.seed = fn }
+
+// Name implements Policy.
+func (p *Prequal) Name() string { return "prequal" }
+
+// OnDispatch implements Policy (current_load-style bookkeeping).
+func (p *Prequal) OnDispatch(c *Candidate, _ RequestInfo) { c.lbValue += c.scaled(LBMult) }
+
+// OnComplete implements Policy.
+func (p *Prequal) OnComplete(c *Candidate, _ RequestInfo) {
+	if c.lbValue >= c.scaled(LBMult) {
+		c.lbValue -= c.scaled(LBMult)
+	} else {
+		c.lbValue = 0
+	}
+}
+
+// Reseed implements Reseeder: in-flight, matching the bookkeeping.
+func (p *Prequal) Reseed(c *Candidate) float64 { return c.scaled(float64(c.inFlight) * LBMult) }
+
+// SeedPools implements PoolSeeder: runs the registered seed hook, or
+// just clears the pools so stale pre-swap samples cannot steer the
+// first post-swap decisions.
+func (p *Prequal) SeedPools() {
+	if p.seed != nil {
+		p.seed()
+		return
+	}
+	if p.pools != nil {
+		p.pools.Clear()
+	}
+}
+
+// Choose implements Chooser: the probe-pool hot/cold selection, falling
+// back to the min-lb_value scan (= lowest in-flight under this
+// policy's bookkeeping) when no sampled candidate has fresh probes.
+func (p *Prequal) Choose(eligible []*Candidate, rng *rand.Rand) *Candidate {
+	if p.pools != nil {
+		names := p.names[:0]
+		for _, c := range eligible {
+			names = append(names, c.name)
+		}
+		p.names = names
+		if i := p.pools.Pick(names, rng); i >= 0 {
+			return eligible[i]
+		}
+	}
+	best := eligible[0]
+	for _, c := range eligible[1:] {
+		if c.lbValue < best.lbValue {
+			best = c
+		}
+	}
+	return best
+}
+
+// ProbeView implements ProbeViewer for decision-log enrichment.
+func (p *Prequal) ProbeView(name string) (probe.Sample, bool) {
+	if p.pools == nil {
+		return probe.Sample{}, false
+	}
+	return p.pools.Peek(name)
+}

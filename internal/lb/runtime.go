@@ -24,10 +24,19 @@ type Reseeder interface {
 	Reseed(c *Candidate) float64
 }
 
+// PoolSeeder is an optional Policy extension: policies backed by an
+// external sample store (prequal's probe pools) reseed it when swapped
+// in at runtime, so stale pre-swap samples cannot steer the first
+// post-swap decisions.
+type PoolSeeder interface {
+	SeedPools()
+}
+
 // SetPolicy swaps the upper-level policy at runtime, reseeding every
 // candidate's lb_value via the policy's Reseeder (policies without one
 // keep the previous values). Swapping in a Maintainer arms the
-// maintenance tick if it is not already running.
+// maintenance tick if it is not already running; swapping in a
+// PoolSeeder reseeds its sample store.
 func (b *Balancer) SetPolicy(p Policy) {
 	if p == nil {
 		panic("lb: SetPolicy with nil policy")
@@ -37,6 +46,9 @@ func (b *Balancer) SetPolicy(p Policy) {
 		for _, c := range b.cands {
 			c.lbValue = r.Reseed(c)
 		}
+	}
+	if ps, ok := p.(PoolSeeder); ok {
+		ps.SeedPools()
 	}
 	if _, ok := p.(Maintainer); ok {
 		if b.cfg.MaintainInterval <= 0 {

@@ -19,7 +19,9 @@ func expectedReseed(policy string, c *Candidate) float64 {
 		return float64(c.Dispatched()) * LBMult / c.Weight()
 	case "total_traffic":
 		return float64(c.Traffic()) * LBMult / c.Weight()
-	case "current_load":
+	case "current_load", "prequal":
+		// prequal's bookkeeping mirrors current_load: weight-scaled
+		// in-flight, so the fallback ranking stays meaningful.
 		return float64(c.InFlight()) * LBMult / c.Weight()
 	default:
 		// recent_request, two_choices, random, round_robin: in-flight

@@ -52,6 +52,14 @@ type CandidateView struct {
 	State         string  `json:"state"`
 	InFlight      int     `json:"in_flight"`
 	FreeEndpoints int     `json:"free_endpoints"`
+
+	// Probe fields record the freshest probe-pool sample the prequal
+	// policy saw for this candidate at decision time; absent for
+	// non-probing policies and for candidates whose pool aged out.
+	ProbeInFlight  float64 `json:"probe_in_flight,omitempty"`
+	ProbeLatencyMs float64 `json:"probe_latency_ms,omitempty"`
+	ProbeAgeMs     float64 `json:"probe_age_ms,omitempty"`
+	ProbeFresh     bool    `json:"probe_fresh,omitempty"`
 }
 
 // Event is one observability event. Kind determines which optional

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -199,6 +200,10 @@ func TestWallSamplerRuntimeSignals(t *testing.T) {
 	w := NewWallSampler("proxy", Config{Interval: 5 * time.Millisecond, Capacity: 128})
 	var inFlight atomic.Int64
 	w.Register("backend1", SignalInFlight, func() float64 { return float64(inFlight.Load()) })
+	// Pin a visible amount of live heap: right after a collection the
+	// heap-objects gauge can read ~0, so give it something it must see.
+	ballast := make([]byte, 1<<20)
+	defer runtime.KeepAlive(ballast)
 	w.Start()
 	time.Sleep(30 * time.Millisecond)
 	inFlight.Store(3)
@@ -213,9 +218,19 @@ func TestWallSamplerRuntimeSignals(t *testing.T) {
 	if p, ok := gr.Latest(); !ok || p.V < 1 {
 		t.Fatalf("goroutines latest = %+v ok=%v", p, ok)
 	}
+	// The heap-objects gauge can legitimately dip on a sample that
+	// lands mid-GC, so require a positive reading somewhere in the run
+	// rather than on the final point; the ballast guarantees one exists.
 	heap := tl.Lookup("proxy", SignalHeapBytes)
-	if p, ok := heap.Latest(); !ok || p.V <= 0 {
-		t.Fatalf("heap latest = %+v ok=%v", p, ok)
+	heapSeen := false
+	for _, p := range heap.Snapshot(nil) {
+		if p.V >= float64(len(ballast)) {
+			heapSeen = true
+			break
+		}
+	}
+	if !heapSeen {
+		t.Fatalf("no heap sample saw the %d-byte ballast in %d points", len(ballast), heap.Len())
 	}
 	bi := tl.Lookup("backend1", SignalInFlight)
 	if p, ok := bi.Latest(); !ok || p.V != 3 {

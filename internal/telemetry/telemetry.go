@@ -66,6 +66,14 @@ const (
 	SignalGCPauseTotal = "gc_pause_total_seconds"
 	// SignalHeapBytes is live heap object bytes.
 	SignalHeapBytes = "heap_bytes"
+	// SignalProbePoolDepth is the probing subsystem's non-stale sample
+	// count for a backend — zero while the backend sits on its probes.
+	SignalProbePoolDepth = "probe_pool_depth"
+	// SignalProbeStalenessMs is the age of the backend's freshest probe
+	// sample in milliseconds, or -1 when the pool is empty/aged out —
+	// the signal that shows a frozen backend dropping out of prequal's
+	// consideration.
+	SignalProbeStalenessMs = "probe_staleness_ms"
 )
 
 // Config sizes a timeline.
