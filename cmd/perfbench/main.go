@@ -79,8 +79,15 @@ func run(args []string, stdout io.Writer) error {
 	scale := fs.Float64("scale", 1.0/12, "Table I duration scale for the wall-clock comparison")
 	pr6 := fs.Bool("pr6", false, "measure the telemetry layer instead: ring/dispatch overhead and ±50ms-sampling throughput (BENCH_PR6.json)")
 	pr7 := fs.Bool("pr7", false, "measure the probing subsystem instead: prequal dispatch overhead and probe-pool microbenchmarks (BENCH_PR7.json)")
+	pr8 := fs.Bool("pr8", false, "measure the contention-free dispatch path instead: sequential + parallel arms, mutex reference, contention profile (BENCH_PR8.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pr8 {
+		if *out == "" {
+			*out = "BENCH_PR8.json"
+		}
+		return runPR8(*out, stdout)
 	}
 	if *pr6 {
 		if *out == "" {

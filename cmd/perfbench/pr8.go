@@ -1,0 +1,251 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"millibalance/internal/httpcluster"
+)
+
+// PR8Report is the BENCH_PR8.json schema: the contention-free dispatch
+// evidence. Dispatch repeats the PR7 sequential pair on the atomic-
+// snapshot path and adds the frozen mutex reference measured in the
+// same process, so the regression gate compares two numbers from the
+// same machine instead of trusting another host's nanoseconds. Scaling
+// holds the parallel dispatch arms at GOMAXPROCS 1/2/4 with the mutex
+// contention counters the Go runtime collected during the widest arm.
+type PR8Report struct {
+	Schema string `json:"schema"`
+	Host   struct {
+		Cores      int    `json:"cores"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		GoVersion  string `json:"go_version"`
+	} `json:"host"`
+	Dispatch struct {
+		CurrentLoad    EngineBench `json:"current_load"`
+		Prequal        EngineBench `json:"prequal"`
+		OverheadPct    float64     `json:"overhead_pct"`
+		Reference      EngineBench `json:"reference_mutex"`
+		VsReferencePct float64     `json:"vs_reference_pct"`
+	} `json:"dispatch"`
+	Scaling struct {
+		NsPerOpByCPU map[string]float64 `json:"ns_per_op_by_cpu"`
+		Speedup4x    float64            `json:"speedup_4x"`
+		Gated        bool               `json:"gated"`
+		Contention   struct {
+			Events int64 `json:"events"`
+			Cycles int64 `json:"cycles"`
+		} `json:"contention"`
+	} `json:"scaling"`
+	LoadStats struct {
+		Record EngineBench `json:"record"`
+	} `json:"load_stats"`
+}
+
+// runPR8 measures the contention-free dispatch evidence, enforces the
+// in-process gates, and writes the report.
+func runPR8(out string, stdout io.Writer) error {
+	var rep PR8Report
+	rep.Schema = "millibalance-bench-pr8/1"
+	rep.Host.Cores = runtime.NumCPU()
+	rep.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Host.GoVersion = runtime.Version()
+
+	fmt.Fprintln(stdout, "sequential dispatch, current_load and prequal...")
+	rep.Dispatch.CurrentLoad, rep.Dispatch.Prequal, rep.Dispatch.OverheadPct = benchDispatchPair()
+
+	fmt.Fprintln(stdout, "frozen mutex reference...")
+	rep.Dispatch.Reference = best3(benchReferenceDispatch)
+	if rep.Dispatch.Reference.NsPerOp > 0 {
+		rep.Dispatch.VsReferencePct = 100 * rep.Dispatch.CurrentLoad.NsPerOp /
+			rep.Dispatch.Reference.NsPerOp
+	}
+
+	fmt.Fprintln(stdout, "parallel dispatch at GOMAXPROCS 1/2/4...")
+	rep.Scaling.NsPerOpByCPU = map[string]float64{}
+	prev := runtime.GOMAXPROCS(0)
+	for _, procs := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(procs)
+		withProfile := procs == 4
+		res, events, cycles := benchParallelDispatch(withProfile)
+		rep.Scaling.NsPerOpByCPU[fmt.Sprintf("%d", procs)] = res.NsPerOp
+		if withProfile {
+			rep.Scaling.Contention.Events = events
+			rep.Scaling.Contention.Cycles = cycles
+		}
+		if res.AllocsPerOp != 0 {
+			runtime.GOMAXPROCS(prev)
+			return fmt.Errorf("parallel dispatch at GOMAXPROCS %d allocates %d/op, want 0",
+				procs, res.AllocsPerOp)
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+	if one, four := rep.Scaling.NsPerOpByCPU["1"], rep.Scaling.NsPerOpByCPU["4"]; four > 0 {
+		rep.Scaling.Speedup4x = one / four
+	}
+	// The throughput-scaling gate only means something with real cores
+	// under the arms; a single-core host timeshares all four workers.
+	rep.Scaling.Gated = runtime.NumCPU() >= 4
+
+	fmt.Fprintln(stdout, "sharded LoadStats.Record...")
+	rep.LoadStats.Record = benchLoadStatsRecord()
+
+	// In-process gates — fail the run (and CI) rather than record a
+	// regression as if it were evidence.
+	if rep.Dispatch.CurrentLoad.AllocsPerOp != 0 || rep.Dispatch.Prequal.AllocsPerOp != 0 {
+		return fmt.Errorf("dispatch allocates (current_load %d, prequal %d allocs/op), want 0",
+			rep.Dispatch.CurrentLoad.AllocsPerOp, rep.Dispatch.Prequal.AllocsPerOp)
+	}
+	if rep.Dispatch.OverheadPct > 30 {
+		return fmt.Errorf("prequal overhead %.1f%% over current_load, gate is 30%%",
+			rep.Dispatch.OverheadPct)
+	}
+	if rep.Dispatch.VsReferencePct > 80 {
+		return fmt.Errorf("current_load at %.1f%% of the mutex reference, gate is 80%% (>=20%% faster)",
+			rep.Dispatch.VsReferencePct)
+	}
+	if rep.Scaling.Gated && rep.Scaling.Speedup4x < 2 {
+		return fmt.Errorf("GOMAXPROCS=4 speedup %.2fx on a %d-core host, gate is 2x",
+			rep.Scaling.Speedup4x, runtime.NumCPU())
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err = stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (current_load %.1f ns/op = %.0f%% of mutex path, prequal +%.1f%%, 4-proc speedup %.2fx%s)\n",
+		out, rep.Dispatch.CurrentLoad.NsPerOp, rep.Dispatch.VsReferencePct,
+		rep.Dispatch.OverheadPct, rep.Scaling.Speedup4x,
+		map[bool]string{true: "", false: " ungated"}[rep.Scaling.Gated])
+	return nil
+}
+
+// best3 reruns a measurement three times and keeps the fastest — the
+// minimum is the least-noise estimator of a benchmark's true cost on a
+// busy CI host.
+func best3(f func() EngineBench) EngineBench {
+	best := f()
+	for i := 0; i < 2; i++ {
+		if r := f(); r.NsPerOp < best.NsPerOp {
+			best = r
+		}
+	}
+	return best
+}
+
+// benchDispatchPair measures current_load and prequal back to back
+// three times and gates on the median of the paired ratios. Host noise
+// (CPU steal, frequency drift) is time-correlated, so two arms run in
+// the same window share it and their ratio stays stable even when the
+// absolute nanoseconds wander; ratios of independently-taken minima do
+// not have that property. The reported arms are the ones from the
+// median pair, so the JSON numbers reproduce the gated ratio.
+func benchDispatchPair() (cl, pq EngineBench, overheadPct float64) {
+	type pair struct {
+		cl, pq EngineBench
+		ratio  float64
+	}
+	pairs := make([]pair, 0, 3)
+	for i := 0; i < 3; i++ {
+		c := benchPrequalDispatch(false)
+		q := benchPrequalDispatch(true)
+		pairs = append(pairs, pair{cl: c, pq: q, ratio: q.NsPerOp / c.NsPerOp})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].ratio < pairs[j].ratio })
+	med := pairs[1]
+	return med.cl, med.pq, 100 * (med.ratio - 1)
+}
+
+// benchReferenceDispatch measures the frozen mutex path on the same
+// acquire/release round trip as benchPrequalDispatch(false).
+func benchReferenceDispatch() EngineBench {
+	return toBench(testing.Benchmark(func(b *testing.B) {
+		ref := httpcluster.NewReferenceBalancer(httpcluster.PolicyCurrentLoad,
+			[]string{"a", "b"}, 64, httpcluster.Config{Sweeps: 1})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, rel, err := ref.Acquire(128)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rel.Done(256)
+		}
+	}))
+}
+
+// benchParallelDispatch hammers one balancer from GOMAXPROCS-many
+// goroutines via RunParallel. With profile set it also turns on the
+// runtime's mutex contention sampling for the duration and returns the
+// total contention events and wait cycles the balancer accumulated —
+// the direct evidence that the snapshot path dispatches without
+// serializing on a lock.
+func benchParallelDispatch(profile bool) (EngineBench, int64, int64) {
+	var events, cycles int64
+	if profile {
+		runtime.SetMutexProfileFraction(1)
+		defer runtime.SetMutexProfileFraction(0)
+	}
+	res := toBench(testing.Benchmark(func(b *testing.B) {
+		backends := []*httpcluster.Backend{
+			httpcluster.NewBackend("a", "u", 1024),
+			httpcluster.NewBackend("b", "u", 1024),
+			httpcluster.NewBackend("c", "u", 1024),
+			httpcluster.NewBackend("d", "u", 1024),
+		}
+		bal := httpcluster.NewBalancer(httpcluster.PolicyCurrentLoad,
+			httpcluster.MechanismModified, backends, httpcluster.Config{Sweeps: 1})
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				_, rel, err := bal.Acquire(128)
+				if err != nil {
+					continue
+				}
+				rel.Done(256)
+			}
+		})
+	}))
+	if profile {
+		var recs []runtime.BlockProfileRecord
+		n, ok := runtime.MutexProfile(nil)
+		for !ok {
+			recs = make([]runtime.BlockProfileRecord, n+32)
+			n, ok = runtime.MutexProfile(recs)
+		}
+		for _, r := range recs[:n] {
+			events += r.Count
+			cycles += r.Cycles
+		}
+	}
+	return res, events, cycles
+}
+
+// benchLoadStatsRecord measures one latency recording through the
+// sharded collector, rotating clients across shards the way RunLoad's
+// workers do.
+func benchLoadStatsRecord() EngineBench {
+	return toBench(testing.Benchmark(func(b *testing.B) {
+		ls := httpcluster.NewLoadStats(50*time.Millisecond, 100*time.Millisecond, time.Second)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ls.Record(i, time.Duration(i%64)*time.Millisecond, i%97 != 0)
+		}
+	}))
+}

@@ -122,13 +122,13 @@ func (r *adaptRunner) step() {
 	}
 
 	for _, be := range r.p.bal.Backends() {
-		be.mu.Lock()
+		// Lock-free gauge reads off the backend's atomic hot fields —
+		// the sampler never perturbs the dispatch path it is watching.
 		s := adapt.BackendSample{
-			Completed:     be.completed,
-			InFlight:      int(be.dispatched - be.completed),
-			FreeEndpoints: len(be.endpoints),
+			Completed:     be.Completed(),
+			InFlight:      be.InFlight(),
+			FreeEndpoints: be.FreeEndpoints(),
 		}
-		be.mu.Unlock()
 		if ev, fire := r.watch.Observe(now, be.Name(), s); fire {
 			r.ctrl.OnEvent(ev)
 		}

@@ -8,7 +8,11 @@
 // internal/lb is the reference implementation used by the deterministic
 // simulation; this package is the deployment-shaped twin that
 // demonstrates the identical algorithms and failure modes over real
-// sockets.
+// sockets. Unlike the simulator, its dispatch path runs concurrently on
+// every proxy worker, so the hot path is built contention-free: backend
+// hot fields are atomics (hot.go), the balancer configuration is an
+// atomically-swapped immutable snapshot, and a full ranking sweep takes
+// no lock at all (DESIGN.md §12).
 package httpcluster
 
 import (
@@ -17,6 +21,7 @@ import (
 	"math/rand/v2"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"millibalance/internal/obs"
@@ -136,28 +141,32 @@ const (
 )
 
 // Backend is one application server as the proxy's balancer sees it.
+// The fields every dispatch touches — the packed state word, lb_value,
+// weight, the dispatch/completion/traffic counters and the endpoint
+// token count — are atomics read and (on the happy path) written
+// without any lock; the mutex guards only the slow paths: state
+// transitions with their event emission, the failure-streak window,
+// and the quarantine-probe lifecycle.
 type Backend struct {
 	name string
 	url  string
+	base time.Time // time base the packed recovery deadline is encoded against
 
-	endpoints chan struct{} // endpoint pool tokens
+	free        atomic.Int64  // idle endpoint-pool tokens
+	capacity    int           // endpoint pool size
+	word        atomic.Uint64 // packed state | quarantined | probeArmed | probing | recoverAt (hot.go)
+	lbValue     atomicFloat
+	weight      atomicFloat // 0 bits read as weight 1
+	dispatched  atomic.Uint64
+	completed   atomic.Uint64
+	traffic     atomic.Int64
+	consecFails atomic.Int32
 
-	mu          sync.Mutex
-	lbValue     float64
-	weight      float64
-	state       BackendState
-	recoverAt   time.Time
-	consecFails int
-	firstFail   time.Time
-	dispatched  uint64
-	completed   uint64
-	traffic     int64
-	quarantined bool
-	probeArmed  bool
-	probing     bool
-	probeStart  time.Time
-	events      *obs.EventLog
-	epoch       time.Time
+	mu         sync.Mutex // slow path: transitions, probe lifecycle, events
+	firstFail  time.Time
+	probeStart time.Time
+	events     *obs.EventLog
+	epoch      time.Time
 }
 
 // NewBackend returns a backend with the given endpoint pool size.
@@ -166,14 +175,13 @@ func NewBackend(name, url string, endpoints int) *Backend {
 		endpoints = 1
 	}
 	b := &Backend{
-		name:      name,
-		url:       url,
-		endpoints: make(chan struct{}, endpoints),
-		state:     BackendAvailable,
+		name:     name,
+		url:      url,
+		base:     time.Now(),
+		capacity: endpoints,
 	}
-	for i := 0; i < endpoints; i++ {
-		b.endpoints <- struct{}{}
-	}
+	b.free.Store(int64(endpoints))
+	b.word.Store(hotAvailable)
 	return b
 }
 
@@ -183,31 +191,36 @@ func (b *Backend) Name() string { return b.name }
 // URL returns the backend base URL.
 func (b *Backend) URL() string { return b.url }
 
-// LBValue reads the current lb_value.
-func (b *Backend) LBValue() float64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.lbValue
-}
+// LBValue reads the current lb_value (lock-free).
+func (b *Backend) LBValue() float64 { return b.lbValue.Load() }
 
 // State reads the current state, applying lazy Busy/Error recovery.
+// When no recovery is due this is a single atomic load; a due recovery
+// takes the slow path so the stored word and the event log advance.
 func (b *Backend) State() BackendState {
+	now := time.Now()
+	st, due := effectiveState(b.word.Load(), nanosSince(b.base, now))
+	if !due {
+		return st
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.lazyRecover(time.Now())
-	return b.state
+	b.lazyRecoverLocked(now)
+	return hotState(b.word.Load())
 }
 
-// lazyRecover applies the Busy/Error recovery deadline; the caller
-// holds b.mu.
-func (b *Backend) lazyRecover(now time.Time) {
-	if b.state != BackendAvailable && !b.recoverAt.IsZero() && now.After(b.recoverAt) {
-		if b.state == BackendError {
-			b.consecFails = 0
-		}
-		b.setStateLocked(BackendAvailable)
-		b.recoverAt = time.Time{}
+// lazyRecoverLocked applies a due Busy/Error recovery deadline: the
+// stored word transitions to Available (emitting the state event) and
+// an Error recovery clears the failure streak. The caller holds b.mu.
+func (b *Backend) lazyRecoverLocked(now time.Time) {
+	w := b.word.Load()
+	if _, due := effectiveState(w, nanosSince(b.base, now)); !due {
+		return
 	}
+	if hotState(w) == BackendError {
+		b.consecFails.Store(0)
+	}
+	b.applyLocked(w, withRecover(withState(w, BackendAvailable), 0))
 }
 
 // attachEvents wires the backend's state transitions into an event log.
@@ -219,17 +232,19 @@ func (b *Backend) attachEvents(log *obs.EventLog, epoch time.Time) {
 	b.epoch = epoch
 }
 
-// setStateLocked transitions the 3-state machine, emitting a state
-// event when an event log is attached. The caller holds b.mu; the event
-// log has its own lock and never calls back into the backend, so
-// appending under b.mu cannot deadlock.
-func (b *Backend) setStateLocked(to BackendState) {
-	from := b.state
-	if from == to {
+// applyLocked publishes a new hot word, emitting a state event when the
+// packed state changed and an event log is attached. The caller holds
+// b.mu — the only writers of the word — so load-modify-store sequences
+// built on it are race-free without CAS. The event log has its own lock
+// and never calls back into the backend, so appending under b.mu cannot
+// deadlock.
+func (b *Backend) applyLocked(old, new uint64) {
+	if old == new {
 		return
 	}
-	b.state = to
-	if b.events != nil {
+	b.word.Store(new)
+	from, to := hotState(old), hotState(new)
+	if from != to && b.events != nil {
 		b.events.Append(obs.Event{
 			T:       time.Since(b.epoch),
 			Kind:    obs.KindState,
@@ -240,29 +255,53 @@ func (b *Backend) setStateLocked(to BackendState) {
 	}
 }
 
-// Dispatched reads the cumulative dispatch count.
-func (b *Backend) Dispatched() uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.dispatched
-}
+// Dispatched reads the cumulative dispatch count (lock-free).
+func (b *Backend) Dispatched() uint64 { return b.dispatched.Load() }
 
-// Completed reads the cumulative completion count.
-func (b *Backend) Completed() uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.completed
-}
+// Completed reads the cumulative completion count (lock-free).
+func (b *Backend) Completed() uint64 { return b.completed.Load() }
 
-// InFlight reads dispatched-but-uncompleted requests.
+// InFlight reads dispatched-but-uncompleted requests (lock-free; the
+// two counters are read completion-first so a concurrent dispatch can
+// only under-count, never produce a negative in-flight).
 func (b *Backend) InFlight() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return int(b.dispatched - b.completed)
+	completed := b.completed.Load()
+	dispatched := b.dispatched.Load()
+	if dispatched < completed {
+		return 0
+	}
+	return int(dispatched - completed)
 }
 
 // FreeEndpoints reads the idle endpoint-pool tokens.
-func (b *Backend) FreeEndpoints() int { return len(b.endpoints) }
+func (b *Backend) FreeEndpoints() int { return int(b.free.Load()) }
+
+// acquireToken claims one endpoint-pool token; false when the pool is
+// exhausted. The pool is an atomic count, not a channel — nothing ever
+// blocks on it (the original mechanism polls with sleeps), and the
+// channel lock was the last per-dispatch lock on the happy path.
+func (b *Backend) acquireToken() bool {
+	for {
+		f := b.free.Load()
+		if f <= 0 {
+			return false
+		}
+		if b.free.CompareAndSwap(f, f-1) {
+			return true
+		}
+	}
+}
+
+// releaseToken returns one endpoint-pool token.
+func (b *Backend) releaseToken() { b.free.Add(1) }
+
+// weightVal reads the backend's lbfactor (zero bits read as 1).
+func (b *Backend) weightVal() float64 {
+	if bits := b.weight.bits.Load(); bits != 0 {
+		return b.weight.Load()
+	}
+	return 1
+}
 
 // Config tunes the balancer; zero values use mod_jk-equivalent
 // defaults.
@@ -320,42 +359,64 @@ func (c Config) withDefaults() Config {
 // endpoint from any backend.
 var ErrNoBackend = errors.New("httpcluster: no backend available")
 
+// balSnapshot is the balancer's immutable hot-swap surface: everything
+// a dispatch reads that the adaptive control plane can change at
+// runtime. Swaps publish a fresh snapshot through an atomic pointer
+// (never mutate one in place), so a dispatch sees one coherent
+// {policy, mechanism, pools, wake} generation with a single load.
+type balSnapshot struct {
+	policy    Policy
+	mech      Mechanism
+	pools     *probe.Pools
+	prHandles []probe.Handle // pre-resolved pool handles, aligned with Balancer.backends
+	// poolEpoch converts a wall timestamp into the pools' clock
+	// (at = now.Sub(poolEpoch)), so a prequal consult reuses the
+	// dispatch path's single time.Now reading instead of paying a
+	// second clock read inside the pools.
+	poolEpoch time.Time
+	reseed    func()
+	// wake is closed (and a successor published) whenever the mechanism
+	// is swapped or a backend is quarantined, so workers sleeping inside
+	// the original mechanism's poll loop re-check their abort conditions
+	// immediately instead of after the full acquire window.
+	wake chan struct{}
+}
+
 // Balancer is the wall-clock twin of lb.Balancer: same two-level
-// scheduler, same 3-state machine, safe for concurrent use. policy and
-// mech are guarded by mu so the adaptive control plane can hot-swap
-// them at runtime (see runtime.go); the dispatch path reads them
-// through the accessors before taking any backend lock.
+// scheduler, same 3-state machine, safe for concurrent use. The
+// dispatch path is contention-free: it loads the config snapshot once,
+// ranks backends over their atomic hot fields, and claims an endpoint
+// token by CAS — no mutex anywhere on the happy path. The writer mutex
+// serializes only control-plane reconfiguration (runtime.go).
 type Balancer struct {
 	cfg      Config
 	backends []*Backend
 
-	mu       sync.Mutex
-	policy   Policy
-	mech     Mechanism
-	rejects  uint64
+	snap    atomic.Pointer[balSnapshot]
+	rejects atomic.Uint64
+	// rr is the round_robin cursor. Concurrent dispatches advance it
+	// with plain atomic load/store: two racing workers may briefly pick
+	// the same backend, which is harmless (and cheaper than a CAS loop);
+	// a single-goroutine feed rotates exactly as the mutex version did.
+	rr sync_rrCursor
+
+	// prng backs prequal's power-of-d sampling: a shared rand over a
+	// lock-free counter-hash source (hot.go), so concurrent dispatchers
+	// never serialize on it.
+	prng *rand.Rand
+
+	writerMu sync.Mutex // serializes snapshot swaps and multi-backend writer paths
 	sessions sessionTable
 	onAssign func(*Backend)
 	onProbe  func(*Backend, time.Duration, bool)
 	events   *obs.EventLog
 	epoch    time.Time
 	source   string
-	rr       uint64
-	// wake is closed and replaced whenever the mechanism is swapped or
-	// a backend is quarantined, so workers sleeping inside the original
-	// mechanism's poll loop re-check their abort conditions immediately
-	// instead of after the full acquire window.
-	wake chan struct{}
-
-	// Prequal state (all guarded by mu): the probe pools the policy
-	// consults, a hook firing an immediate reseed probe round after a
-	// runtime swap to prequal, the sampling source, and scratch slices
-	// keeping the dispatch hot path allocation-free.
-	pools        *probe.Pools
-	reseedProbes func()
-	prng         *rand.Rand
-	prEligible   []*Backend
-	prNames      []string
 }
+
+// sync_rrCursor wraps the round-robin cursor so its relaxed semantics
+// are documented in one place.
+type sync_rrCursor struct{ v atomic.Uint64 }
 
 // NewBalancer builds a balancer over the backends.
 func NewBalancer(policy Policy, mech Mechanism, backends []*Backend, cfg Config) *Balancer {
@@ -364,7 +425,10 @@ func NewBalancer(policy Policy, mech Mechanism, backends []*Backend, cfg Config)
 	}
 	copied := make([]*Backend, len(backends))
 	copy(copied, backends)
-	return &Balancer{policy: policy, mech: mech, cfg: cfg.withDefaults(), backends: copied, wake: make(chan struct{})}
+	b := &Balancer{cfg: cfg.withDefaults(), backends: copied}
+	b.prng = rand.New(&splitmixSource{seed: 0x7072657175616c + uint64(len(copied))})
+	b.snap.Store(&balSnapshot{policy: policy, mech: mech, wake: make(chan struct{})})
+	return b
 }
 
 // Backends returns the backend list (shared; do not mutate).
@@ -374,32 +438,33 @@ func (b *Balancer) Backends() []*Backend { return b.backends }
 // hook fired after a runtime swap to prequal (typically WallProber's
 // Reseed: clear the pools, fire an immediate probe round). Call before
 // serving traffic. Without pools a prequal balancer degrades to
-// in-flight ranking.
+// in-flight ranking. Pool handles are resolved here, once, so the
+// dispatch path never pays the per-name map lookups again.
 func (b *Balancer) SetProbePools(pools *probe.Pools, reseed func()) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.pools = pools
-	b.reseedProbes = reseed
-	if b.prng == nil {
-		// The wall-clock substrate makes no determinism promise; a fixed
-		// seed just keeps the sampling source self-contained.
-		b.prng = rand.New(rand.NewPCG(0x7072657175616c, uint64(len(b.backends))))
+	b.writerMu.Lock()
+	defer b.writerMu.Unlock()
+	next := *b.snap.Load()
+	next.pools = pools
+	next.reseed = reseed
+	next.prHandles = nil
+	next.poolEpoch = time.Time{}
+	if pools != nil {
+		next.prHandles = make([]probe.Handle, len(b.backends))
+		for i, be := range b.backends {
+			next.prHandles[i] = pools.Handle(be.name)
+		}
+		// The wall pools' clock is monotonic wall time, so one offset
+		// measured here converts every later timestamp exactly.
+		next.poolEpoch = time.Now().Add(-pools.Now())
 	}
+	b.snap.Store(&next)
 }
 
 // ProbePools exposes the wired pools (nil when probing is off).
-func (b *Balancer) ProbePools() *probe.Pools {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.pools
-}
+func (b *Balancer) ProbePools() *probe.Pools { return b.snap.Load().pools }
 
-// Rejects reports dispatches that failed on every sweep.
-func (b *Balancer) Rejects() uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.rejects
-}
+// Rejects reports dispatches that failed on every sweep (lock-free).
+func (b *Balancer) Rejects() uint64 { return b.rejects.Load() }
 
 // SetAssignHook registers a hook invoked (without locks held) whenever
 // a backend is chosen by the scheduler.
@@ -421,26 +486,23 @@ func (b *Balancer) SetEventLog(log *obs.EventLog, source string, epoch time.Time
 }
 
 // emitDecision records one dispatch decision with a snapshot of every
-// candidate, taken backend by backend (the same way mod_jk's scheduler
-// reads the worker table).
-func (b *Balancer) emitDecision(chosen *Backend) {
+// candidate, read lock-free from the backends' atomic hot fields (the
+// same way mod_jk's scheduler reads the worker table).
+func (b *Balancer) emitDecision(snap *balSnapshot, chosen *Backend) {
 	if b.events == nil {
 		return
 	}
-	pools := b.ProbePools()
 	views := make([]obs.CandidateView, 0, len(b.backends))
 	for _, be := range b.backends {
-		be.mu.Lock()
 		v := obs.CandidateView{
 			Name:          be.name,
-			LBValue:       be.lbValue,
-			State:         stateName(be.state),
-			InFlight:      int(be.dispatched - be.completed),
-			FreeEndpoints: len(be.endpoints),
+			LBValue:       be.lbValue.Load(),
+			State:         stateName(hotState(be.word.Load())),
+			InFlight:      be.InFlight(),
+			FreeEndpoints: be.FreeEndpoints(),
 		}
-		be.mu.Unlock()
-		if pools != nil {
-			if smp, ok := pools.Peek(be.name); ok {
+		if snap.pools != nil {
+			if smp, ok := snap.pools.Peek(be.name); ok {
 				v.ProbeInFlight = smp.InFlight
 				v.ProbeLatencyMs = float64(smp.Latency) / float64(time.Millisecond)
 				v.ProbeAgeMs = float64(smp.Age) / float64(time.Millisecond)
@@ -491,7 +553,7 @@ func (r Release) Done(responseBytes int64) {
 		return
 	}
 	r.bal.noteComplete(r.be, r.requestBytes, responseBytes)
-	r.be.endpoints <- struct{}{}
+	r.be.releaseToken()
 }
 
 // Fail unwinds the dispatch after an upstream failure.
@@ -500,7 +562,7 @@ func (r Release) Fail() {
 		return
 	}
 	r.bal.noteUpstreamFailure(r.be)
-	r.be.endpoints <- struct{}{}
+	r.be.releaseToken()
 }
 
 // Backend returns the acquired backend (nil for the zero Release).
@@ -521,16 +583,21 @@ func (b *Balancer) Acquire(requestBytes int64) (*Backend, Release, error) {
 			tried = tried[:0]
 		}
 		for len(tried) < len(b.backends) {
-			be := b.choose(tried)
+			// One snapshot load per choice: the whole selection sees a
+			// coherent {policy, pools} generation, re-read between
+			// choices so a runtime swap lands mid-dispatch exactly as
+			// it did when the accessors took the balancer lock.
+			snap := b.snap.Load()
+			be := b.choose(snap, tried)
 			if be == nil {
 				break
 			}
 			if b.onAssign != nil {
 				b.onAssign(be)
 			}
-			b.emitDecision(be)
+			b.emitDecision(snap, be)
 			if b.acquireEndpoint(be) {
-				b.noteDispatch(be)
+				b.noteDispatch(be, snap.policy)
 				return be, Release{bal: b, be: be, requestBytes: requestBytes}, nil
 			}
 			b.noteFailure(be)
@@ -540,9 +607,7 @@ func (b *Balancer) Acquire(requestBytes int64) (*Backend, Release, error) {
 			tried = append(tried, be)
 		}
 	}
-	b.mu.Lock()
-	b.rejects++
-	b.mu.Unlock()
+	b.rejects.Add(1)
 	if b.events != nil {
 		b.events.Append(obs.Event{T: time.Since(b.epoch), Kind: obs.KindReject, Source: b.source})
 	}
@@ -551,10 +616,8 @@ func (b *Balancer) Acquire(requestBytes int64) (*Backend, Release, error) {
 
 // acquireEndpoint runs the configured mechanism against one backend.
 func (b *Balancer) acquireEndpoint(be *Backend) bool {
-	select {
-	case <-be.endpoints:
+	if be.acquireToken() {
 		return true
-	default:
 	}
 	if b.CurrentMechanism() == MechanismModified {
 		return false
@@ -574,10 +637,8 @@ func (b *Balancer) acquireEndpoint(be *Backend) bool {
 		if !b.sleepPoll(be, b.cfg.AcquireSleep) {
 			return false
 		}
-		select {
-		case <-be.endpoints:
+		if be.acquireToken() {
 			return true
-		default:
 		}
 	}
 	b.sleepPoll(be, b.cfg.AcquireSleep) // the final sleep before the guard fails
@@ -587,54 +648,43 @@ func (b *Balancer) acquireEndpoint(be *Backend) bool {
 // sleepPoll sleeps one poll interval, returning false early when the
 // mechanism is swapped away from original or the backend is drained by
 // the control plane (armed probes keep polling — measuring the drained
-// backend is their whole purpose).
+// backend is their whole purpose). Each iteration loads a fresh
+// snapshot: the live mechanism and the live wake channel.
 func (b *Balancer) sleepPoll(be *Backend, d time.Duration) bool {
 	deadline := time.Now().Add(d)
 	for {
-		if b.CurrentMechanism() != MechanismOriginal {
+		snap := b.snap.Load()
+		if snap.mech != MechanismOriginal {
 			return false
 		}
-		be.mu.Lock()
-		drained := be.quarantined && !be.probeArmed
-		be.mu.Unlock()
-		if drained {
+		w := be.word.Load()
+		if w&hotQuarantined != 0 && w&hotProbeArmed == 0 {
 			return false
 		}
 		remain := time.Until(deadline)
 		if remain <= 0 {
 			return true
 		}
-		wake := b.wakeCh()
 		t := time.NewTimer(remain)
 		select {
 		case <-t.C:
-		case <-wake:
+		case <-snap.wake:
 		}
 		t.Stop()
 	}
 }
 
-// wakeCh reads the current wake channel.
-func (b *Balancer) wakeCh() <-chan struct{} {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.wake
-}
-
-// bumpWakeLocked signals every sleeping poller to re-check its abort
-// conditions. The caller holds b.mu.
-func (b *Balancer) bumpWakeLocked() {
-	close(b.wake)
-	b.wake = make(chan struct{})
-}
-
 // choose picks the lowest-lb_value backend: Available first, then Busy;
 // Error, already-tried and quarantined backends (unless probe-armed)
 // are excluded. Under round_robin the lb_values are ignored and the
-// non-excluded backends are rotated through instead.
-func (b *Balancer) choose(tried triedSet) *Backend {
+// non-excluded backends are rotated through instead. The whole sweep is
+// lock-free: per backend it is one atomic word load plus one lb_value
+// load. A due Busy/Error recovery is *read* as Available here without
+// being stored — the next slow-path touch of that backend (dispatch,
+// failure, State) applies the transition and emits its event.
+func (b *Balancer) choose(snap *balSnapshot, tried triedSet) *Backend {
 	now := time.Now()
-	policy := b.CurrentPolicy()
+	policy := snap.policy
 	if policy == PolicyRoundRobin {
 		if be := b.rotate(BackendAvailable, tried, now); be != nil {
 			return be
@@ -642,7 +692,7 @@ func (b *Balancer) choose(tried triedSet) *Backend {
 		return b.rotate(BackendBusy, tried, now)
 	}
 	if policy == PolicyPrequal {
-		if be := b.choosePrequal(tried, now); be != nil {
+		if be := b.choosePrequal(snap, tried, now); be != nil {
 			return be
 		}
 		// No sampled backend had fresh probe data (or pools are
@@ -657,14 +707,12 @@ func (b *Balancer) choose(tried triedSet) *Backend {
 			if tried.has(be) {
 				continue
 			}
-			be.mu.Lock()
-			be.lazyRecover(now)
-			st, val := be.state, be.lbValue
-			skip := be.quarantined && !be.probeArmed
-			be.mu.Unlock()
-			if st != state || skip {
+			w := be.word.Load()
+			st, _ := effectiveState(w, nanosSince(be.base, now))
+			if st != state || (w&hotQuarantined != 0 && w&hotProbeArmed == 0) {
 				continue
 			}
+			val := be.lbValue.Load()
 			if best == nil || val < bestVal {
 				best, bestVal = be, val
 			}
@@ -677,40 +725,41 @@ func (b *Balancer) choose(tried triedSet) *Backend {
 	return pick(BackendBusy)
 }
 
+// prequalMaskCap bounds the bitmask eligibility encoding; clusters
+// beyond it fall back to the lb_value scan (the paper's testbed has
+// four backends; Prequal's own deployments sample from tens).
+const prequalMaskCap = 64
+
 // choosePrequal runs the hot/cold probe selection over the eligible
 // backends (Available first, then Busy — the same two-level order as
 // the lb_value scan). Returns nil when the pools are detached or no
 // sampled backend holds a fresh probe, leaving the caller to fall back.
-// Holds b.mu for the pools consultation; the scratch slices make the
-// happy path allocation-free.
-func (b *Balancer) choosePrequal(tried triedSet, now time.Time) *Backend {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.pools == nil {
+// Eligibility is encoded as a bitmask over the stable backend list and
+// handed to the pools with pre-resolved handles, so one sweep costs a
+// single pools consultation — no per-name map lookups, no scratch
+// slices, no balancer lock.
+func (b *Balancer) choosePrequal(snap *balSnapshot, tried triedSet, now time.Time) *Backend {
+	if snap.pools == nil || len(b.backends) > prequalMaskCap {
 		return nil
 	}
 	pick := func(state BackendState) *Backend {
-		b.prEligible = b.prEligible[:0]
-		b.prNames = b.prNames[:0]
-		for _, be := range b.backends {
+		var mask uint64
+		for i, be := range b.backends {
 			if tried.has(be) {
 				continue
 			}
-			be.mu.Lock()
-			be.lazyRecover(now)
-			ok := be.state == state && !(be.quarantined && !be.probeArmed)
-			be.mu.Unlock()
-			if !ok {
+			w := be.word.Load()
+			st, _ := effectiveState(w, nanosSince(be.base, now))
+			if st != state || (w&hotQuarantined != 0 && w&hotProbeArmed == 0) {
 				continue
 			}
-			b.prEligible = append(b.prEligible, be)
-			b.prNames = append(b.prNames, be.name)
+			mask |= 1 << i
 		}
-		if len(b.prEligible) == 0 {
+		if mask == 0 {
 			return nil
 		}
-		if i := b.pools.Pick(b.prNames, b.prng); i >= 0 {
-			return b.prEligible[i]
+		if i := snap.pools.PickHandles(snap.prHandles, mask, b.prng, now.Sub(snap.poolEpoch)); i >= 0 {
+			return b.backends[i]
 		}
 		return nil
 	}
@@ -724,115 +773,151 @@ func (b *Balancer) choosePrequal(tried triedSet, now time.Time) *Backend {
 // starts at the cursor and the cursor advances to just past the chosen
 // backend, so ineligible entries (Busy flicker, a quarantine) are
 // skipped without skewing the rotation. Indexing a per-call eligible
-// slice with a shared counter — the previous implementation — let
+// slice with a shared counter — the pre-PR 4 implementation — let
 // membership churn re-align the counter and hand consecutive
 // dispatches to the same backend.
 func (b *Balancer) rotate(state BackendState, tried triedSet, now time.Time) *Backend {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	n := uint64(len(b.backends))
+	start := b.rr.v.Load()
 	for i := uint64(0); i < n; i++ {
-		be := b.backends[(b.rr+i)%n]
+		be := b.backends[(start+i)%n]
 		if tried.has(be) {
 			continue
 		}
-		be.mu.Lock()
-		be.lazyRecover(now)
-		ok := be.state == state && !(be.quarantined && !be.probeArmed)
-		be.mu.Unlock()
-		if ok {
-			b.rr = (b.rr + i + 1) % n
+		w := be.word.Load()
+		st, _ := effectiveState(w, nanosSince(be.base, now))
+		if st == state && !(w&hotQuarantined != 0 && w&hotProbeArmed == 0) {
+			b.rr.v.Store((start + i + 1) % n)
 			return be
 		}
 	}
 	return nil
 }
 
-func (b *Balancer) noteDispatch(be *Backend) {
-	policy := b.CurrentPolicy()
-	be.mu.Lock()
-	defer be.mu.Unlock()
-	be.consecFails = 0
-	if be.state != BackendAvailable {
-		be.setStateLocked(BackendAvailable)
-		be.recoverAt = time.Time{}
+// noteDispatch records a successful endpoint acquisition. The fast path
+// — backend Available with no flags, no pending recovery, no failure
+// streak — is three atomic operations; anything else (a state
+// transition to emit, an armed probe to start, a streak to clear) takes
+// the mutex-guarded slow path.
+func (b *Balancer) noteDispatch(be *Backend, policy Policy) {
+	if be.word.Load() == hotAvailable && be.consecFails.Load() == 0 {
+		be.dispatched.Add(1)
+		b.lbOnDispatch(be, policy)
+		return
 	}
-	be.dispatched++
-	if be.probeArmed {
-		be.probeArmed = false
-		be.probing = true
-		be.probeStart = time.Now()
-	}
+	b.noteDispatchSlow(be, policy)
+}
+
+// lbOnDispatch applies the policy's dispatch-side lb_value bookkeeping.
+func (b *Balancer) lbOnDispatch(be *Backend, policy Policy) {
 	switch policy {
 	case PolicyTotalRequest, PolicyCurrentLoad, PolicyPrequal:
 		// Prequal keeps current_load's in-flight bookkeeping so its
 		// fallback ranking (and a later swap away from it) has sane
 		// lb_values — the probe pools, not lb_value, drive its choices.
-		be.lbValue += 1 / be.weightLocked()
+		be.lbValue.Add(1 / be.weightVal())
 	case PolicyRoundRobin:
-		be.lbValue++
+		be.lbValue.Add(1)
 	case PolicyTotalTraffic:
 		// Accounted on completion, per Algorithm 3.
 	}
 }
 
-func (b *Balancer) noteComplete(be *Backend, requestBytes, responseBytes int64) {
-	policy := b.CurrentPolicy()
+func (b *Balancer) noteDispatchSlow(be *Backend, policy Policy) {
+	now := time.Now()
 	be.mu.Lock()
-	be.completed++
-	be.traffic += requestBytes + responseBytes
-	be.consecFails = 0
-	if be.state != BackendAvailable {
-		be.setStateLocked(BackendAvailable)
-		be.recoverAt = time.Time{}
+	be.lazyRecoverLocked(now)
+	be.consecFails.Store(0)
+	w := be.word.Load()
+	next := w
+	if hotState(w) != BackendAvailable {
+		next = withRecover(withState(next, BackendAvailable), 0)
 	}
+	if next&hotProbeArmed != 0 {
+		next = (next &^ hotProbeArmed) | hotProbing
+		be.probeStart = now
+	}
+	be.applyLocked(w, next)
+	be.dispatched.Add(1)
+	b.lbOnDispatch(be, policy)
+	be.mu.Unlock()
+}
+
+// noteComplete records a completed response. Fast path as noteDispatch;
+// the slow path additionally resolves an in-flight quarantine probe.
+func (b *Balancer) noteComplete(be *Backend, requestBytes, responseBytes int64) {
+	policy := b.snap.Load().policy
+	if be.word.Load() == hotAvailable && be.consecFails.Load() == 0 {
+		be.completed.Add(1)
+		be.traffic.Add(requestBytes + responseBytes)
+		b.lbOnComplete(be, policy, requestBytes+responseBytes)
+		return
+	}
+	b.noteCompleteSlow(be, policy, requestBytes, responseBytes)
+}
+
+// lbOnComplete applies the policy's completion-side lb_value
+// bookkeeping.
+func (b *Balancer) lbOnComplete(be *Backend, policy Policy, bytes int64) {
 	switch policy {
 	case PolicyTotalTraffic:
-		be.lbValue += float64(requestBytes+responseBytes) / be.weightLocked()
+		be.lbValue.Add(float64(bytes) / be.weightVal())
 	case PolicyCurrentLoad, PolicyPrequal:
-		if unit := 1 / be.weightLocked(); be.lbValue >= unit {
-			be.lbValue -= unit
-		} else {
-			be.lbValue = 0
-		}
+		be.lbValue.SubClamp(1 / be.weightVal())
 	case PolicyRoundRobin:
-		if be.lbValue >= 1 {
-			be.lbValue--
-		} else {
-			be.lbValue = 0
-		}
+		be.lbValue.SubClamp(1)
 	}
-	probed := be.probing
+}
+
+func (b *Balancer) noteCompleteSlow(be *Backend, policy Policy, requestBytes, responseBytes int64) {
+	now := time.Now()
+	be.mu.Lock()
+	be.lazyRecoverLocked(now)
+	be.completed.Add(1)
+	be.traffic.Add(requestBytes + responseBytes)
+	be.consecFails.Store(0)
+	w := be.word.Load()
+	next := w
+	if hotState(w) != BackendAvailable {
+		next = withRecover(withState(next, BackendAvailable), 0)
+	}
+	probed := next&hotProbing != 0
+	next &^= hotProbing
+	be.applyLocked(w, next)
 	var rt time.Duration
 	if probed {
-		be.probing = false
-		rt = time.Since(be.probeStart)
+		rt = now.Sub(be.probeStart)
 	}
+	b.lbOnComplete(be, policy, requestBytes+responseBytes)
 	be.mu.Unlock()
 	if probed && b.onProbe != nil {
 		b.onProbe(be, rt, true)
 	}
 }
 
+// noteFailure feeds the Busy/Error ladder after a failed endpoint
+// acquisition. Always the mutex-guarded slow path: failures are off the
+// happy path by definition.
 func (b *Balancer) noteFailure(be *Backend) {
 	now := time.Now()
 	be.mu.Lock()
-	probeFailed := be.probeArmed
-	be.probeArmed = false
-	if be.consecFails == 0 {
+	be.lazyRecoverLocked(now)
+	w := be.word.Load()
+	probeFailed := w&hotProbeArmed != 0
+	next := w &^ hotProbeArmed
+	if be.consecFails.Load() == 0 {
 		be.firstFail = now
 	}
-	be.consecFails++
+	fails := be.consecFails.Add(1)
 	escalated := false
-	if be.consecFails >= b.cfg.ErrorThreshold && now.Sub(be.firstFail) >= b.cfg.ErrorAfter {
-		be.setStateLocked(BackendError)
-		be.recoverAt = now.Add(b.cfg.ErrorRecovery)
+	if int(fails) >= b.cfg.ErrorThreshold && now.Sub(be.firstFail) >= b.cfg.ErrorAfter {
+		next = withRecover(withState(next, BackendError), nanosSince(be.base, now.Add(b.cfg.ErrorRecovery)))
 		escalated = true
 	}
-	if !escalated && be.state == BackendAvailable {
-		be.setStateLocked(BackendBusy)
-		be.recoverAt = now.Add(b.cfg.BusyRecovery)
+	if !escalated && hotState(next) == BackendAvailable {
+		next = withRecover(withState(next, BackendBusy), nanosSince(be.base, now.Add(b.cfg.BusyRecovery)))
 	}
+	be.applyLocked(w, next)
 	be.mu.Unlock()
 	if probeFailed && b.onProbe != nil {
 		b.onProbe(be, 0, false)
@@ -846,25 +931,18 @@ func (b *Balancer) noteFailure(be *Backend) {
 // failure feeds the Busy/Error ladder so the scheduler routes around the
 // backend, and an in-flight probe reports failure.
 func (b *Balancer) noteUpstreamFailure(be *Backend) {
-	policy := b.CurrentPolicy()
+	policy := b.snap.Load().policy
 	be.mu.Lock()
-	be.completed++
+	be.completed.Add(1)
 	switch policy {
 	case PolicyCurrentLoad, PolicyPrequal:
-		if unit := 1 / be.weightLocked(); be.lbValue >= unit {
-			be.lbValue -= unit
-		} else {
-			be.lbValue = 0
-		}
+		be.lbValue.SubClamp(1 / be.weightVal())
 	case PolicyRoundRobin:
-		if be.lbValue >= 1 {
-			be.lbValue--
-		} else {
-			be.lbValue = 0
-		}
+		be.lbValue.SubClamp(1)
 	}
-	probeFailed := be.probing
-	be.probing = false
+	w := be.word.Load()
+	probeFailed := w&hotProbing != 0
+	be.applyLocked(w, w&^hotProbing)
 	be.mu.Unlock()
 	if probeFailed && b.onProbe != nil {
 		b.onProbe(be, 0, false)

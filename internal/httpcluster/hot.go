@@ -1,0 +1,162 @@
+package httpcluster
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Lock-free primitives for the dispatch hot path. The balancer's
+// ranking sweeps read every backend on every dispatch; under the
+// original design each read took the backend's mutex, so N concurrent
+// proxy workers serialized on N×backends lock acquisitions per request
+// — exactly the kind of hidden serialization point the paper shows
+// turning sub-millisecond work into very long response times once cores
+// contend. The hot fields now live in atomics:
+//
+//   - the 3-state machine state, the Busy/Error recovery deadline and
+//     the quarantine/probe flags are packed into one uint64 ("hot
+//     word"), so a single atomic load yields a consistent snapshot of
+//     everything a ranking sweep needs;
+//   - lb_value and weight are float64 bit patterns updated by CAS;
+//   - dispatched / completed / traffic are plain atomic counters;
+//   - the endpoint pool is an atomic token count (the old buffered
+//     channel took the channel lock on every acquire and release).
+//
+// Writers of the hot word (state transitions, quarantine, probe
+// arming) still hold the backend mutex, which makes their
+// load-modify-store sequences race-free without CAS; readers never
+// take any lock. DESIGN.md §12 documents the full memory model.
+
+// Hot word layout: | recoverAt nanos since base : 59 | probing : 1 |
+// probeArmed : 1 | quarantined : 1 | state : 2 |. 2^59 ns ≈ 18 years,
+// far beyond any proxy lifetime; recover bits of zero mean "no
+// deadline".
+const (
+	hotStateMask   = 0b11
+	hotQuarantined = 1 << 2
+	hotProbeArmed  = 1 << 3
+	hotProbing     = 1 << 4
+	hotRecoverOff  = 5
+)
+
+// hotAvailable is the steady-state hot word: Available, no flags, no
+// recovery deadline. A backend whose word equals this (and whose
+// failure streak is zero) takes the entirely lock-free bookkeeping
+// path on dispatch and completion.
+const hotAvailable = uint64(BackendAvailable)
+
+// hotState extracts the 3-state machine state.
+func hotState(w uint64) BackendState { return BackendState(w & hotStateMask) }
+
+// hotRecover extracts the recovery deadline as nanoseconds since the
+// backend's base time; zero means no deadline is set.
+func hotRecover(w uint64) int64 { return int64(w >> hotRecoverOff) }
+
+// withState returns w with the state replaced.
+func withState(w uint64, s BackendState) uint64 {
+	return (w &^ hotStateMask) | uint64(s)
+}
+
+// withRecover returns w with the recovery deadline replaced (nanos
+// since base; zero clears it).
+func withRecover(w uint64, nanos int64) uint64 {
+	return (w & (hotStateMask | hotQuarantined | hotProbeArmed | hotProbing)) |
+		uint64(nanos)<<hotRecoverOff
+}
+
+// effectiveState resolves the state a ranking sweep should see at
+// sinceBase (= now relative to the backend's base time): a Busy or
+// Error backend whose recovery deadline has passed reads as Available
+// even though the stored word has not been rewritten yet. due reports
+// whether a real (stored) transition is pending; the next slow-path
+// touch applies it.
+func effectiveState(w uint64, sinceBase int64) (st BackendState, due bool) {
+	st = hotState(w)
+	if st == BackendAvailable {
+		return st, false
+	}
+	if rec := hotRecover(w); rec != 0 && sinceBase > rec {
+		return BackendAvailable, true
+	}
+	return st, false
+}
+
+// atomicFloat is a float64 published through atomic uint64 bit
+// patterns, with the CAS update loops the lb_value bookkeeping needs.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+// Load reads the current value.
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Store publishes v.
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta with a CAS loop.
+func (f *atomicFloat) Add(delta float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SubClamp subtracts unit, clamping at zero — the decrement the
+// in-flight policies apply on completion.
+func (f *atomicFloat) SubClamp(unit float64) {
+	for {
+		old := f.bits.Load()
+		cur := math.Float64frombits(old)
+		next := 0.0
+		if cur >= unit {
+			next = cur - unit
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// StoreMax raises the value to at least v — quarantine re-admission's
+// recovery seeding, which must not clobber a concurrent decrement with
+// a stale read.
+func (f *atomicFloat) StoreMax(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// splitmixSource is a goroutine-safe rand/v2 source: each draw hashes
+// the next value of an atomic counter through the splitmix64 finalizer.
+// Concurrent dispatchers share one *rand.Rand over it without a lock
+// (rand/v2's Rand keeps no state outside its source), and a
+// single-goroutine caller still gets a deterministic sequence.
+type splitmixSource struct {
+	seed uint64
+	ctr  atomic.Uint64
+}
+
+// Uint64 implements rand.Source.
+func (s *splitmixSource) Uint64() uint64 {
+	z := s.seed + s.ctr.Add(1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// nanosSince converts now to the packed-word time base.
+func nanosSince(base time.Time, now time.Time) int64 {
+	d := now.Sub(base)
+	if d < 0 {
+		return 0
+	}
+	return int64(d)
+}

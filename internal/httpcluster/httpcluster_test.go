@@ -658,15 +658,16 @@ func TestAdminTraceAndEventsEndpoints(t *testing.T) {
 	// Exhaust every endpoint pool: the modified mechanism fails fast on
 	// each sweep, marking both backends Busy and rejecting the dispatch.
 	for _, be := range backends {
-		<-be.endpoints
-		<-be.endpoints
+		if !be.acquireToken() || !be.acquireToken() {
+			t.Fatal("endpoint pool not fully idle before exhaustion")
+		}
 	}
 	if resp, _ := get("/story"); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status %d with exhausted pools, want 503", resp.StatusCode)
 	}
 	for _, be := range backends {
-		be.endpoints <- struct{}{}
-		be.endpoints <- struct{}{}
+		be.releaseToken()
+		be.releaseToken()
 	}
 	// Dispatching to a Busy backend re-admits it: busy → available.
 	if resp, body := get("/story"); resp.StatusCode != http.StatusOK {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -24,41 +25,80 @@ type LoadGenConfig struct {
 // timelineWindow buckets the wall-clock latency timeline.
 const timelineWindow = 100 * time.Millisecond
 
+// loadStatsShards fixes the recording shard count — a power of two so
+// the client index folds with a modulo the compiler reduces to a mask.
+// Eight shards keep even a large closed-loop population off each
+// other's locks; each shard carries its own histogram (≈30 KB), so the
+// shards never share cache lines either.
+const loadStatsShards = 8
+
 // LoadStats collects client-observed outcomes, safe for concurrent use.
+// Recording is sharded by client index — every client records into its
+// own shard (lock, histogram, timeline, threshold counters) and the
+// read-side accessors merge the shards on demand. A merged reading is
+// exactly what a single shared recorder would have produced; the only
+// change is that concurrent clients stop serializing per request.
 type LoadStats struct {
+	start time.Time
+	// thresholds is sorted ascending; each shard's over counters align
+	// with it by index. A sorted slice with an early break replaces the
+	// previous per-record map walk: thresholds at or below the observed
+	// latency form a prefix.
+	thresholds []time.Duration
+	shards     [loadStatsShards]loadShard
+}
+
+type loadShard struct {
 	mu       sync.Mutex
-	start    time.Time
 	hist     stats.Histogram
 	timeline *stats.Series
 	failures uint64
-	over     map[time.Duration]uint64
+	over     []uint64
 }
 
-// newLoadStats tracks the given latency thresholds.
-func newLoadStats(thresholds ...time.Duration) *LoadStats {
-	over := make(map[time.Duration]uint64, len(thresholds))
-	for _, th := range thresholds {
-		over[th] = 0
+// NewLoadStats returns an empty collector tracking the given latency
+// thresholds, its run clock starting now. RunLoad builds its own; the
+// export exists for benchmarks and external drivers that record
+// directly.
+func NewLoadStats(thresholds ...time.Duration) *LoadStats {
+	sorted := make([]time.Duration, len(thresholds))
+	copy(sorted, thresholds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s := &LoadStats{start: time.Now(), thresholds: sorted}
+	for i := range s.shards {
+		s.shards[i].timeline = stats.NewSeries(timelineWindow)
+		s.shards[i].over = make([]uint64, len(sorted))
 	}
-	return &LoadStats{
-		start:    time.Now(),
-		timeline: stats.NewSeries(timelineWindow),
-		over:     over,
-	}
+	return s
 }
 
-func (s *LoadStats) record(d time.Duration, ok bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.hist.Record(d)
-	s.timeline.Add(time.Since(s.start), stats.DurationToMillis(d))
+// Record notes one request outcome observed by the given client index
+// (any non-negative integer; RunLoad passes each goroutine's index).
+// Only the client's own shard lock is taken.
+func (s *LoadStats) Record(client int, d time.Duration, ok bool) {
+	sh := &s.shards[uint(client)%loadStatsShards]
+	sh.mu.Lock()
+	sh.hist.Record(d)
+	sh.timeline.Add(time.Since(s.start), stats.DurationToMillis(d))
 	if !ok {
-		s.failures++
+		sh.failures++
 	}
-	for th := range s.over {
-		if d >= th {
-			s.over[th]++
+	for i, th := range s.thresholds {
+		if d < th {
+			break
 		}
+		sh.over[i]++
+	}
+	sh.mu.Unlock()
+}
+
+// mergedHist folds every shard's histogram into out.
+func (s *LoadStats) mergedHist(out *stats.Histogram) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out.Merge(&sh.hist)
+		sh.mu.Unlock()
 	}
 }
 
@@ -67,52 +107,83 @@ func (s *LoadStats) record(d time.Duration, ok bool) {
 // after RunLoad returns; the series is not safe for use concurrently
 // with recording.
 func (s *LoadStats) Timeline() *stats.Series {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.timeline
+	merged := stats.NewSeries(timelineWindow)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		merged.Merge(sh.timeline)
+		sh.mu.Unlock()
+	}
+	return merged
 }
 
 // Total reports the number of completed requests.
 func (s *LoadStats) Total() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.hist.Count()
+	var n uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.hist.Count()
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Failures reports non-2xx or transport-failed requests.
 func (s *LoadStats) Failures() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.failures
+	var n uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.failures
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Mean reports the mean latency.
 func (s *LoadStats) Mean() time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.hist.Mean()
+	var h stats.Histogram
+	s.mergedHist(&h)
+	return h.Mean()
 }
 
 // Quantile reports a latency quantile.
 func (s *LoadStats) Quantile(q float64) time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.hist.Quantile(q)
+	var h stats.Histogram
+	s.mergedHist(&h)
+	return h.Quantile(q)
 }
 
 // Max reports the largest latency.
 func (s *LoadStats) Max() time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.hist.Max()
+	var h stats.Histogram
+	s.mergedHist(&h)
+	return h.Max()
 }
 
 // CountOver reports how many requests met or exceeded a tracked
-// threshold.
+// threshold (zero for thresholds the collector was not built with,
+// matching the previous map semantics).
 func (s *LoadStats) CountOver(th time.Duration) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.over[th]
+	idx := -1
+	for i, t := range s.thresholds {
+		if t == th {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0
+	}
+	var n uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.over[idx]
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // RunLoad drives closed-loop clients against baseURL until the context
@@ -124,24 +195,25 @@ func RunLoad(ctx context.Context, baseURL string, cfg LoadGenConfig, thresholds 
 	if cfg.Path == "" {
 		cfg.Path = "/"
 	}
-	out := newLoadStats(thresholds...)
+	out := NewLoadStats(thresholds...)
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Clients; i++ {
 		wg.Add(1)
-		go func() {
+		go func(client int) {
 			defer wg.Done()
-			client := &http.Client{Timeout: 10 * time.Second}
+			client = client % loadStatsShards
+			httpClient := &http.Client{Timeout: 10 * time.Second}
 			for ctx.Err() == nil {
 				start := time.Now()
-				ok := doRequest(ctx, client, baseURL+cfg.Path)
-				out.record(time.Since(start), ok)
+				ok := doRequest(ctx, httpClient, baseURL+cfg.Path)
+				out.Record(client, time.Since(start), ok)
 				select {
 				case <-ctx.Done():
 					return
 				case <-time.After(cfg.ThinkTime):
 				}
 			}
-		}()
+		}(i)
 	}
 	wg.Wait()
 	return out

@@ -1,0 +1,264 @@
+package httpcluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The parity suite proves the lock-free rewrite changed the cost of
+// the dispatch algorithm and not the algorithm: a Balancer (atomic
+// snapshots) and a ReferenceBalancer (the frozen mutex path) consume
+// byte-identical deterministic op scripts and must emit byte-identical
+// decision sequences. Prequal is excluded — its power-of-d sampling is
+// random by design and makes no such promise.
+//
+// Two timing arms pin down the only wall-clock-dependent behavior, the
+// Busy/Error recovery deadlines:
+//
+//   - sticky: recovery intervals of an hour, so no recovery ever fires
+//     inside a test run — transitions latch;
+//   - instant: recovery intervals of a nanosecond, so every recovery is
+//     due by the next touch — transitions always heal.
+//
+// Either way both implementations resolve each deadline identically on
+// every step, with no race against the clock.
+
+// parityRNG is a tiny deterministic generator for op scripts.
+type parityRNG struct{ s uint64 }
+
+func (r *parityRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *parityRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func parityConfig(instant bool) Config {
+	cfg := Config{Sweeps: 1, ErrorThreshold: 2}
+	if instant {
+		cfg.BusyRecovery = time.Nanosecond
+		cfg.ErrorRecovery = time.Nanosecond
+		cfg.ErrorAfter = time.Nanosecond
+	} else {
+		cfg.BusyRecovery = time.Hour
+		cfg.ErrorRecovery = time.Hour
+		cfg.ErrorAfter = time.Hour
+	}
+	return cfg
+}
+
+func TestDispatchParity(t *testing.T) {
+	policies := []Policy{PolicyTotalRequest, PolicyTotalTraffic, PolicyCurrentLoad, PolicyRoundRobin}
+	names := []string{"a", "b", "c", "d"}
+	const endpoints = 2
+	const steps = 4000
+
+	for _, start := range policies {
+		for _, instant := range []bool{false, true} {
+			arm := "sticky"
+			if instant {
+				arm = "instant"
+			}
+			t.Run(fmt.Sprintf("%s/%s", start, arm), func(t *testing.T) {
+				cfg := parityConfig(instant)
+				backends := make([]*Backend, len(names))
+				for i, n := range names {
+					backends[i] = NewBackend(n, "http://unused", endpoints)
+				}
+				bal := NewBalancer(start, MechanismModified, backends, cfg)
+				ref := NewReferenceBalancer(start, names, endpoints, cfg)
+
+				type outstanding struct {
+					rel  Release
+					rrel ReferenceRelease
+				}
+				var open []outstanding
+				rng := &parityRNG{s: uint64(start)*7919 + 17}
+				if instant {
+					rng.s ^= 0xabcdef
+				}
+
+				for step := 0; step < steps; step++ {
+					switch op := rng.intn(100); {
+					case op < 55: // acquire
+						reqBytes := int64(rng.intn(4096))
+						be, rel, err := bal.Acquire(reqBytes)
+						rname, rrel, rerr := ref.Acquire(reqBytes)
+						if (err != nil) != (rerr != nil) {
+							t.Fatalf("step %d: acquire err %v vs reference %v", step, err, rerr)
+						}
+						if err != nil {
+							continue
+						}
+						if be.Name() != rname {
+							t.Fatalf("step %d: chose %s, reference chose %s", step, be.Name(), rname)
+						}
+						open = append(open, outstanding{rel: rel, rrel: rrel})
+					case op < 75: // complete one outstanding pair
+						if len(open) == 0 {
+							continue
+						}
+						i := rng.intn(len(open))
+						respBytes := int64(rng.intn(8192))
+						open[i].rel.Done(respBytes)
+						open[i].rrel.Done(respBytes)
+						open = append(open[:i], open[i+1:]...)
+					case op < 82: // upstream failure on one outstanding pair
+						if len(open) == 0 {
+							continue
+						}
+						i := rng.intn(len(open))
+						open[i].rel.Fail()
+						open[i].rrel.Fail()
+						open = append(open[:i], open[i+1:]...)
+					case op < 90: // policy swap
+						p := policies[rng.intn(len(policies))]
+						bal.SetPolicy(p)
+						ref.SetPolicy(p)
+					case op < 96: // quarantine flip
+						n := names[rng.intn(len(names))]
+						on := rng.intn(2) == 0
+						bal.SetQuarantine(n, on)
+						ref.SetQuarantine(n, on)
+					default: // weight change
+						i := rng.intn(len(names))
+						w := float64(1 + rng.intn(3))
+						backends[i].SetWeight(w)
+						ref.SetWeight(names[i], w)
+					}
+				}
+				for _, o := range open {
+					o.rel.Done(0)
+					o.rrel.Done(0)
+				}
+
+				// The sequences matched step by step; the accumulated
+				// bookkeeping must agree too.
+				if bal.Rejects() != ref.Rejects() {
+					t.Fatalf("rejects %d vs reference %d", bal.Rejects(), ref.Rejects())
+				}
+				for i, be := range backends {
+					rbe := ref.backends[i]
+					rbe.mu.Lock()
+					rd, rc, rt, rlb := rbe.dispatched, rbe.completed, rbe.traffic, rbe.lbValue
+					rbe.mu.Unlock()
+					if be.Dispatched() != rd || be.Completed() != rc || be.Traffic() != rt {
+						t.Fatalf("%s counters (%d,%d,%d) vs reference (%d,%d,%d)",
+							be.Name(), be.Dispatched(), be.Completed(), be.Traffic(), rd, rc, rt)
+					}
+					if lb := be.LBValue(); lb != rlb {
+						t.Fatalf("%s lb_value %g vs reference %g", be.Name(), lb, rlb)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDispatchSwapStress hammers the snapshot path from every angle at
+// once — dispatch workers, policy swaps, mechanism swaps, quarantine
+// flips, weight changes — and is most valuable under -race, where any
+// unsynchronized access to the old mutex-era fields would surface.
+// Stays on in -short (CI's race leg runs short mode).
+func TestDispatchSwapStress(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	backends := make([]*Backend, len(names))
+	for i, n := range names {
+		backends[i] = NewBackend(n, "http://unused", 64)
+	}
+	cfg := Config{
+		Sweeps:       1,
+		AcquireSleep: time.Millisecond, AcquireTimeout: 3 * time.Millisecond,
+		BusyRecovery: time.Millisecond, ErrorRecovery: 2 * time.Millisecond,
+	}
+	bal := NewBalancer(PolicyCurrentLoad, MechanismModified, backends, cfg)
+
+	const workers = 8
+	const iters = 3000
+	var dispatched, completed atomic.Uint64
+	var workerWG, mutatorWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	mutatorWG.Add(1)
+	go func() { // control plane: swap everything continuously
+		defer mutatorWG.Done()
+		policies := []Policy{PolicyTotalRequest, PolicyTotalTraffic, PolicyCurrentLoad, PolicyRoundRobin, PolicyPrequal}
+		mechs := []Mechanism{MechanismModified, MechanismOriginal}
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			bal.SetPolicy(policies[i%len(policies)])
+			bal.SetMechanism(mechs[i%len(mechs)])
+			bal.SetQuarantine(names[i%len(names)], i%3 == 0)
+			backends[i%len(backends)].SetWeight(float64(1 + i%4))
+			if i%7 == 0 {
+				bal.ArmProbe(names[i%len(names)])
+			}
+			i++
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		go func(w int) {
+			defer workerWG.Done()
+			for i := 0; i < iters; i++ {
+				be, rel, err := bal.Acquire(int64(i % 512))
+				if err != nil {
+					continue
+				}
+				if be == nil {
+					t.Error("nil backend with nil error")
+					return
+				}
+				dispatched.Add(1)
+				if i%13 == 0 {
+					rel.Fail()
+				} else {
+					rel.Done(int64(i % 2048))
+				}
+				completed.Add(1)
+			}
+		}(w)
+	}
+
+	workerWG.Wait()
+	close(stop)
+	mutatorWG.Wait()
+	// Re-admit everything so the conservation check below is not
+	// confused by a final quarantine left in place.
+	for _, n := range names {
+		bal.SetQuarantine(n, false)
+	}
+
+	// Conservation: every successful Acquire was released exactly once,
+	// so nothing is left in flight and every pool token is home.
+	var totalDispatched, totalCompleted uint64
+	for _, be := range backends {
+		totalDispatched += be.Dispatched()
+		totalCompleted += be.Completed()
+		if inF := be.InFlight(); inF != 0 {
+			t.Errorf("%s: %d in flight after drain", be.Name(), inF)
+		}
+		if free := be.FreeEndpoints(); free != 64 {
+			t.Errorf("%s: %d/64 endpoint tokens after drain", be.Name(), free)
+		}
+	}
+	if totalDispatched != totalCompleted {
+		t.Errorf("dispatched %d != completed %d", totalDispatched, totalCompleted)
+	}
+	if totalDispatched != dispatched.Load() {
+		t.Errorf("backend dispatch sum %d != successful acquires %d", totalDispatched, dispatched.Load())
+	}
+}

@@ -12,23 +12,29 @@ import (
 // current_load's invariant lb_value == in-flight holds immediately
 // after swapping in.
 //
-// Lock ordering: SetPolicy holds b.mu and then each be.mu. The dispatch
-// path therefore always reads the policy/mechanism via the b.mu-guarded
-// accessors BEFORE taking any backend lock, never the other way around.
+// Concurrency model (DESIGN.md §12): every swap builds a fresh
+// balSnapshot and publishes it with one atomic store; dispatches load
+// the snapshot once per choice and never observe a half-applied swap.
+// writerMu serializes the writers against each other only — no reader
+// ever takes it, so the control plane can reconfigure under full
+// dispatch load without stalling a single request.
 
 // CurrentPolicy reads the live policy (it may differ from the
-// construction-time one after an adaptive hot-swap).
-func (b *Balancer) CurrentPolicy() Policy {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.policy
-}
+// construction-time one after an adaptive hot-swap). Lock-free.
+func (b *Balancer) CurrentPolicy() Policy { return b.snap.Load().policy }
 
-// CurrentMechanism reads the live mechanism.
-func (b *Balancer) CurrentMechanism() Mechanism {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.mech
+// CurrentMechanism reads the live mechanism. Lock-free.
+func (b *Balancer) CurrentMechanism() Mechanism { return b.snap.Load().mech }
+
+// bumpWakeLocked publishes snapshot next with a fresh wake channel and
+// closes the previous one, releasing every worker sleeping in an
+// original-mechanism poll so it re-checks its abort conditions
+// immediately. Caller holds writerMu; next.wake is overwritten.
+func (b *Balancer) bumpWakeLocked(next balSnapshot) {
+	old := b.snap.Load()
+	next.wake = make(chan struct{})
+	b.snap.Store(&next)
+	close(old.wake)
 }
 
 // SetPolicy swaps the lb_value bookkeeping at runtime, reseeding every
@@ -38,25 +44,30 @@ func (b *Balancer) CurrentMechanism() Mechanism {
 // immediate probe round), so the incoming policy starts from live
 // evidence rather than samples gathered under the previous regime.
 func (b *Balancer) SetPolicy(p Policy) {
-	b.mu.Lock()
-	b.policy = p
-	reseed := b.reseedProbes
+	b.writerMu.Lock()
+	next := *b.snap.Load()
+	next.policy = p
+	b.snap.Store(&next)
 	for _, be := range b.backends {
-		be.mu.Lock()
+		// Atomic counter reads + atomic store: a dispatch racing the
+		// reseed lands an increment that is folded into (or follows)
+		// the reseeded value — the same point-in-time approximation the
+		// mutex version made, since dispatches never held the balancer
+		// lock across their backend bookkeeping.
 		switch p {
 		case PolicyTotalRequest:
-			be.lbValue = float64(be.dispatched) / be.weightLocked()
+			be.lbValue.Store(float64(be.dispatched.Load()) / be.weightVal())
 		case PolicyTotalTraffic:
-			be.lbValue = float64(be.traffic) / be.weightLocked()
+			be.lbValue.Store(float64(be.traffic.Load()) / be.weightVal())
 		case PolicyCurrentLoad, PolicyPrequal:
-			be.lbValue = float64(be.dispatched-be.completed) / be.weightLocked()
+			be.lbValue.Store(float64(be.InFlight()) / be.weightVal())
 		case PolicyRoundRobin:
 			// Unscaled in-flight bookkeeping, matching lb.RoundRobin.
-			be.lbValue = float64(be.dispatched - be.completed)
+			be.lbValue.Store(float64(be.InFlight()))
 		}
-		be.mu.Unlock()
 	}
-	b.mu.Unlock()
+	reseed := next.reseed
+	b.writerMu.Unlock()
 	// The reseed hook fires probes over real sockets; run it outside
 	// every balancer lock.
 	if p == PolicyPrequal && reseed != nil {
@@ -70,10 +81,11 @@ func (b *Balancer) SetPolicy(p Policy) {
 // original→modified swap frees blocked workers immediately instead of
 // holding them for the rest of the acquire window.
 func (b *Balancer) SetMechanism(m Mechanism) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.mech = m
-	b.bumpWakeLocked()
+	b.writerMu.Lock()
+	defer b.writerMu.Unlock()
+	next := *b.snap.Load()
+	next.mech = m
+	b.bumpWakeLocked(next)
 }
 
 // SetQuarantine drains (or re-admits) a backend by name: while
@@ -91,38 +103,37 @@ func (b *Balancer) SetQuarantine(name string, on bool) bool {
 		// mechanism: quarantine means no endpoint is coming, and every
 		// blocked worker is one less goroutine emptying the accept
 		// queue (the paper's amplification path).
-		b.mu.Lock()
-		b.bumpWakeLocked()
-		b.mu.Unlock()
+		b.writerMu.Lock()
+		b.bumpWakeLocked(*b.snap.Load())
+		b.writerMu.Unlock()
 	}
 	for _, be := range b.backends {
 		if be.name != name {
 			continue
 		}
 		be.mu.Lock()
-		be.quarantined = on
-		if !on {
-			be.probeArmed = false
-			if policy == PolicyTotalRequest || policy == PolicyTotalTraffic {
-				seed := be.lbValue
-				be.mu.Unlock()
-				for _, o := range b.backends {
-					if o == be {
-						continue
-					}
-					o.mu.Lock()
-					if o.lbValue > seed {
-						seed = o.lbValue
-					}
-					o.mu.Unlock()
+		w := be.word.Load()
+		if on {
+			be.applyLocked(w, w|hotQuarantined)
+			be.mu.Unlock()
+			return true
+		}
+		be.applyLocked(w, w&^(hotQuarantined|hotProbeArmed))
+		be.mu.Unlock()
+		if policy == PolicyTotalRequest || policy == PolicyTotalTraffic {
+			seed := 0.0
+			for _, o := range b.backends {
+				if o == be {
+					continue
 				}
-				be.mu.Lock()
-				if seed > be.lbValue {
-					be.lbValue = seed
+				if v := o.lbValue.Load(); v > seed {
+					seed = v
 				}
 			}
+			// StoreMax, not Store: a concurrent bookkeeping update must
+			// not be clobbered by a stale read-modify-write.
+			be.lbValue.StoreMax(seed)
 		}
-		be.mu.Unlock()
 		return true
 	}
 	return false
@@ -138,9 +149,10 @@ func (b *Balancer) ArmProbe(name string) bool {
 			continue
 		}
 		be.mu.Lock()
+		w := be.word.Load()
 		armed := false
-		if be.quarantined && !be.probing {
-			be.probeArmed = true
+		if w&hotQuarantined != 0 && w&hotProbing == 0 {
+			be.applyLocked(w, w|hotProbeArmed)
 			armed = true
 		}
 		be.mu.Unlock()
@@ -157,16 +169,10 @@ func (b *Balancer) SetProbeHook(hook func(be *Backend, rt time.Duration, ok bool
 	b.onProbe = hook
 }
 
-// Quarantined reads the backend's quarantine flag.
+// Quarantined reads the backend's quarantine flag (lock-free).
 func (b *Backend) Quarantined() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.quarantined
+	return b.word.Load()&hotQuarantined != 0
 }
 
-// Traffic reads the cumulative bytes exchanged.
-func (b *Backend) Traffic() int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.traffic
-}
+// Traffic reads the cumulative bytes exchanged (lock-free).
+func (b *Backend) Traffic() int64 { return b.traffic.Load() }

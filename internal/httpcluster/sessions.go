@@ -7,64 +7,89 @@ import (
 // Sticky sessions and weights for the wall-clock balancer, mirroring
 // internal/lb's mod_jk features. Sessions are identified by an opaque
 // string (typically a cookie value); weights are mod_jk's lbfactor.
+// Both sit on the per-request path, so neither takes a global lock:
+// weights are atomic floats and the session table is sharded by key
+// hash — concurrent requests for different sessions proceed on
+// different shard locks.
 
 // SetWeight assigns the backend's lbfactor (values ≤ 0 mean 1): a
 // weight-2 backend receives twice a weight-1 backend's traffic because
 // its lb_value increments are halved.
 func (b *Backend) SetWeight(w float64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	if w <= 0 {
 		w = 1
 	}
-	b.weight = w
+	b.weight.Store(w)
 }
 
-// Weight returns the backend's lbfactor.
-func (b *Backend) Weight() float64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.weightLocked()
-}
+// Weight returns the backend's lbfactor (lock-free).
+func (b *Backend) Weight() float64 { return b.weightVal() }
 
-func (b *Backend) weightLocked() float64 {
-	if b.weight == 0 {
-		return 1
-	}
-	return b.weight
-}
+// sessionShards is the session-table shard count. A power of two so the
+// hash folds with a mask; 16 shards keep the table effectively
+// contention-free at any worker count the proxy runs.
+const sessionShards = 16
 
-// sessionTable maps session keys to their pinned backend.
+// sessionTable maps session keys to their pinned backend, sharded by
+// FNV-1a of the key. RWMutex per shard: the overwhelmingly common
+// operation is a read of an existing binding.
 type sessionTable struct {
-	mu sync.Mutex
+	shards [sessionShards]sessionShard
+}
+
+type sessionShard struct {
+	mu sync.RWMutex
 	m  map[string]*Backend
+}
+
+// sessionHash is FNV-1a over the key — allocation-free, good spread on
+// cookie-shaped strings.
+func sessionHash(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (t *sessionTable) shard(key string) *sessionShard {
+	return &t.shards[sessionHash(key)&(sessionShards-1)]
 }
 
 func (t *sessionTable) get(key string) *Backend {
 	if key == "" {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.m[key]
+	s := t.shard(key)
+	s.mu.RLock()
+	be := s.m[key]
+	s.mu.RUnlock()
+	return be
 }
 
 func (t *sessionTable) bind(key string, be *Backend) {
 	if key == "" {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.m == nil {
-		t.m = make(map[string]*Backend)
+	s := t.shard(key)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[string]*Backend)
 	}
-	t.m[key] = be
+	s.m[key] = be
+	s.mu.Unlock()
 }
 
 func (t *sessionTable) len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.m)
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // Sessions reports the number of bound sessions.
@@ -78,12 +103,13 @@ func (b *Balancer) Sessions() int { return b.sessions.len() }
 func (b *Balancer) AcquireSession(sessionKey string, requestBytes int64) (*Backend, Release, error) {
 	if b.cfg.StickySessions && sessionKey != "" {
 		if be := b.sessions.get(sessionKey); be != nil && be.State() != BackendError && !be.Quarantined() {
+			snap := b.snap.Load()
 			if b.onAssign != nil {
 				b.onAssign(be)
 			}
-			b.emitDecision(be)
+			b.emitDecision(snap, be)
 			if b.acquireEndpoint(be) {
-				b.noteDispatch(be)
+				b.noteDispatch(be, snap.policy)
 				return be, Release{bal: b, be: be, requestBytes: requestBytes}, nil
 			}
 			b.noteFailure(be)

@@ -1,0 +1,101 @@
+package probe
+
+import (
+	"testing"
+	"time"
+)
+
+// seedHandlePools fills pools for four backends with distinct in-flight
+// and latency readings at clock zero.
+func seedHandlePools(t *testing.T) (*Pools, *fakeClock, []string, []Handle) {
+	t.Helper()
+	p, clk := newTestPools(Config{TTL: time.Hour, ReuseBudget: 1 << 30, D: 3})
+	names := []string{"a", "b", "c", "d"}
+	for i, n := range names {
+		p.Observe(n, float64(i+1), time.Duration(i+1)*time.Millisecond)
+	}
+	hs := make([]Handle, len(names))
+	for i, n := range names {
+		hs[i] = p.Handle(n)
+	}
+	return p, clk, names, hs
+}
+
+// TestPickHandlesMatchesPick: over a full mask, PickHandles must make
+// exactly the choices Pick makes from the same rand stream — it is the
+// same algorithm minus the map lookups, not a different policy.
+func TestPickHandlesMatchesPick(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		p1, _, names, _ := seedHandlePools(t)
+		p2, _, _, hs := seedHandlePools(t)
+		r1, r2 := testRNG(), testRNG()
+		for step := 0; step < trial+1; step++ {
+			want := p1.Pick(names, r1)
+			got := p2.PickHandles(hs, 1<<len(hs)-1, r2, 0)
+			if got != want {
+				t.Fatalf("trial %d step %d: PickHandles = %d, Pick = %d", trial, step, got, want)
+			}
+		}
+	}
+}
+
+// TestPickHandlesMaskExcludes: a masked-out backend is never chosen no
+// matter how attractive its samples are.
+func TestPickHandlesMaskExcludes(t *testing.T) {
+	p, _, _, hs := seedHandlePools(t)
+	// Backend 0 ("a") has the lowest in-flight and latency — the sure
+	// winner when eligible. Mask it out and it must never come back.
+	rng := testRNG()
+	for i := 0; i < 200; i++ {
+		got := p.PickHandles(hs, 0b1110, rng, 0)
+		if got == 0 {
+			t.Fatalf("iteration %d: chose masked-out candidate 0", i)
+		}
+		if got < 0 {
+			t.Fatalf("iteration %d: no choice despite fresh samples", i)
+		}
+	}
+	if got := p.PickHandles(hs, 0, rng, 0); got != -1 {
+		t.Fatalf("empty mask chose %d, want -1", got)
+	}
+}
+
+// TestPickHandlesSurviveClear: Clear truncates pools but must not
+// invalidate resolved handles — after reseeding, the same handles see
+// the new samples.
+func TestPickHandlesSurviveClear(t *testing.T) {
+	p, _, names, hs := seedHandlePools(t)
+	p.Clear()
+	if got := p.PickHandles(hs, 1<<len(hs)-1, testRNG(), 0); got != -1 {
+		t.Fatalf("PickHandles over cleared pools = %d, want -1", got)
+	}
+	p.Observe(names[2], 1, time.Millisecond)
+	for i := 0; i < 50; i++ {
+		if got := p.PickHandles(hs, 1<<len(hs)-1, testRNG(), 0); got != 2 {
+			t.Fatalf("after reseed PickHandles = %d, want 2 (only fresh pool)", got)
+		}
+	}
+}
+
+// TestPickHandlesChargesReuse: consulted samples are charged exactly as
+// Pick charges them, so the reuse budget still bounds how long one
+// flattering sample can steer selection.
+func TestPickHandlesChargesReuse(t *testing.T) {
+	p, _ := newTestPools(Config{TTL: time.Hour, ReuseBudget: 3, D: 1})
+	p.Observe("only", 1, time.Millisecond)
+	hs := []Handle{p.Handle("only")}
+	rng := testRNG()
+	for i := 0; i < 2; i++ {
+		if got := p.PickHandles(hs, 1, rng, 0); got != 0 {
+			t.Fatalf("pick %d = %d, want 0", i, got)
+		}
+	}
+	// Third consultation spends the budget; the sample is dropped and
+	// the next pick finds nothing.
+	if got := p.PickHandles(hs, 1, rng, 0); got != 0 {
+		t.Fatalf("budget-spending pick = %d, want 0", got)
+	}
+	if got := p.PickHandles(hs, 1, rng, 0); got != -1 {
+		t.Fatalf("post-budget pick = %d, want -1", got)
+	}
+}

@@ -129,6 +129,38 @@ func (s *Series) Maxes() []float64 {
 	return out
 }
 
+// Merge folds another series of the same window width into this one,
+// index-wise: counts and sums add, minima and maxima combine. Merging
+// per-shard series after a run reproduces exactly the series a single
+// shared recorder would have built, which is what lets recording shard
+// without changing any downstream reader.
+func (s *Series) Merge(other *Series) {
+	if other == nil || len(other.windows) == 0 {
+		return
+	}
+	if other.width != s.width {
+		panic("stats: Series.Merge requires matching window widths")
+	}
+	if n := len(other.windows) - len(s.windows); n > 0 {
+		s.windows = append(s.windows, make([]Window, n)...)
+	}
+	for i := range other.windows {
+		ow := &other.windows[i]
+		if ow.Count == 0 {
+			continue
+		}
+		w := &s.windows[i]
+		if w.Count == 0 || ow.Min < w.Min {
+			w.Min = ow.Min
+		}
+		if w.Count == 0 || ow.Max > w.Max {
+			w.Max = ow.Max
+		}
+		w.Count += ow.Count
+		w.Sum += ow.Sum
+	}
+}
+
 // PeakWindow returns the index and value of the window with the largest
 // maximum. It returns (-1, 0) for an empty series.
 func (s *Series) PeakWindow() (int, float64) {
