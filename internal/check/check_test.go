@@ -1,0 +1,142 @@
+package check
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"millibalance/internal/httpcluster"
+)
+
+// writeFailure persists a minimized failing script under
+// testdata/failures/ so CI can upload it as an artifact and a developer
+// can reproduce the divergence off-machine (and, once fixed, promote it
+// into testdata/ as a committed regression).
+func writeFailure(t *testing.T, tag string, s Script) string {
+	t.Helper()
+	dir := filepath.Join("testdata", "failures")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("mkdir %s: %v", dir, err)
+	}
+	path := filepath.Join(dir, tag+".script")
+	if err := os.WriteFile(path, []byte(s.Marshal()), 0o644); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	return path
+}
+
+// TestDifferentialGenerated is the acceptance gate: ≥ 10k generated
+// scripts across all four deterministic policies × both mechanisms with
+// zero Balancer↔ReferenceBalancer divergence. On a failure the script
+// is ddmin-minimized and written under testdata/failures/ before the
+// test aborts.
+func TestDifferentialGenerated(t *testing.T) {
+	const perCell = 1250 // × 4 policies × 2 mechanisms = 10k scripts
+	mechs := []httpcluster.Mechanism{httpcluster.MechanismModified, httpcluster.MechanismOriginal}
+	for pi, policy := range scriptPolicies {
+		for mi, mech := range mechs {
+			policy, mech := policy, mech
+			cell := uint64(pi*len(mechs)+mi) << 32
+			t.Run(fmt.Sprintf("%s/%s", policy, mechName(mech)), func(t *testing.T) {
+				t.Parallel()
+				for i := 0; i < perCell; i++ {
+					seed := cell | uint64(i)
+					s := Generate(seed)
+					// Pin the cell's starting point so the 4×2 coverage is
+					// guaranteed rather than probabilistic; the ops still
+					// hot-swap both dimensions mid-script.
+					s.Policy = policy
+					s.Mech = mech
+					if f := Run(s); f != nil {
+						min := Shrink(s, func(c Script) bool { return Run(c) != nil })
+						path := writeFailure(t, fmt.Sprintf("gen-%d", seed), min)
+						t.Fatalf("seed %#x diverged: %v\nminimized (%d ops) written to %s:\n%s",
+							seed, f, len(min.Ops), path, min.Marshal())
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialCorpus replays every committed script under
+// testdata/. Each file is the minimized form of a divergence or
+// invariant violation this harness found — the regression suite for the
+// bugs fixed in the same change that introduced the harness.
+func TestDifferentialCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.script"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no corpus scripts under testdata/")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			raw, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := Unmarshal(string(raw))
+			if err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if f := Run(s); f != nil {
+				t.Fatalf("regression reproduced: %v", f)
+			}
+		})
+	}
+}
+
+// TestScriptRoundTrip pins the corpus text format: Marshal∘Unmarshal is
+// the identity on generated scripts, so a committed regression replays
+// exactly the ops that were minimized.
+func TestScriptRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		s := Generate(seed)
+		parsed, err := Unmarshal(s.Marshal())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if parsed.Arm != s.Arm || parsed.Backends != s.Backends ||
+			parsed.Endpoints != s.Endpoints || parsed.Policy != s.Policy ||
+			parsed.Mech != s.Mech || len(parsed.Ops) != len(s.Ops) {
+			t.Fatalf("seed %d: header mismatch: %+v vs %+v", seed, parsed, s)
+		}
+		for i := range s.Ops {
+			a, b := s.Ops[i], parsed.Ops[i]
+			same := a.Kind == b.Kind && a.A == b.A && a.B == b.B &&
+				a.On == b.On && a.Policy == b.Policy && a.Mech == b.Mech &&
+				(a.F == b.F || (a.F != a.F && b.F != b.F)) // NaN round-trips as NaN
+			if !same {
+				t.Fatalf("seed %d op %d: %+v vs %+v", seed, i, a, b)
+			}
+		}
+	}
+}
+
+// TestShrinkMinimizes sanity-checks the shrinker on a synthetic
+// predicate: from a 100-op script where failure only needs one specific
+// op, ddmin must reduce to exactly that op.
+func TestShrinkMinimizes(t *testing.T) {
+	s := Generate(42)
+	for len(s.Ops) < 100 {
+		s.Ops = append(s.Ops, Generate(uint64(len(s.Ops))).Ops...)
+	}
+	s.Ops = s.Ops[:100]
+	s.Ops[57] = Op{Kind: OpWeight, A: 1, F: -12345}
+	fails := func(c Script) bool {
+		for _, op := range c.Ops {
+			if op.Kind == OpWeight && op.F == -12345 {
+				return true
+			}
+		}
+		return false
+	}
+	min := Shrink(s, fails)
+	if len(min.Ops) != 1 || min.Ops[0].F != -12345 {
+		t.Fatalf("shrunk to %d ops, want the single sentinel op: %+v", len(min.Ops), min.Ops)
+	}
+}

@@ -1,0 +1,185 @@
+//go:build checkyield
+
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"millibalance/internal/httpcluster"
+)
+
+// The interleaving explorer — leg (b) of the harness (DESIGN.md §13).
+//
+// Under -tags checkyield, internal/httpcluster compiles chkYield calls
+// at the lock-free points of the dispatch path (token CAS loops,
+// snapshot loads, the round-robin cursor, the noteDispatch/noteComplete
+// fast paths). The Explorer installs a hook at those points and
+// serializes a set of worker goroutines: exactly one worker runs at a
+// time, and whenever every live worker is parked at a yield site the
+// explorer picks — with a seeded splitmix64 RNG — which one proceeds
+// through its next segment. One Run therefore executes one specific
+// interleaving of the CAS operations, chosen deterministically by the
+// seed; sweeping seeds explores the schedule space, and because every
+// pick point is globally quiescent (no worker mid-segment), the
+// Check callback can inspect balancer state between steps — a
+// linearizability-style invariant check of the token/packed-word state
+// machine at every schedule point, not just at the end.
+
+// goid parses the current goroutine's id from its stack header
+// ("goroutine N [running]:"). Test-only, behind the build tag; the
+// dispatch path never pays for it.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	fields := bytes.Fields(buf[:n])
+	id, err := strconv.ParseUint(string(fields[1]), 10, 64)
+	if err != nil {
+		panic(fmt.Sprintf("check: unparseable stack header %q", buf[:n]))
+	}
+	return id
+}
+
+type yieldEv struct {
+	id   uint64
+	site string
+}
+
+type ilWorker struct {
+	idx    int
+	resume chan struct{}
+}
+
+// Explorer serializes worker goroutines at the chkYield sites and
+// explores step orderings with a seeded RNG.
+type Explorer struct {
+	// Check, when set, runs at every quiescent scheduling point (all
+	// live workers parked) and aborts the run by returning an error.
+	Check func() error
+	// Trace records the schedule as "workerIdx:site" steps — identical
+	// across runs with the same seed and the same worker set, which
+	// TestInterleaveDeterministic pins.
+	Trace []string
+
+	rng     rng
+	mu      sync.Mutex
+	workers map[uint64]*ilWorker
+	atYield chan yieldEv
+	doneCh  chan uint64
+	aborted atomic.Bool
+}
+
+// NewExplorer returns an explorer whose schedule choices derive from
+// seed.
+func NewExplorer(seed uint64) *Explorer {
+	return &Explorer{rng: rng{s: seed}}
+}
+
+// hook is installed as the httpcluster yield hook for the duration of a
+// Run. Goroutines that never registered (the test main, runtime
+// helpers) pass through untouched.
+func (e *Explorer) hook(site string) {
+	if e.aborted.Load() {
+		return
+	}
+	id := goid()
+	e.mu.Lock()
+	w, ok := e.workers[id]
+	e.mu.Unlock()
+	if !ok {
+		return
+	}
+	e.atYield <- yieldEv{id: id, site: site}
+	<-w.resume
+}
+
+// Run executes the workers under the cooperative scheduler and returns
+// the first Check failure, or nil after all workers complete cleanly.
+// Workers must not spawn goroutines that touch the balancer (they would
+// free-run), and must terminate.
+func (e *Explorer) Run(workers ...func()) error {
+	e.workers = make(map[uint64]*ilWorker, len(workers))
+	e.atYield = make(chan yieldEv)
+	e.doneCh = make(chan uint64)
+	httpcluster.SetYieldHook(e.hook)
+	defer httpcluster.SetYieldHook(nil)
+
+	for i, w := range workers {
+		i, w := i, w
+		go func() {
+			id := goid()
+			wk := &ilWorker{idx: i, resume: make(chan struct{})}
+			e.mu.Lock()
+			e.workers[id] = wk
+			e.mu.Unlock()
+			// Park at a synthetic first site so the scheduler controls
+			// the worker from its very first instruction.
+			e.atYield <- yieldEv{id: id, site: "start"}
+			<-wk.resume
+			w()
+			e.doneCh <- id
+		}()
+	}
+
+	blocked := map[uint64]string{}
+	live := len(workers)
+	for {
+		// Quiesce: wait until every live worker is parked or done. At
+		// most one worker is ever running, so this waits on exactly it.
+		for len(blocked) < live {
+			select {
+			case ev := <-e.atYield:
+				blocked[ev.id] = ev.site
+			case id := <-e.doneCh:
+				live--
+				e.mu.Lock()
+				delete(e.workers, id)
+				e.mu.Unlock()
+			}
+		}
+		if e.Check != nil {
+			if err := e.Check(); err != nil {
+				return e.abort(blocked, live, err)
+			}
+		}
+		if live == 0 {
+			return nil
+		}
+		// Pick the next worker by logical index so the choice — and
+		// hence the whole schedule — is a pure function of the seed,
+		// independent of goroutine ids and registration order.
+		ids := make([]uint64, 0, len(blocked))
+		for id := range blocked {
+			ids = append(ids, id)
+		}
+		e.mu.Lock()
+		sort.Slice(ids, func(a, b int) bool { return e.workers[ids[a]].idx < e.workers[ids[b]].idx })
+		chosen := ids[int(e.rng.next()%uint64(len(ids)))]
+		wk := e.workers[chosen]
+		e.mu.Unlock()
+		e.Trace = append(e.Trace, fmt.Sprintf("%d:%s", wk.idx, blocked[chosen]))
+		delete(blocked, chosen)
+		wk.resume <- struct{}{}
+	}
+}
+
+// abort releases every parked worker to free-run to completion (the
+// hook passes through once aborted) and drains their exits, so a failed
+// Run leaks no goroutines.
+func (e *Explorer) abort(blocked map[uint64]string, live int, err error) error {
+	e.aborted.Store(true)
+	e.mu.Lock()
+	for id := range blocked {
+		close(e.workers[id].resume)
+	}
+	e.mu.Unlock()
+	for ; live > 0; live-- {
+		<-e.doneCh
+	}
+	return err
+}

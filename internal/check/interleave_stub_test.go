@@ -1,0 +1,13 @@
+//go:build !checkyield
+
+package check
+
+import "testing"
+
+// The interleaving explorer needs the chkYield sites compiled into
+// internal/httpcluster, which only happens under -tags checkyield
+// (yield_on.go). This stub keeps the test name visible in normal runs
+// and points at the invocation CI uses.
+func TestInterleavings(t *testing.T) {
+	t.Skip("interleaving explorer requires -tags checkyield: go test -tags checkyield ./internal/check/ (see DESIGN.md §13)")
+}

@@ -1,0 +1,155 @@
+//go:build checkyield
+
+package check
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"millibalance/internal/httpcluster"
+)
+
+// ilScenario builds the contended fixture the explorer schedules: two
+// backends with a single endpoint token each, so every pair of
+// concurrent dispatches races on the token CAS loops, plus the balancer
+// invariant check evaluated at every quiescent scheduling point.
+func ilScenario() (*httpcluster.Balancer, []*httpcluster.Backend, func() error) {
+	backends := []*httpcluster.Backend{
+		httpcluster.NewBackend("a", "http://unused", 1),
+		httpcluster.NewBackend("b", "http://unused", 1),
+	}
+	cfg := httpcluster.Config{
+		Sweeps:         1,
+		AcquireSleep:   time.Nanosecond,
+		AcquireTimeout: 2 * time.Nanosecond,
+		BusyRecovery:   time.Nanosecond,
+		ErrorRecovery:  time.Nanosecond,
+		ErrorThreshold: 2,
+		ErrorAfter:     time.Hour,
+	}
+	bal := httpcluster.NewBalancer(httpcluster.PolicyCurrentLoad, httpcluster.MechanismModified, backends, cfg)
+	check := func() error {
+		for _, be := range backends {
+			free := be.FreeEndpoints()
+			if free < 0 || free > 1 {
+				return fmt.Errorf("%s: %d free tokens outside [0,1]", be.Name(), free)
+			}
+			inF := be.InFlight()
+			if inF < 0 {
+				return fmt.Errorf("%s: negative in-flight %d", be.Name(), inF)
+			}
+			// A request is in flight from noteDispatch until its
+			// completed increment, and it holds its endpoint token for
+			// that whole window — so claimed tokens bound in-flight at
+			// every quiescent point.
+			if claimed := 1 - free; inF > claimed {
+				return fmt.Errorf("%s: %d in flight but only %d tokens claimed", be.Name(), inF, claimed)
+			}
+			if lb := be.LBValue(); !finite(lb) || lb < 0 {
+				return fmt.Errorf("%s: lb_value %g", be.Name(), lb)
+			}
+		}
+		return nil
+	}
+	return bal, backends, check
+}
+
+// ilWorkers returns the worker set for one exploration: two dispatchers
+// racing Acquire/Done/Fail against the two-token cluster while a
+// control worker hot-swaps policy, quarantine and weight mid-flight.
+// acquired counts successful dispatches per worker.
+func ilWorkers(bal *httpcluster.Balancer, backends []*httpcluster.Backend, seed uint64, acquired []uint64) []func() {
+	dispatcher := func(n int, slot int, failEvery int) func() {
+		return func() {
+			for i := 0; i < n; i++ {
+				_, rel, err := bal.Acquire(int64(8 * (i + 1)))
+				if err != nil {
+					continue
+				}
+				acquired[slot]++
+				if failEvery > 0 && i%failEvery == failEvery-1 {
+					rel.Fail()
+				} else {
+					rel.Done(int64(16 * (i + 1)))
+				}
+			}
+		}
+	}
+	control := func() {
+		policies := []httpcluster.Policy{
+			httpcluster.PolicyRoundRobin,
+			httpcluster.PolicyTotalRequest,
+			httpcluster.PolicyCurrentLoad,
+		}
+		bal.SetPolicy(policies[seed%uint64(len(policies))])
+		bal.SetQuarantine("a", true)
+		backends[1].SetWeight(2)
+		bal.SetQuarantine("a", false)
+		bal.SetMechanism(httpcluster.MechanismModified)
+	}
+	return []func(){dispatcher(3, 0, 0), dispatcher(3, 1, 2), control}
+}
+
+// explore runs one seeded schedule and returns the trace.
+func explore(t *testing.T, seed uint64) []string {
+	t.Helper()
+	bal, backends, check := ilScenario()
+	acquired := make([]uint64, 2)
+	ex := NewExplorer(seed)
+	ex.Check = check
+	if err := ex.Run(ilWorkers(bal, backends, seed, acquired)...); err != nil {
+		t.Fatalf("seed %d: invariant violated mid-schedule: %v\ntrace:\n  %s",
+			seed, err, strings.Join(ex.Trace, "\n  "))
+	}
+	// Quiesced: conservation must hold exactly.
+	var dispatched, completed uint64
+	for _, be := range backends {
+		if free := be.FreeEndpoints(); free != 1 {
+			t.Fatalf("seed %d: %s has %d/1 tokens after drain", seed, be.Name(), free)
+		}
+		if inF := be.InFlight(); inF != 0 {
+			t.Fatalf("seed %d: %s has %d in flight after drain", seed, be.Name(), inF)
+		}
+		dispatched += be.Dispatched()
+		completed += be.Completed()
+	}
+	if dispatched != completed {
+		t.Fatalf("seed %d: dispatched %d != completed %d", seed, dispatched, completed)
+	}
+	if want := acquired[0] + acquired[1]; dispatched != want {
+		t.Fatalf("seed %d: backends dispatched %d, workers acquired %d", seed, dispatched, want)
+	}
+	return ex.Trace
+}
+
+// TestInterleavings sweeps seeded schedules through the contended
+// fixture. Each seed fixes one interleaving of the lock-free dispatch
+// path's CAS steps; the invariant check runs at every scheduling point.
+func TestInterleavings(t *testing.T) {
+	seeds := 300
+	if testing.Short() {
+		seeds = 60
+	}
+	for seed := 0; seed < seeds; seed++ {
+		explore(t, uint64(seed))
+	}
+}
+
+// TestInterleaveDeterministic pins the property resume-and-shrink
+// depend on: the same seed yields the same schedule, step for step.
+func TestInterleaveDeterministic(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		a := explore(t, seed)
+		b := explore(t, seed)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: trace lengths %d vs %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: step %d diverged: %q vs %q", seed, i, a[i], b[i])
+			}
+		}
+	}
+}

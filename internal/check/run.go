@@ -1,0 +1,171 @@
+package check
+
+import (
+	"fmt"
+	"time"
+
+	"millibalance/internal/httpcluster"
+)
+
+// Failure describes the first point at which a script run went wrong:
+// either the two implementations diverged, or one of them broke a
+// dispatch invariant. Step is the index into Script.Ops (len(Ops) means
+// the post-script final-state comparison).
+type Failure struct {
+	Step int
+	Msg  string
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("step %d: %s", f.Step, f.Msg)
+}
+
+// openPair is one outstanding dispatch held by both implementations.
+type openPair struct {
+	rel  httpcluster.Release
+	rrel httpcluster.ReferenceRelease
+}
+
+// Run replays the script against a fresh Balancer and a fresh
+// ReferenceBalancer and returns the first divergence or invariant
+// violation, or nil when the run is clean. Replay is single-threaded
+// and deterministic: every op is applied to both implementations in
+// lockstep and the observable outcome (choice, error, accumulated
+// bookkeeping) is compared after each step.
+func Run(s Script) *Failure {
+	if s.Backends < 1 || s.Backends > MaxBackends {
+		return &Failure{Step: -1, Msg: fmt.Sprintf("bad topology: %d backends", s.Backends)}
+	}
+	if s.Endpoints < 1 {
+		return &Failure{Step: -1, Msg: "bad topology: no endpoints"}
+	}
+	names := backendNames[:s.Backends]
+	cfg := s.Arm.Config()
+
+	backends := make([]*httpcluster.Backend, s.Backends)
+	for i, n := range names {
+		backends[i] = httpcluster.NewBackend(n, "http://unused", s.Endpoints)
+	}
+	bal := httpcluster.NewBalancer(s.Policy, s.Mech, backends, cfg)
+	ref := httpcluster.NewReferenceBalancer(s.Policy, names, s.Endpoints, cfg)
+
+	var open []openPair
+	for step, op := range s.Ops {
+		switch op.Kind {
+		case OpAcquire:
+			be, rel, err := bal.Acquire(op.A)
+			rname, rrel, rerr := ref.Acquire(op.A)
+			if (err != nil) != (rerr != nil) {
+				return &Failure{Step: step, Msg: fmt.Sprintf("acquire error %v, reference %v", err, rerr)}
+			}
+			if err == nil {
+				if be.Name() != rname {
+					return &Failure{Step: step, Msg: fmt.Sprintf("chose %s, reference chose %s", be.Name(), rname)}
+				}
+				open = append(open, openPair{rel: rel, rrel: rrel})
+			}
+		case OpDone:
+			if len(open) == 0 {
+				continue
+			}
+			i := int(op.A) % len(open)
+			open[i].rel.Done(op.B)
+			open[i].rrel.Done(op.B)
+			open = append(open[:i], open[i+1:]...)
+		case OpFail:
+			if len(open) == 0 {
+				continue
+			}
+			i := int(op.A) % len(open)
+			open[i].rel.Fail()
+			open[i].rrel.Fail()
+			open = append(open[:i], open[i+1:]...)
+		case OpSetPolicy:
+			bal.SetPolicy(op.Policy)
+			ref.SetPolicy(op.Policy)
+		case OpSetMechanism:
+			// The reference is mechanism-free: with Sweeps=1 and
+			// nanosecond poll sleeps, a single-threaded script cannot
+			// distinguish fail-fast from exhausted-pool polling, so only
+			// the Balancer swaps.
+			bal.SetMechanism(op.Mech)
+		case OpQuarantine:
+			n := names[int(op.A)%len(names)]
+			bal.SetQuarantine(n, op.On)
+			ref.SetQuarantine(n, op.On)
+		case OpWeight:
+			i := int(op.A) % len(backends)
+			backends[i].SetWeight(op.F)
+			ref.SetWeight(names[i], op.F)
+		}
+		if f := checkInvariants(step, backends, ref, s.Endpoints, len(open)); f != nil {
+			return f
+		}
+	}
+	// Drain so the final comparison sees a quiesced system.
+	for _, o := range open {
+		o.rel.Done(0)
+		o.rrel.Done(0)
+	}
+	return compareFinal(len(s.Ops), bal, ref, backends, s.Endpoints)
+}
+
+// checkInvariants asserts the properties that must hold on both
+// implementations after every step, independent of parity: finite
+// lb_values, pool tokens within [0, capacity], and completed ≤
+// dispatched. A violation on either side is a bug in that side even if
+// the two sides agree.
+func checkInvariants(step int, backends []*httpcluster.Backend, ref *httpcluster.ReferenceBalancer, endpoints, open int) *Failure {
+	for _, be := range backends {
+		if lb := be.LBValue(); !finite(lb) || lb < 0 {
+			return &Failure{Step: step, Msg: fmt.Sprintf("%s: lb_value %g not finite and non-negative", be.Name(), lb)}
+		}
+		if w := be.Weight(); !finite(w) || w <= 0 {
+			return &Failure{Step: step, Msg: fmt.Sprintf("%s: weight %g not finite and positive", be.Name(), w)}
+		}
+		if free := be.FreeEndpoints(); free < 0 || free > endpoints {
+			return &Failure{Step: step, Msg: fmt.Sprintf("%s: %d/%d free endpoint tokens", be.Name(), free, endpoints)}
+		}
+		if d, c := be.Dispatched(), be.Completed(); c > d {
+			return &Failure{Step: step, Msg: fmt.Sprintf("%s: completed %d > dispatched %d", be.Name(), c, d)}
+		}
+	}
+	for _, v := range ref.Views(time.Now()) {
+		if !finite(v.LBValue) || v.LBValue < 0 {
+			return &Failure{Step: step, Msg: fmt.Sprintf("reference %s: lb_value %g not finite and non-negative", v.Name, v.LBValue)}
+		}
+		if v.Completed > v.Dispatched {
+			return &Failure{Step: step, Msg: fmt.Sprintf("reference %s: completed %d > dispatched %d", v.Name, v.Completed, v.Dispatched)}
+		}
+	}
+	return nil
+}
+
+// compareFinal checks the drained end state: reject counts, per-backend
+// counters, lb_values, states and quarantine flags must agree exactly.
+func compareFinal(step int, bal *httpcluster.Balancer, ref *httpcluster.ReferenceBalancer, backends []*httpcluster.Backend, endpoints int) *Failure {
+	if br, rr := bal.Rejects(), ref.Rejects(); br != rr {
+		return &Failure{Step: step, Msg: fmt.Sprintf("rejects %d, reference %d", br, rr)}
+	}
+	views := ref.Views(time.Now())
+	for i, be := range backends {
+		v := views[i]
+		if be.Dispatched() != v.Dispatched || be.Completed() != v.Completed || be.Traffic() != v.Traffic {
+			return &Failure{Step: step, Msg: fmt.Sprintf("%s counters (%d,%d,%d), reference (%d,%d,%d)",
+				be.Name(), be.Dispatched(), be.Completed(), be.Traffic(), v.Dispatched, v.Completed, v.Traffic)}
+		}
+		if lb := be.LBValue(); lb != v.LBValue {
+			return &Failure{Step: step, Msg: fmt.Sprintf("%s lb_value %g, reference %g", be.Name(), lb, v.LBValue)}
+		}
+		if st := be.State(); st != v.State {
+			return &Failure{Step: step, Msg: fmt.Sprintf("%s state %v, reference %v", be.Name(), st, v.State)}
+		}
+		if q := be.Quarantined(); q != v.Quarantined {
+			return &Failure{Step: step, Msg: fmt.Sprintf("%s quarantined %v, reference %v", be.Name(), q, v.Quarantined)}
+		}
+		if free := be.FreeEndpoints(); free != v.FreeEndpoints {
+			return &Failure{Step: step, Msg: fmt.Sprintf("%s free %d, reference %d", be.Name(), free, v.FreeEndpoints)}
+		}
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -124,7 +125,11 @@ func ParseSpec(text string) (Spec, error) {
 			spec.Latency, err = parseDur(val)
 		case "loss":
 			spec.Loss, err = strconv.ParseFloat(val, 64)
-			if err == nil && (spec.Loss < 0 || spec.Loss > 1) {
+			// NaN compares false against both bounds, so without its own
+			// check "loss=NaN" parsed as a valid spec (found by
+			// FuzzParseScenario); every subsequent roll against it is
+			// false, silently disabling the shape.
+			if err == nil && (math.IsNaN(spec.Loss) || spec.Loss < 0 || spec.Loss > 1) {
 				err = fmt.Errorf("loss outside [0,1]")
 			}
 		default:

@@ -1,0 +1,71 @@
+package faults
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseScenario asserts the parser's postcondition: whatever bytes
+// arrive, ParseScenario either returns an error or returns specs that
+// satisfy every documented invariant — a known shape, a valid schedule
+// kind, positive interval and duration, and a finite loss within
+// [0, 1]. The NaN-loss hole ("loss=NaN" parsed as valid because NaN
+// compares false against both bounds) was found by exactly this
+// property.
+func FuzzParseScenario(f *testing.F) {
+	f.Add("freeze:periodic:interval=2s:duration=300ms:jitter=500ms:target=app1")
+	f.Add("netloss:oneshot:interval=5s:duration=1s:loss=0.5:target=app2,slow:random:delay=50ms:seed=7")
+	f.Add("crash:periodic:count=3")
+	f.Add("netloss:oneshot:loss=NaN")
+	f.Add("netloss:oneshot:loss=+Inf")
+	f.Add("gc_pause:random:interval=1s:duration=10ms")
+	f.Add("freeze:periodic:duration=-5s")
+	f.Add(":" + strings.Repeat(":", 40))
+	f.Fuzz(func(t *testing.T, text string) {
+		specs, err := ParseScenario(text)
+		if err != nil {
+			return
+		}
+		if len(specs) == 0 {
+			t.Fatal("nil error with zero specs")
+		}
+		for i, s := range specs {
+			switch s.ShapeKind {
+			case "freeze", "gc_pause", "slow", "crash", "netdelay", "netloss":
+			default:
+				t.Errorf("spec %d: unknown shape %q accepted", i, s.ShapeKind)
+			}
+			switch s.Sched.Kind {
+			case Periodic, Random, OneShot:
+			default:
+				t.Errorf("spec %d: invalid schedule kind %v accepted", i, s.Sched.Kind)
+			}
+			if s.Sched.Interval <= 0 || s.Sched.Duration <= 0 {
+				t.Errorf("spec %d: non-positive window %v/%v accepted", i, s.Sched.Interval, s.Sched.Duration)
+			}
+			if s.Sched.Jitter < 0 {
+				t.Errorf("spec %d: negative jitter %v accepted", i, s.Sched.Jitter)
+			}
+			if math.IsNaN(s.Loss) || math.IsInf(s.Loss, 0) || s.Loss < 0 || s.Loss > 1 {
+				t.Errorf("spec %d: loss %g outside [0,1] accepted", i, s.Loss)
+			}
+			if s.Delay < 0 || s.Latency < 0 {
+				t.Errorf("spec %d: negative delay/latency %v/%v accepted", i, s.Delay, s.Latency)
+			}
+		}
+	})
+}
+
+// TestParseScenarioRejectsNonFiniteLoss is the direct regression for
+// the NaN hole, independent of the fuzzer.
+func TestParseScenarioRejectsNonFiniteLoss(t *testing.T) {
+	for _, bad := range []string{"loss=NaN", "loss=nan", "loss=+Inf", "loss=Inf", "loss=-Inf"} {
+		if _, err := ParseScenario("netloss:oneshot:" + bad); err == nil {
+			t.Errorf("ParseScenario accepted %q", bad)
+		}
+	}
+	if _, err := ParseScenario("netloss:oneshot:loss=0.25"); err != nil {
+		t.Errorf("ParseScenario rejected a valid loss: %v", err)
+	}
+}

@@ -282,6 +282,7 @@ func (b *Backend) FreeEndpoints() int { return int(b.free.Load()) }
 // channel lock was the last per-dispatch lock on the happy path.
 func (b *Backend) acquireToken() bool {
 	for {
+		chkYield("acquireToken")
 		f := b.free.Load()
 		if f <= 0 {
 			return false
@@ -293,7 +294,10 @@ func (b *Backend) acquireToken() bool {
 }
 
 // releaseToken returns one endpoint-pool token.
-func (b *Backend) releaseToken() { b.free.Add(1) }
+func (b *Backend) releaseToken() {
+	chkYield("releaseToken")
+	b.free.Add(1)
+}
 
 // weightVal reads the backend's lbfactor (zero bits read as 1).
 func (b *Backend) weightVal() float64 {
@@ -394,10 +398,14 @@ type Balancer struct {
 
 	snap    atomic.Pointer[balSnapshot]
 	rejects atomic.Uint64
-	// rr is the round_robin cursor. Concurrent dispatches advance it
-	// with plain atomic load/store: two racing workers may briefly pick
-	// the same backend, which is harmless (and cheaper than a CAS loop);
-	// a single-goroutine feed rotates exactly as the mutex version did.
+	// rr is the round_robin cursor. The cursor always holds a value in
+	// [0, len(backends)) — it is reduced modulo n on every advance, never
+	// free-running, so the skip/repeat bias a raw counter develops at the
+	// 2^64 wrap (whenever n does not divide 2^64) cannot arise. Advances
+	// are CAS: two racing workers may still pick the same backend (the
+	// loser's advance is simply discarded), but a racing pair can no
+	// longer rewind the cursor by overwriting a fresher advance with a
+	// staler one, which re-served the same backend to later dispatches.
 	rr sync_rrCursor
 
 	// prng backs prequal's power-of-d sampling: a shared rand over a
@@ -414,8 +422,10 @@ type Balancer struct {
 	source   string
 }
 
-// sync_rrCursor wraps the round-robin cursor so its relaxed semantics
-// are documented in one place.
+// sync_rrCursor wraps the round-robin cursor so its semantics —
+// modulo-reduced, CAS-advanced, duplicate picks under contention
+// tolerated but rewinds not — are documented in one place (the rr
+// field comment above rotate).
 type sync_rrCursor struct{ v atomic.Uint64 }
 
 // NewBalancer builds a balancer over the backends.
@@ -587,6 +597,7 @@ func (b *Balancer) Acquire(requestBytes int64) (*Backend, Release, error) {
 			// coherent {policy, pools} generation, re-read between
 			// choices so a runtime swap lands mid-dispatch exactly as
 			// it did when the accessors took the balancer lock.
+			chkYield("acquire.snap")
 			snap := b.snap.Load()
 			be := b.choose(snap, tried)
 			if be == nil {
@@ -596,6 +607,7 @@ func (b *Balancer) Acquire(requestBytes int64) (*Backend, Release, error) {
 				b.onAssign(be)
 			}
 			b.emitDecision(snap, be)
+			chkYield("acquire.claim")
 			if b.acquireEndpoint(be) {
 				b.noteDispatch(be, snap.policy)
 				return be, Release{bal: b, be: be, requestBytes: requestBytes}, nil
@@ -775,10 +787,15 @@ func (b *Balancer) choosePrequal(snap *balSnapshot, tried triedSet, now time.Tim
 // skipped without skewing the rotation. Indexing a per-call eligible
 // slice with a shared counter — the pre-PR 4 implementation — let
 // membership churn re-align the counter and hand consecutive
-// dispatches to the same backend.
+// dispatches to the same backend. The advance is a modulo-reduced CAS
+// (see the rr field comment): a failed CAS means a concurrent rotation
+// already moved the cursor, and overwriting its fresher position with
+// ours would hand the next dispatch an already-served backend.
 func (b *Balancer) rotate(state BackendState, tried triedSet, now time.Time) *Backend {
+	chkYield("rotate")
 	n := uint64(len(b.backends))
-	start := b.rr.v.Load()
+	raw := b.rr.v.Load()
+	start := raw % n
 	for i := uint64(0); i < n; i++ {
 		be := b.backends[(start+i)%n]
 		if tried.has(be) {
@@ -787,7 +804,7 @@ func (b *Balancer) rotate(state BackendState, tried triedSet, now time.Time) *Ba
 		w := be.word.Load()
 		st, _ := effectiveState(w, nanosSince(be.base, now))
 		if st == state && !(w&hotQuarantined != 0 && w&hotProbeArmed == 0) {
-			b.rr.v.Store((start + i + 1) % n)
+			b.rr.v.CompareAndSwap(raw, (start+i+1)%n)
 			return be
 		}
 	}
@@ -800,6 +817,7 @@ func (b *Balancer) rotate(state BackendState, tried triedSet, now time.Time) *Ba
 // transition to emit, an armed probe to start, a streak to clear) takes
 // the mutex-guarded slow path.
 func (b *Balancer) noteDispatch(be *Backend, policy Policy) {
+	chkYield("noteDispatch")
 	if be.word.Load() == hotAvailable && be.consecFails.Load() == 0 {
 		be.dispatched.Add(1)
 		b.lbOnDispatch(be, policy)
@@ -846,6 +864,7 @@ func (b *Balancer) noteDispatchSlow(be *Backend, policy Policy) {
 // noteComplete records a completed response. Fast path as noteDispatch;
 // the slow path additionally resolves an in-flight quarantine probe.
 func (b *Balancer) noteComplete(be *Backend, requestBytes, responseBytes int64) {
+	chkYield("noteComplete")
 	policy := b.snap.Load().policy
 	if be.word.Load() == hotAvailable && be.consecFails.Load() == 0 {
 		be.completed.Add(1)

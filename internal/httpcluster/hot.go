@@ -40,6 +40,17 @@ const (
 	hotRecoverOff  = 5
 )
 
+// hotRecoverMax is the largest encodable recovery deadline
+// (nanos since base), ≈ 18 years. Deadlines beyond it are clamped to
+// the field maximum on encode: a clamped backend stays excluded "for
+// 18 years" — indistinguishable in any real run from the configured
+// longer interval — whereas letting the shift truncate produced a
+// wrapped deadline that either read as already-passed (un-quarantining
+// the backend instantly) or as zero (wedging it with no deadline at
+// all). Found by internal/check's overflow arm: see
+// testdata/recover-overflow*.script.
+const hotRecoverMax = int64(1<<(64-hotRecoverOff)) - 1
+
 // hotAvailable is the steady-state hot word: Available, no flags, no
 // recovery deadline. A backend whose word equals this (and whose
 // failure streak is zero) takes the entirely lock-free bookkeeping
@@ -59,8 +70,17 @@ func withState(w uint64, s BackendState) uint64 {
 }
 
 // withRecover returns w with the recovery deadline replaced (nanos
-// since base; zero clears it).
+// since base; zero clears it). Out-of-range deadlines are clamped to
+// the field bounds — negative to zero, beyond hotRecoverMax to
+// hotRecoverMax — so the encode↔decode round trip is exact for every
+// in-range value and saturating (never wrapping) outside it.
 func withRecover(w uint64, nanos int64) uint64 {
+	if nanos < 0 {
+		nanos = 0
+	}
+	if nanos > hotRecoverMax {
+		nanos = hotRecoverMax
+	}
 	return (w & (hotStateMask | hotQuarantined | hotProbeArmed | hotProbing)) |
 		uint64(nanos)<<hotRecoverOff
 }
@@ -84,34 +104,64 @@ func effectiveState(w uint64, sinceBase int64) (st BackendState, due bool) {
 
 // atomicFloat is a float64 published through atomic uint64 bit
 // patterns, with the CAS update loops the lb_value bookkeeping needs.
+//
+// Every write site rejects non-finite inputs: a single NaN folded into
+// an lb_value propagates through every subsequent CAS-EWMA and ranking
+// comparison (NaN compares false against everything, so the poisoned
+// backend permanently wins or permanently loses ties), and unlike the
+// mutex era there is no slow-path reconciliation to flush it out.
+// Found by internal/check: see testdata/weight-nan.script.
 type atomicFloat struct{ bits atomic.Uint64 }
+
+// isFinite reports whether v is a usable float (not NaN, not ±Inf).
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // Load reads the current value.
 func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
 
-// Store publishes v.
-func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+// Store publishes v; non-finite values are dropped.
+func (f *atomicFloat) Store(v float64) {
+	if !isFinite(v) {
+		return
+	}
+	f.bits.Store(math.Float64bits(v))
+}
 
-// Add adds delta with a CAS loop.
+// Add adds delta with a CAS loop; a non-finite delta (or a sum that
+// overflows to ±Inf) leaves the value unchanged.
 func (f *atomicFloat) Add(delta float64) {
+	if !isFinite(delta) {
+		return
+	}
 	for {
 		old := f.bits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + delta)
-		if f.bits.CompareAndSwap(old, next) {
+		sum := math.Float64frombits(old) + delta
+		if !isFinite(sum) {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(sum)) {
 			return
 		}
 	}
 }
 
 // SubClamp subtracts unit, clamping at zero — the decrement the
-// in-flight policies apply on completion.
+// in-flight policies apply on completion. A non-finite unit, or a
+// difference that overflows to +Inf (a hugely negative unit is an
+// addition in disguise), is dropped.
 func (f *atomicFloat) SubClamp(unit float64) {
+	if !isFinite(unit) {
+		return
+	}
 	for {
 		old := f.bits.Load()
 		cur := math.Float64frombits(old)
 		next := 0.0
 		if cur >= unit {
 			next = cur - unit
+			if !isFinite(next) {
+				return
+			}
 		}
 		if f.bits.CompareAndSwap(old, math.Float64bits(next)) {
 			return
@@ -121,8 +171,12 @@ func (f *atomicFloat) SubClamp(unit float64) {
 
 // StoreMax raises the value to at least v — quarantine re-admission's
 // recovery seeding, which must not clobber a concurrent decrement with
-// a stale read.
+// a stale read. A non-finite v is dropped (NaN compares false against
+// the current value, so without the guard it would always store).
 func (f *atomicFloat) StoreMax(v float64) {
+	if !isFinite(v) {
+		return
+	}
 	for {
 		old := f.bits.Load()
 		if math.Float64frombits(old) >= v {

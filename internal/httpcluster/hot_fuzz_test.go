@@ -1,0 +1,262 @@
+package httpcluster
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Fuzz and property tests for the two pure kernels of the lock-free
+// dispatch path: the packed hot-word encode/decode and the atomicFloat
+// CAS arithmetic. Both are compared against straight-line reference
+// math — the same differential discipline internal/check applies to the
+// whole balancer, shrunk to the primitive level where go test -fuzz can
+// drive billions of inputs through them.
+
+// hotWordFlags enumerates the flag-bit combinations.
+var hotWordFlags = []uint64{
+	0,
+	hotQuarantined,
+	hotProbeArmed,
+	hotProbing,
+	hotQuarantined | hotProbeArmed,
+	hotQuarantined | hotProbing,
+	hotQuarantined | hotProbeArmed | hotProbing,
+}
+
+// FuzzHotWordRoundTrip checks the packed-word encode/decode round trip:
+// for any state, flag set and deadline, decoding returns the encoded
+// state and flags exactly, and the decoded deadline equals the encoded
+// one clamped into [0, hotRecoverMax] — saturating, never wrapping.
+// The pre-clamp encoder wrapped deadlines beyond 2^59 ns; see
+// internal/check/testdata/recover-overflow.script for the divergence
+// that surfaced as.
+func FuzzHotWordRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint8(0), int64(0))
+	f.Add(uint8(2), uint8(1), int64(12345))
+	f.Add(uint8(3), uint8(6), hotRecoverMax)
+	f.Add(uint8(2), uint8(2), hotRecoverMax+1)      // overflow: must clamp
+	f.Add(uint8(3), uint8(3), int64(1<<59)+1000)    // the shape the harness found
+	f.Add(uint8(1), uint8(4), int64(math.MaxInt64)) // extreme future
+	f.Add(uint8(2), uint8(5), int64(-1))            // negative: must clamp to 0
+	f.Fuzz(func(t *testing.T, stateIn, flagIn uint8, nanos int64) {
+		state := BackendState(1 + int(stateIn)%3)
+		flags := hotWordFlags[int(flagIn)%len(hotWordFlags)]
+		w := withRecover(withState(flags, state), nanos)
+
+		if got := hotState(w); got != state {
+			t.Fatalf("state %v decoded as %v", state, got)
+		}
+		if got := w &^ (hotStateMask | uint64(hotRecoverMax)<<hotRecoverOff); got != flags {
+			t.Fatalf("flags %#x decoded as %#x", flags, got)
+		}
+		want := nanos
+		if want < 0 {
+			want = 0
+		}
+		if want > hotRecoverMax {
+			want = hotRecoverMax
+		}
+		if got := hotRecover(w); got != want {
+			t.Fatalf("recover(%d) decoded as %d, want clamp to %d", nanos, got, want)
+		}
+		// Clearing the deadline must preserve state and flags bit-exactly.
+		cleared := withRecover(w, 0)
+		if hotState(cleared) != state || hotRecover(cleared) != 0 {
+			t.Fatalf("clear broke the word: %#x", cleared)
+		}
+	})
+}
+
+// refFloatOp mirrors ReferenceBalancer's plain-float bookkeeping: the
+// clamped subtraction from noteComplete, the straight addition from
+// noteDispatch, and max-seeding from SetQuarantine re-admission.
+type refFloat struct{ v float64 }
+
+func (r *refFloat) add(d float64) {
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		return
+	}
+	if s := r.v + d; !math.IsNaN(s) && !math.IsInf(s, 0) {
+		r.v = s
+	}
+}
+
+func (r *refFloat) subClamp(u float64) {
+	if math.IsNaN(u) || math.IsInf(u, 0) {
+		return
+	}
+	if r.v >= u {
+		if d := r.v - u; !math.IsNaN(d) && !math.IsInf(d, 0) {
+			r.v = d
+		}
+	} else {
+		r.v = 0
+	}
+}
+
+func (r *refFloat) storeMax(m float64) {
+	if math.IsNaN(m) || math.IsInf(m, 0) {
+		return
+	}
+	if m > r.v {
+		r.v = m
+	}
+}
+
+// FuzzAtomicFloatMath drives an atomicFloat and the reference
+// plain-float bookkeeping through the same op sequence and requires
+// bit-identical results, plus the finiteness invariant the write-site
+// guards enforce: starting finite, the value stays finite no matter
+// what inputs arrive.
+func FuzzAtomicFloatMath(f *testing.F) {
+	f.Add(uint64(0x3ff0000000000000), []byte{0, 1, 2, 3}) // 1.0, one op of each kind
+	f.Add(uint64(0), []byte{1, 1, 1})
+	f.Add(uint64(0x7ff8000000000000), []byte{0}) // NaN operand stream
+	f.Add(uint64(0x7ff0000000000000), []byte{2}) // +Inf operand
+	// Found by this target: SubClamp of a hugely negative finite unit is
+	// an addition in disguise and overflowed the difference to +Inf.
+	f.Add(math.Float64bits(-1.8613679314570166e+297), []byte{3, 1})
+	f.Fuzz(func(t *testing.T, opBits uint64, ops []byte) {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		var af atomicFloat
+		var rf refFloat
+		af.Store(1)
+		rf.v = 1
+		// Derive a deterministic operand stream from opBits: the raw bit
+		// pattern first (so NaN/Inf payloads are reachable), then
+		// splitmix successors folded to modest magnitudes.
+		seed := opBits
+		operand := func() float64 {
+			v := math.Float64frombits(seed)
+			seed = seed*0x9e3779b97f4a7c15 + 1
+			return v
+		}
+		for _, op := range ops {
+			v := operand()
+			switch op % 4 {
+			case 0:
+				af.Add(v)
+				rf.add(v)
+			case 1:
+				af.SubClamp(v)
+				rf.subClamp(v)
+			case 2:
+				af.StoreMax(v)
+				rf.storeMax(v)
+			case 3:
+				af.Store(v)
+				if !math.IsNaN(v) && !math.IsInf(v, 0) {
+					rf.v = v
+				}
+			}
+			got := af.Load()
+			if math.Float64bits(got) != math.Float64bits(rf.v) {
+				t.Fatalf("op %d operand %g: atomicFloat %g, reference %g", op%4, v, got, rf.v)
+			}
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("op %d operand %g poisoned the value to %g", op%4, v, got)
+			}
+		}
+	})
+}
+
+// TestAtomicFloatRejectsNonFinite is the direct regression for the
+// poisoning bug: before the write-site guards, one NaN folded into an
+// atomicFloat propagated through every subsequent CAS update.
+func TestAtomicFloatRejectsNonFinite(t *testing.T) {
+	var af atomicFloat
+	af.Store(5)
+	af.Add(math.NaN())
+	af.Add(math.Inf(1))
+	af.SubClamp(math.NaN())
+	af.StoreMax(math.NaN())
+	af.StoreMax(math.Inf(1))
+	af.Store(math.NaN())
+	af.Store(math.Inf(-1))
+	if got := af.Load(); got != 5 {
+		t.Fatalf("value %g after non-finite writes, want 5 untouched", got)
+	}
+	// Finite math still works.
+	af.Add(2)
+	af.SubClamp(3)
+	if got := af.Load(); got != 4 {
+		t.Fatalf("value %g after finite math, want 4", got)
+	}
+}
+
+// TestSetWeightRejectsNonFinite pins the SetWeight guard on both
+// implementations: NaN slipped through the old `w <= 0` check (NaN
+// compares false) and ±Inf passed it outright.
+func TestSetWeightRejectsNonFinite(t *testing.T) {
+	be := NewBackend("a", "http://unused", 1)
+	for _, w := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1, 0} {
+		be.SetWeight(w)
+		if got := be.Weight(); got != 1 {
+			t.Fatalf("SetWeight(%g): weight %g, want 1", w, got)
+		}
+	}
+	be.SetWeight(2.5)
+	if got := be.Weight(); got != 2.5 {
+		t.Fatalf("finite weight: %g, want 2.5", got)
+	}
+
+	rb := NewReferenceBalancer(PolicyCurrentLoad, []string{"a"}, 1, Config{})
+	rb.SetWeight("a", math.NaN())
+	rb.SetWeight("a", math.Inf(1))
+	if got := rb.backends[0].weightLocked(); got != 1 {
+		t.Fatalf("reference SetWeight(non-finite): weight %g, want 1", got)
+	}
+}
+
+// TestWithRecoverClampRoundTrip is the encode/decode property test the
+// fuzz target reuses, kept as a deterministic unit test so the clamp is
+// exercised on every plain `go test` run too.
+func TestWithRecoverClampRoundTrip(t *testing.T) {
+	cases := []struct{ in, want int64 }{
+		{0, 0},
+		{1, 1},
+		{hotRecoverMax, hotRecoverMax},
+		{hotRecoverMax + 1, hotRecoverMax},
+		{1 << 59, hotRecoverMax},
+		{(1 << 59) + 1000, hotRecoverMax},
+		{math.MaxInt64, hotRecoverMax},
+		{-1, 0},
+		{math.MinInt64, 0},
+	}
+	for _, c := range cases {
+		w := withRecover(withState(hotQuarantined, BackendBusy), c.in)
+		if got := hotRecover(w); got != c.want {
+			t.Errorf("withRecover(%d): decoded %d, want %d", c.in, got, c.want)
+		}
+		if hotState(w) != BackendBusy || w&hotQuarantined == 0 {
+			t.Errorf("withRecover(%d) corrupted state/flag bits: %#x", c.in, w)
+		}
+	}
+}
+
+// TestRecordLatencyReseedsPoisonedEWMA pins the ewmaLat guard: before
+// it, a non-finite EWMA state folded into every subsequent CAS update
+// (NaN arithmetic is absorbing), permanently poisoning the latency
+// estimate the probe endpoint serves. The guarded fold reseeds from the
+// next sample instead.
+func TestRecordLatencyReseedsPoisonedEWMA(t *testing.T) {
+	a := &AppServer{}
+	a.recordLatency(10 * time.Millisecond)
+	if got := a.EWMALatency(); got != 10*time.Millisecond {
+		t.Fatalf("first sample seeded %v, want 10ms", got)
+	}
+	a.ewmaLat.Store(math.Float64bits(math.NaN()))
+	a.recordLatency(20 * time.Millisecond)
+	if got := a.EWMALatency(); got != 20*time.Millisecond {
+		t.Fatalf("poisoned EWMA reseeded to %v, want 20ms", got)
+	}
+	// A negative sample (stepped clock) clamps to zero, pulling the
+	// EWMA down by one alpha step rather than corrupting it.
+	a.recordLatency(-time.Second)
+	if got := a.EWMALatency(); got != 16*time.Millisecond {
+		t.Fatalf("negative sample folded to %v, want 16ms", got)
+	}
+}

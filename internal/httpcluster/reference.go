@@ -1,6 +1,7 @@
 package httpcluster
 
 import (
+	"math"
 	"sync"
 	"time"
 )
@@ -161,9 +162,13 @@ func (rb *ReferenceBalancer) SetQuarantine(name string, on bool) bool {
 	return false
 }
 
-// SetWeight assigns the named backend's lbfactor.
+// SetWeight assigns the named backend's lbfactor. Non-finite values
+// mean 1, matching Backend.SetWeight — the one post-freeze fix applied
+// to this file, because the parity oracle requires both implementations
+// to sanitize inputs identically (internal/check
+// testdata/weight-nan.script).
 func (rb *ReferenceBalancer) SetWeight(name string, w float64) {
-	if w <= 0 {
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
 		w = 1
 	}
 	for _, be := range rb.backends {
@@ -360,6 +365,45 @@ func (rb *ReferenceBalancer) noteFailure(be *refBackend) {
 		be.recoverAt = now.Add(rb.cfg.BusyRecovery)
 	}
 	be.mu.Unlock()
+}
+
+// RefView is a read-only copy of one refBackend's bookkeeping. The
+// differential harness (internal/check) compares it field-by-field
+// against the lock-free Balancer's accessors after replaying the same
+// op script through both implementations.
+type RefView struct {
+	Name          string
+	Dispatched    uint64
+	Completed     uint64
+	Traffic       int64
+	LBValue       float64
+	State         BackendState
+	Quarantined   bool
+	FreeEndpoints int
+}
+
+// Views snapshots every backend's bookkeeping at now, applying due
+// Busy/Error recoveries first — the same lazy resolution choose()
+// performs — so the states compare against Balancer.State(), which
+// also resolves due recoveries on read.
+func (rb *ReferenceBalancer) Views(now time.Time) []RefView {
+	out := make([]RefView, 0, len(rb.backends))
+	for _, be := range rb.backends {
+		be.mu.Lock()
+		be.lazyRecover(now)
+		out = append(out, RefView{
+			Name:          be.name,
+			Dispatched:    be.dispatched,
+			Completed:     be.completed,
+			Traffic:       be.traffic,
+			LBValue:       be.lbValue,
+			State:         be.state,
+			Quarantined:   be.quarantined,
+			FreeEndpoints: len(be.endpoints),
+		})
+		be.mu.Unlock()
+	}
+	return out
 }
 
 func (rb *ReferenceBalancer) noteUpstreamFailure(be *refBackend) {

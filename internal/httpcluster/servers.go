@@ -257,12 +257,19 @@ const appEWMAAlpha = 0.2
 
 // recordLatency folds one completed request's latency into the EWMA
 // with a lock-free CAS loop; the first observation seeds it directly.
+// Negative samples (a stepped clock) are clamped to zero, and a
+// non-finite EWMA state — which would otherwise propagate through every
+// subsequent CAS fold, the same poisoning mode atomicFloat guards
+// against — is reseeded from the sample instead of folded.
 func (a *AppServer) recordLatency(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
 	for {
 		old := a.ewmaLat.Load()
 		cur := math.Float64frombits(old)
 		next := float64(d)
-		if old != 0 {
+		if old != 0 && isFinite(cur) {
 			next = cur + appEWMAAlpha*(float64(d)-cur)
 		}
 		if a.ewmaLat.CompareAndSwap(old, math.Float64bits(next)) {

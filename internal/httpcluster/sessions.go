@@ -1,6 +1,7 @@
 package httpcluster
 
 import (
+	"math"
 	"sync"
 )
 
@@ -12,11 +13,15 @@ import (
 // hash — concurrent requests for different sessions proceed on
 // different shard locks.
 
-// SetWeight assigns the backend's lbfactor (values ≤ 0 mean 1): a
-// weight-2 backend receives twice a weight-1 backend's traffic because
-// its lb_value increments are halved.
+// SetWeight assigns the backend's lbfactor (values ≤ 0 or non-finite
+// mean 1): a weight-2 backend receives twice a weight-1 backend's
+// traffic because its lb_value increments are halved. NaN needs its
+// own check — it compares false against 0, so it slipped through the
+// `w <= 0` guard and poisoned every subsequent 1/weight lb_value
+// update (internal/check testdata/weight-nan.script); ±Inf likewise
+// passed and froze the increments at 1/Inf = 0.
 func (b *Backend) SetWeight(w float64) {
-	if w <= 0 {
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
 		w = 1
 	}
 	b.weight.Store(w)

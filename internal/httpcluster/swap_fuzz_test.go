@@ -1,0 +1,102 @@
+package httpcluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// FuzzSnapshotSwapDispatch fuzzes the routing-snapshot swap path under
+// real concurrency: a dispatcher goroutine acquires and releases while
+// the fuzz input drives an arbitrary interleaved sequence of SetPolicy,
+// SetMechanism, SetQuarantine, SetWeight and ArmProbe calls against the
+// same balancer. The property is not parity (concurrent schedules are
+// not deterministic) but conservation and sanity at quiesce: every
+// successful acquire released exactly once, free tokens all home, no
+// negative in-flight, finite lb_values. Run under -race in the
+// fuzz-smoke CI job, this is the probabilistic complement to the
+// deterministic interleaving explorer (internal/check, -tags
+// checkyield).
+func FuzzSnapshotSwapDispatch(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{255, 254, 253})
+	f.Add([]byte{10, 10, 10, 10})
+	f.Fuzz(func(t *testing.T, swaps []byte) {
+		if len(swaps) > 48 {
+			swaps = swaps[:48]
+		}
+		names := []string{"a", "b", "c"}
+		backends := make([]*Backend, len(names))
+		for i, n := range names {
+			backends[i] = NewBackend(n, "http://unused", 4)
+		}
+		cfg := Config{
+			Sweeps:         1,
+			AcquireSleep:   time.Microsecond,
+			AcquireTimeout: 2 * time.Microsecond,
+			BusyRecovery:   time.Nanosecond,
+			ErrorRecovery:  time.Nanosecond,
+			ErrorAfter:     time.Nanosecond,
+		}
+		bal := NewBalancer(PolicyCurrentLoad, MechanismModified, backends, cfg)
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		wg.Add(1)
+		go func() { // dispatcher
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, rel, err := bal.Acquire(int64(i % 256))
+				if err != nil {
+					continue
+				}
+				if i%7 == 0 {
+					rel.Fail()
+				} else {
+					rel.Done(int64(i % 512))
+				}
+			}
+		}()
+
+		policies := []Policy{PolicyTotalRequest, PolicyTotalTraffic, PolicyCurrentLoad, PolicyRoundRobin}
+		for _, b := range swaps {
+			switch b % 5 {
+			case 0:
+				bal.SetPolicy(policies[int(b/5)%len(policies)])
+			case 1:
+				bal.SetMechanism(Mechanism(1 + int(b/5)%2))
+			case 2:
+				bal.SetQuarantine(names[int(b/5)%len(names)], b%2 == 0)
+			case 3:
+				backends[int(b/5)%len(backends)].SetWeight(float64(1 + b%4))
+			case 4:
+				bal.ArmProbe(names[int(b/5)%len(names)])
+			}
+		}
+		close(stop)
+		wg.Wait()
+		for _, n := range names {
+			bal.SetQuarantine(n, false)
+		}
+
+		for _, be := range backends {
+			if inF := be.InFlight(); inF != 0 {
+				t.Errorf("%s: %d in flight at quiesce", be.Name(), inF)
+			}
+			if free := be.FreeEndpoints(); free != 4 {
+				t.Errorf("%s: %d/4 tokens at quiesce", be.Name(), free)
+			}
+			if lb := be.LBValue(); !isFinite(lb) || lb < 0 {
+				t.Errorf("%s: lb_value %g at quiesce", be.Name(), lb)
+			}
+			if d, c := be.Dispatched(), be.Completed(); d != c {
+				t.Errorf("%s: dispatched %d != completed %d at quiesce", be.Name(), d, c)
+			}
+		}
+	})
+}

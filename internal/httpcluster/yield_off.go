@@ -1,0 +1,19 @@
+//go:build !checkyield
+
+package httpcluster
+
+// chkYield marks a schedule-exploration point on the lock-free dispatch
+// path. In normal builds it is this empty function, which the compiler
+// inlines away — the hot path pays nothing. Under -tags checkyield the
+// variant in yield_on.go calls an installable hook, letting
+// internal/check's interleaving explorer serialize worker goroutines at
+// these points and drive chosen step orderings through the packed-word
+// and token CAS operations (DESIGN.md §13).
+//
+// Placement rule: a yield site must never execute while holding any
+// mutex — the explorer runs exactly one worker at a time, so a worker
+// parked at a yield inside a critical section would deadlock every
+// other worker against the lock it holds. Sites therefore live only on
+// the lock-free fast paths; slow paths (noteDispatchSlow, noteFailure,
+// the probe lifecycle) yield before taking be.mu, not inside it.
+func chkYield(string) {}

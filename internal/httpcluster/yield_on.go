@@ -1,0 +1,30 @@
+//go:build checkyield
+
+package httpcluster
+
+import "sync/atomic"
+
+// yieldHook is the installed schedule-exploration hook; nil means pass
+// through. Stored as a pointer-to-func so installation is atomic with
+// respect to concurrent dispatchers.
+var yieldHook atomic.Pointer[func(site string)]
+
+// SetYieldHook installs (or with nil, removes) the scheduling hook the
+// interleaving explorer uses to serialize goroutines at the chkYield
+// sites. Only compiled under -tags checkyield; production builds have
+// neither this function nor any hook indirection (yield_off.go).
+func SetYieldHook(h func(site string)) {
+	if h == nil {
+		yieldHook.Store(nil)
+		return
+	}
+	yieldHook.Store(&h)
+}
+
+// chkYield invokes the installed hook, if any. See yield_off.go for the
+// placement rule (never under a mutex).
+func chkYield(site string) {
+	if h := yieldHook.Load(); h != nil {
+		(*h)(site)
+	}
+}

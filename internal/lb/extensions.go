@@ -148,9 +148,14 @@ func (*RoundRobin) OnComplete(c *Candidate, _ RequestInfo) {
 // Reseed implements Reseeder: in-flight, matching the bookkeeping above.
 func (*RoundRobin) Reseed(c *Candidate) float64 { return float64(c.inFlight) * LBMult }
 
-// Choose implements Chooser.
+// Choose implements Chooser. The cursor is reduced modulo the eligible
+// count on every advance rather than free-running: a raw counter skips
+// or repeats candidates at the 2^64 wrap whenever the count does not
+// divide 2^64 (the same wraparound bias fixed in
+// internal/httpcluster's sync_rrCursor). For a constant-size eligible
+// set the selection sequence is identical to the free-running version.
 func (r *RoundRobin) Choose(eligible []*Candidate, _ *rand.Rand) *Candidate {
-	c := eligible[r.next%uint64(len(eligible))]
-	r.next++
-	return c
+	idx := r.next % uint64(len(eligible))
+	r.next = idx + 1
+	return eligible[idx]
 }

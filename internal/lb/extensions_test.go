@@ -196,3 +196,24 @@ func TestTwoChoicesAvoidsStalledUnderLoad(t *testing.T) {
 		t.Fatalf("two_choices kept feeding the stalled candidate: %v", dispatched)
 	}
 }
+
+func TestRoundRobinCursorWrap(t *testing.T) {
+	// Regression for the free-running cursor: with the cursor at
+	// MaxUint64 and 3 eligible candidates, the old `v % n` advance
+	// picked index 0 (2^64-1 mod 3 = 0), wrapped the counter to 0, and
+	// picked index 0 again — a repeat every candidate count that does
+	// not divide 2^64. The modulo-reduced advance never repeats or
+	// skips.
+	eligible := []*Candidate{newCand("a", 1), newCand("b", 1), newCand("c", 1)}
+	r := &RoundRobin{next: ^uint64(0)}
+	var got []string
+	for i := 0; i < 6; i++ {
+		got = append(got, r.Choose(eligible, nil).Name())
+	}
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("wrap sequence %v, want %v", got, want)
+		}
+	}
+}
