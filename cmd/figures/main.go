@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"millibalance/internal/experiments"
 )
@@ -89,6 +90,9 @@ func figureTable() []figure {
 		{17, "prequal probing vs the paper's arms across fault shapes", func(o experiments.Options, w io.Writer, _ bool) {
 			fmt.Fprint(w, experiments.RunFig17(o).Render())
 		}},
+		{18, "admission control (codel+gradient) vs the full remedy across fault shapes", func(o experiments.Options, w io.Writer, _ bool) {
+			fmt.Fprint(w, experiments.RunFig18(o).Render())
+		}},
 	}
 }
 
@@ -133,8 +137,9 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
-	fig := fs.Int("fig", 0, "figure number to regenerate (1-17)")
+	fig := fs.Int("fig", 0, "figure number to regenerate (see -list)")
 	all := fs.Bool("all", false, "regenerate every figure")
+	list := fs.Bool("list", false, "list figure ids with one-line descriptions")
 	report := fs.Bool("report", false, "run the complete evaluation and emit a markdown report")
 	tsv := fs.Bool("tsv", false, "emit raw windowed series as TSV")
 	outDir := fs.String("out", "", "write each figure's output to <dir>/figNN.txt instead of stdout")
@@ -151,6 +156,11 @@ func run(args []string, out io.Writer) error {
 	}
 	figs := figureTable()
 	sort.Slice(figs, func(i, j int) bool { return figs[i].id < figs[j].id })
+
+	if *list {
+		fmt.Fprint(out, renderFigureList(figs))
+		return nil
+	}
 
 	emit := func(f figure) error {
 		if *outDir == "" {
@@ -185,5 +195,15 @@ func run(args []string, out io.Writer) error {
 			return emit(f)
 		}
 	}
-	return fmt.Errorf("unknown figure %d (have 1-17)", *fig)
+	return fmt.Errorf("unknown figure %d; available figures:\n%s", *fig, renderFigureList(figs))
+}
+
+// renderFigureList prints each figure id with its one-line description —
+// the -list output and the body of the unknown-figure error.
+func renderFigureList(figs []figure) string {
+	var b strings.Builder
+	for _, f := range figs {
+		fmt.Fprintf(&b, "  %2d  %s\n", f.id, f.title)
+	}
+	return b.String()
 }

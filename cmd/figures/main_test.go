@@ -6,19 +6,34 @@ import (
 	"testing"
 )
 
-func TestFigureTableCoversAllSeventeen(t *testing.T) {
+func TestFigureTableCoversAllEighteen(t *testing.T) {
 	figs := figureTable()
-	if len(figs) != 17 {
+	if len(figs) != 18 {
 		t.Fatalf("%d figures registered", len(figs))
 	}
 	seen := map[int]bool{}
 	for _, f := range figs {
-		if f.id < 1 || f.id > 17 || seen[f.id] {
+		if f.id < 1 || f.id > 18 || seen[f.id] {
 			t.Fatalf("bad or duplicate figure id %d", f.id)
 		}
 		seen[f.id] = true
 		if f.title == "" || f.run == nil {
 			t.Fatalf("figure %d incomplete", f.id)
+		}
+	}
+}
+
+// TestListFigures pins the -list contract: every registered figure id
+// appears with its description, and nothing is simulated.
+func TestListFigures(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, f := range figureTable() {
+		if !strings.Contains(got, f.title) {
+			t.Fatalf("-list missing figure %d (%q):\n%s", f.id, f.title, got)
 		}
 	}
 }
@@ -36,8 +51,13 @@ func TestRunSingleFigureWithTSV(t *testing.T) {
 
 func TestRunUnknownFigure(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-fig", "99"}, &out); err == nil {
+	err := run([]string{"-fig", "99"}, &out)
+	if err == nil {
 		t.Fatal("unknown figure accepted")
+	}
+	// The error lists the valid ids so a typo is self-correcting.
+	if !strings.Contains(err.Error(), "18") || !strings.Contains(err.Error(), "admission control") {
+		t.Fatalf("unknown-figure error does not list figures: %v", err)
 	}
 	if err := run([]string{}, &out); err == nil {
 		t.Fatal("no figure selected but no error")

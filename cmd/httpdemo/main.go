@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"millibalance/internal/adapt"
+	"millibalance/internal/admission"
 	"millibalance/internal/faults"
 	"millibalance/internal/httpcluster"
 	"millibalance/internal/telemetry"
@@ -47,6 +48,7 @@ func run(args []string) error {
 	adaptive := fs.Bool("adaptive", false, "arm the adaptive control plane (GET /admin/adapt and /admin/adapt/decisions; implies -obs)")
 	faultSpec := fs.String("faults", "", "fault scenario, e.g. 'freeze:periodic:interval=1s:duration=300ms:target=app1,netloss:oneshot:interval=2s:duration=500ms' (replaces the single scripted stall; implies -obs)")
 	resilient := fs.Bool("resilience", false, "arm the proxy resilience layer: attempt deadlines, budgeted retries, fast-fail shedding")
+	admSpec := fs.String("admission", "", "arm the proxy admission plane (GET /admin/admission): + joined tokens from static[:n], aimd, gradient, codel, lifo")
 	telemetryOn := fs.Bool("telemetry", false, "arm the 50 ms telemetry sampler (GET /metrics and /admin/timeline on the proxy)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
 	if err := fs.Parse(args); err != nil {
@@ -107,6 +109,13 @@ func run(args []string) error {
 	if *resilient {
 		pcfg.Resilience = &httpcluster.Resilience{}
 	}
+	if *admSpec != "" {
+		acfg, err := admission.ParseSpec(*admSpec)
+		if err != nil {
+			return err
+		}
+		pcfg.Admission = acfg
+	}
 	if *telemetryOn {
 		pcfg.Telemetry = &telemetry.Config{}
 	}
@@ -146,6 +155,10 @@ func run(args []string) error {
 	if *telemetryOn {
 		fmt.Printf("telemetry: GET %s/metrics (Prometheus) and %s/admin/timeline (JSONL)\n",
 			proxy.URL(), proxy.URL())
+	}
+	if proxy.Admission() != nil {
+		fmt.Printf("admission: GET %s/admin/admission (JSONL gate snapshot + limit history)\n",
+			proxy.URL())
 	}
 	if len(injectors) > 0 {
 		fmt.Printf("policy=%s mechanism=%s resilience=%v; fault scenario: %s\n",
@@ -194,6 +207,12 @@ func run(args []string) error {
 		st := proxy.Adapt().State()
 		fmt.Printf("adaptive: decisions=%d policy=%s mechanism=%s quarantined=%d fallback=%v\n",
 			st.Decisions, st.Policy, st.Mechanism, len(st.Quarantined), st.Fallback)
+	}
+	if g := proxy.Admission(); g != nil {
+		st := g.Stats()
+		fmt.Printf("admission: limiter=%s limit=%d admitted=%d dropped=%d (priority=%d queue_full=%d max_wait=%d codel=%d)\n",
+			st.Limiter, st.Limit, st.Admitted, st.Dropped,
+			st.DropsPriority, st.DropsQueueFull, st.DropsMaxWait, st.DropsCoDel)
 	}
 	fmt.Println("\nlatency timeline (mean/max ms per 100ms window):")
 	tl := stats.Timeline()

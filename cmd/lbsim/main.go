@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"millibalance/internal/adapt"
+	"millibalance/internal/admission"
 	"millibalance/internal/cluster"
 	"millibalance/internal/config"
 	"millibalance/internal/lb"
@@ -86,6 +87,7 @@ func run(args []string, out io.Writer) error {
 	decisionsFile := fs.String("decisions", "", "write balancer decision/state/detector events as JSONL to this file (enables the event log and online detectors)")
 	timelineFile := fs.String("timeline", "", "write the 50 ms per-tier resource timeline as JSONL to this file (enables the telemetry sampler)")
 	adaptive := fs.Bool("adaptive", false, "arm the millibottleneck-aware adaptive control plane")
+	admSpec := fs.String("admission", "", "arm the web-tier admission plane: + joined tokens from static[:n], aimd, gradient, codel, lifo (e.g. gradient+codel+lifo)")
 	adaptLog := fs.String("adapt-log", "", "write controller decisions as JSONL to this file (implies -adaptive)")
 	sticky := fs.Bool("sticky", false, "enable mod_jk sticky sessions")
 	openLoop := fs.Float64("open-loop-rate", 0, "use Poisson arrivals at this rate (req/s) instead of closed-loop clients")
@@ -140,6 +142,13 @@ func run(args []string, out io.Writer) error {
 		if cfg.Adaptive == nil {
 			cfg.Adaptive = &adapt.Config{}
 		}
+	}
+	if *admSpec != "" {
+		acfg, err := admission.ParseSpec(*admSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Admission = acfg
 	}
 	if *traceFile != "" && cfg.TraceCapacity == 0 {
 		cfg.TraceCapacity = 4 << 20 // plenty for any run this CLI drives
@@ -257,6 +266,13 @@ func run(args []string, out io.Writer) error {
 		r.Quantile(0.99).Round(10*time.Microsecond), r.Quantile(0.999).Round(10*time.Microsecond),
 		r.Histogram().Max().Round(time.Millisecond))
 	fmt.Fprintf(out, "shares: VLRT(>1s)=%.2f%% normal(<10ms)=%.2f%%\n", r.VLRTPercent(), r.NormalPercent())
+	if cfg.Admission != nil {
+		fmt.Fprintf(out, "admission: sheds=%d", res.AdmissionSheds)
+		for _, st := range res.Admission {
+			fmt.Fprintf(out, " [%s limit=%d admitted=%d dropped=%d]", st.Limiter, st.Limit, st.Admitted, st.Dropped)
+		}
+		fmt.Fprintln(out)
+	}
 	if cfg.Adaptive != nil {
 		st := res.AdaptState
 		fmt.Fprintf(out, "adaptive: decisions=%d quarantines=%d readmits=%d swaps=%d fallbacks=%d final policy=%s mechanism=%s quarantined=%d\n",

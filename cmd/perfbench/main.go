@@ -80,8 +80,15 @@ func run(args []string, stdout io.Writer) error {
 	pr6 := fs.Bool("pr6", false, "measure the telemetry layer instead: ring/dispatch overhead and ±50ms-sampling throughput (BENCH_PR6.json)")
 	pr7 := fs.Bool("pr7", false, "measure the probing subsystem instead: prequal dispatch overhead and probe-pool microbenchmarks (BENCH_PR7.json)")
 	pr8 := fs.Bool("pr8", false, "measure the contention-free dispatch path instead: sequential + parallel arms, mutex reference, contention profile (BENCH_PR8.json)")
+	pr10 := fs.Bool("pr10", false, "measure the admission plane instead: gate round trips plus proxy acquire with the plane off/disabled/armed (BENCH_PR10.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pr10 {
+		if *out == "" {
+			*out = "BENCH_PR10.json"
+		}
+		return runPR10(*out, stdout)
 	}
 	if *pr8 {
 		if *out == "" {

@@ -55,6 +55,17 @@ type Actuator interface {
 	ArmProbe(backend string)
 }
 
+// LimitActuator is the optional overload-control surface. Actuators
+// that also front an admission gate (internal/admission) implement it;
+// the controller then tightens the gate's concurrency limit on every
+// escalation — load shedding buys headroom while the swap takes hold —
+// and relaxes it once the ladder has fully unwound. TightenLimit
+// reports whether a gate was present, so substrates without admission
+// armed produce no tighten/relax decisions.
+type LimitActuator interface {
+	TightenLimit(on bool) bool
+}
+
 // Config tunes the controller. Zero values take the documented
 // defaults; BasePolicy and BaseMechanism are filled by the substrate
 // wiring with the balancer's starting configuration.
@@ -245,6 +256,7 @@ type rateBucket struct {
 // payload).
 type State struct {
 	Level       int      `json:"level"`
+	Tightened   bool     `json:"tightened,omitempty"`
 	Fallback    bool     `json:"fallback"`
 	Policy      string   `json:"policy"`
 	Mechanism   string   `json:"mechanism"`
@@ -268,6 +280,7 @@ type Controller struct {
 
 	steps      []step
 	level      int // rungs of c.steps applied
+	tightened  bool
 	fallback   bool
 	policy     string
 	mechanism  string
@@ -325,6 +338,7 @@ func (c *Controller) State() State {
 	defer c.mu.Unlock()
 	st := State{
 		Level:     c.level,
+		Tightened: c.tightened,
 		Fallback:  c.fallback,
 		Policy:    c.policy,
 		Mechanism: c.mechanism,
@@ -556,6 +570,7 @@ func (c *Controller) ensureFailFastLocked(now time.Duration, reason string) {
 	vlrt, rej, _ := c.rates()
 	c.record(Decision{T: now, Action: ActionSwapMechanism, Policy: c.policy,
 		Mechanism: c.mechanism, Reason: reason, VLRTRate: vlrt, RejectRate: rej, Level: c.level})
+	c.setTightenLocked(now, true, reason)
 }
 
 // readmitLocked lifts one quarantine.
@@ -604,9 +619,36 @@ func (c *Controller) windowOnsets() int {
 	return n
 }
 
+// setTightenLocked drives the optional admission-gate squeeze. Only
+// actuators implementing LimitActuator over a live gate record the
+// transition; state is edge-triggered so repeated escalations do not
+// stack halvings.
+func (c *Controller) setTightenLocked(now time.Duration, on bool, reason string) {
+	if c.tightened == on {
+		return
+	}
+	la, ok := c.act.(LimitActuator)
+	if !ok || !la.TightenLimit(on) {
+		return
+	}
+	c.tightened = on
+	action := ActionTightenLimit
+	if !on {
+		action = ActionRelaxLimit
+	}
+	c.record(Decision{T: now, Action: action, Reason: reason, Level: c.level})
+}
+
 // escalateLocked applies the next remediation rung.
 func (c *Controller) escalateLocked(now time.Duration, reason string) {
-	if c.fallback || c.level >= len(c.steps) {
+	if c.fallback {
+		return
+	}
+	// Tighten admission with the first rung (and keep the squeeze on an
+	// exhausted ladder): shedding at the door buys the tier headroom
+	// while the swap takes effect.
+	c.setTightenLocked(now, true, reason)
+	if c.level >= len(c.steps) {
 		return
 	}
 	s := c.steps[c.level]
@@ -661,6 +703,11 @@ func (c *Controller) deescalateLocked(now time.Duration, vlrt, rej float64) {
 	c.clearArmed = false
 	c.record(Decision{T: now, Action: action, Policy: c.policy,
 		Mechanism: c.mechanism, Reason: "clear", VLRTRate: vlrt, RejectRate: rej, Level: c.level})
+	// Relax the admission squeeze only once the ladder is fully unwound
+	// — the slow-release side of the hysteresis applies to shedding too.
+	if c.level == 0 {
+		c.setTightenLocked(now, false, "clear")
+	}
 }
 
 func (c *Controller) record(d Decision) { c.log.Append(d) }

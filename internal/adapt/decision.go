@@ -32,6 +32,12 @@ const (
 	ActionFallback = "fallback"
 	// ActionFallbackExit leaves the fallback once the system clears.
 	ActionFallbackExit = "fallback_exit"
+	// ActionTightenLimit halves the admission gate's concurrency limit
+	// and blocks adaptive growth alongside an escalation rung;
+	// ActionRelaxLimit restores it once the ladder fully unwinds. Only
+	// recorded when the actuator fronts an admission gate.
+	ActionTightenLimit = "tighten_limit"
+	ActionRelaxLimit   = "relax_limit"
 )
 
 // Decision is one controller action, with the signal levels that

@@ -1,0 +1,625 @@
+// Package admission is the overload-control plane shared by both
+// substrates: the deterministic simulator (internal/cluster wires a
+// Gate plus a Queue in front of every web server, driven entirely by
+// the engine clock so replay stays byte-deterministic) and the
+// wall-clock proxy (internal/httpcluster wires a Gate in front of its
+// worker pool, with channel-based waiters).
+//
+// The paper's core failure mode is queue amplification: a
+// millibottleneck lasting tens of milliseconds piles requests into
+// upstream queues and worker pools, producing very-long-response-time
+// requests long after the stall clears. Load balancing alone cannot
+// fully remedy that — the complement is bounding what you admit. The
+// plane is three composable mechanisms:
+//
+//   - an adaptive concurrency limiter (static, AIMD, or Vegas-style
+//     gradient) capping how many requests may be in flight at once;
+//   - a CoDel queue discipline judging the pre-dispatch wait (target
+//     sojourn / interval / drop-next schedule), with an optional
+//     LIFO-on-overload mode so fresh requests survive a
+//     millibottleneck instead of the whole queue timing out;
+//   - two-class priority shedding: background requests only get the
+//     limit's headroom and never queue, so degradation is graded.
+//
+// The Gate's admit and release paths are lock-free (one CAS on a
+// packed limit|in-flight word plus atomic counter updates) and
+// allocation-free; mutexes guard only the CoDel state machine (touched
+// only by requests that actually waited) and the adjustment trace.
+// Every method that needs a timestamp takes it explicitly, so the
+// simulator passes engine time and the proxy passes wall time since
+// its epoch through the same code.
+package admission
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Class is the request priority class.
+type Class uint8
+
+const (
+	// Interactive requests may wait (up to MaxWait) for admission.
+	Interactive Class = iota
+	// Background requests are admitted only into the limit's headroom
+	// and are shed immediately — never queued — when it is exhausted.
+	Background
+
+	classCount
+)
+
+// String names the class for events and logs.
+func (c Class) String() string {
+	if c == Background {
+		return "background"
+	}
+	return "interactive"
+}
+
+// Reason says why a request was shed.
+type Reason uint8
+
+const (
+	// ReasonPriority: a background request found no headroom.
+	ReasonPriority Reason = iota
+	// ReasonQueueFull: the pre-dispatch wait queue was at capacity.
+	ReasonQueueFull
+	// ReasonMaxWait: the request waited MaxWait without being admitted.
+	ReasonMaxWait
+	// ReasonCoDel: the CoDel discipline dropped the request at dequeue.
+	ReasonCoDel
+
+	reasonCount
+)
+
+// String names the reason for events and logs.
+func (r Reason) String() string {
+	switch r {
+	case ReasonPriority:
+		return "priority"
+	case ReasonQueueFull:
+		return "queue_full"
+	case ReasonMaxWait:
+		return "max_wait"
+	default:
+		return "codel"
+	}
+}
+
+// Limiter names accepted by Config.Limiter.
+const (
+	LimiterStatic   = "static"
+	LimiterAIMD     = "aimd"
+	LimiterGradient = "gradient"
+	LimiterNone     = "none"
+)
+
+// Config selects and tunes the overload-control mechanisms. The zero
+// value is usable: a static limiter at the substrate's default limit
+// with a one-second bounded wait and no CoDel — exactly the proxy's
+// historical fixed bounded-wait shed.
+type Config struct {
+	// Limiter selects the concurrency limiter: "static" (default),
+	// "aimd", "gradient", or "none" (no concurrency cap — queue
+	// discipline only).
+	Limiter string
+	// Limit is the static limit and the adaptive limiters' starting
+	// point. Zero lets the substrate pick (the simulator uses the web
+	// worker count, the proxy its worker pool size).
+	Limit int
+	// MinLimit floors the adaptive limiters and Tighten. Default 4.
+	MinLimit int
+	// MaxLimit caps the adaptive limiters. Zero means the substrate's
+	// physical concurrency (worker pool size); the limiter never grows
+	// past what the pool can actually run.
+	MaxLimit int
+
+	// MaxWait bounds the pre-dispatch wait; a request still queued
+	// after MaxWait is shed. Default 1s (the historical ShedAfter).
+	MaxWait time.Duration
+	// MaxQueue bounds how many requests may wait at once. Default 256.
+	MaxQueue int
+
+	// CoDel arms the CoDel discipline on the pre-dispatch wait.
+	CoDel bool
+	// Target is the acceptable standing sojourn time. Default 50ms.
+	Target time.Duration
+	// Interval is the CoDel control interval: sojourns must stay above
+	// Target for a full Interval before dropping starts. Default 100ms.
+	Interval time.Duration
+	// LIFO serves the wait queue newest-first while the gate is
+	// overloaded, so fresh requests (whose clients are still waiting)
+	// survive a millibottleneck instead of the whole queue timing out.
+	LIFO bool
+
+	// BackgroundHeadroom is the fraction of the limit available to
+	// background-class requests. Default 0.8.
+	BackgroundHeadroom float64
+
+	// AIMDBackoff is the multiplicative-decrease factor applied when a
+	// request fails or breaches AIMDLatency. Default 0.9.
+	AIMDBackoff float64
+	// AIMDLatency is the response-time threshold treated as congestion
+	// by the AIMD limiter. Default 200ms.
+	AIMDLatency time.Duration
+
+	// Smoothing is the gradient limiter's update weight. Default 0.2.
+	Smoothing float64
+	// RTTTolerance scales the no-load/observed RTT ratio before it
+	// shrinks the gradient limit; observed RTTs within Tolerance× the
+	// no-load floor are not congestion. Default 1.5.
+	RTTTolerance float64
+	// AdjustEvery spaces adaptive limit updates. Default = Interval.
+	AdjustEvery time.Duration
+}
+
+// FixedShed is the admission configuration equivalent to the proxy's
+// historical bounded-wait shed: a static concurrency gate sized to the
+// worker pool, a bounded pre-dispatch wait of the given duration, and
+// no CoDel. Used by the Resilience delegation so a nil Admission
+// config keeps byte-identical baseline behavior.
+func FixedShed(wait time.Duration) *Config {
+	return &Config{Limiter: LimiterStatic, MaxWait: wait}
+}
+
+// ParseSpec builds a Config from a compact command-line spec: one or
+// more '+'-joined tokens, e.g. "fixed", "codel+gradient",
+// "codel+gradient+lifo", "static:32", "aimd". An empty spec or "off"
+// returns nil (admission disabled).
+func ParseSpec(spec string) (*Config, error) {
+	spec = strings.TrimSpace(strings.ToLower(spec))
+	if spec == "" || spec == "off" || spec == "none" {
+		return nil, nil
+	}
+	cfg := &Config{}
+	for _, tok := range strings.Split(spec, "+") {
+		name, arg, hasArg := strings.Cut(tok, ":")
+		switch name {
+		case "fixed", "shed", "static":
+			cfg.Limiter = LimiterStatic
+			if hasArg {
+				n, err := strconv.Atoi(arg)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("admission spec %q: bad limit %q", spec, arg)
+				}
+				cfg.Limit = n
+			}
+		case "aimd":
+			cfg.Limiter = LimiterAIMD
+		case "gradient", "vegas":
+			cfg.Limiter = LimiterGradient
+		case "codel":
+			cfg.CoDel = true
+		case "lifo":
+			cfg.LIFO = true
+		default:
+			return nil, fmt.Errorf("admission spec %q: unknown token %q (have fixed, static[:n], aimd, gradient, codel, lifo)", spec, name)
+		}
+	}
+	return cfg, nil
+}
+
+// Validate rejects configurations NewGate would silently misread.
+func (c *Config) Validate() error {
+	if c == nil {
+		return nil
+	}
+	switch c.Limiter {
+	case "", LimiterStatic, LimiterAIMD, LimiterGradient, LimiterNone:
+	default:
+		return fmt.Errorf("admission: unknown limiter %q (have static, aimd, gradient, none)", c.Limiter)
+	}
+	if c.Limit < 0 || c.MinLimit < 0 || c.MaxLimit < 0 || c.MaxQueue < 0 {
+		return fmt.Errorf("admission: negative limit/queue bound")
+	}
+	if c.MaxWait < 0 || c.Target < 0 || c.Interval < 0 || c.AdjustEvery < 0 {
+		return fmt.Errorf("admission: negative duration")
+	}
+	if c.BackgroundHeadroom < 0 || c.BackgroundHeadroom > 1 {
+		return fmt.Errorf("admission: BackgroundHeadroom %v outside [0,1]", c.BackgroundHeadroom)
+	}
+	return nil
+}
+
+// withDefaults fills zero fields. fallbackLimit is the substrate's
+// physical concurrency (worker pool size); it seeds Limit and caps
+// MaxLimit so the limiter never promises concurrency the pool cannot
+// run.
+func (c Config) withDefaults(fallbackLimit int) Config {
+	if c.Limiter == "" {
+		c.Limiter = LimiterStatic
+	}
+	if fallbackLimit < 1 {
+		fallbackLimit = 64
+	}
+	if c.Limit == 0 {
+		c.Limit = fallbackLimit
+	}
+	if c.MinLimit == 0 {
+		c.MinLimit = 4
+	}
+	if c.MaxLimit == 0 {
+		c.MaxLimit = fallbackLimit
+	}
+	if c.MaxLimit < c.Limit {
+		c.MaxLimit = c.Limit
+	}
+	if c.MinLimit > c.Limit {
+		c.MinLimit = c.Limit
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = time.Second
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 256
+	}
+	if c.Target == 0 {
+		c.Target = 50 * time.Millisecond
+	}
+	if c.Interval == 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.BackgroundHeadroom == 0 {
+		c.BackgroundHeadroom = 0.8
+	}
+	if c.AIMDBackoff == 0 {
+		c.AIMDBackoff = 0.9
+	}
+	if c.AIMDLatency == 0 {
+		c.AIMDLatency = 200 * time.Millisecond
+	}
+	if c.Smoothing == 0 {
+		c.Smoothing = 0.2
+	}
+	if c.RTTTolerance == 0 {
+		c.RTTTolerance = 1.5
+	}
+	if c.AdjustEvery == 0 {
+		c.AdjustEvery = c.Interval
+	}
+	return c
+}
+
+// Packed gate word: | limit : 32 | in-flight : 32 |. One atomic load
+// yields a consistent (limit, in-flight) pair; admission is a single
+// CAS of word → word+1, release a single decrement (in-flight > 0 is
+// guaranteed by the caller contract, so the subtraction never borrows
+// into the limit field).
+
+// unlimitedLimit is the limit encoding for Limiter "none": large
+// enough that in-flight can never reach it.
+const unlimitedLimit = math.MaxInt32
+
+func packWord(limit, inflight uint32) uint64 {
+	return uint64(limit)<<32 | uint64(inflight)
+}
+
+// Adjustment is one recorded limit change, exposed on the proxy's
+// /admin/admission endpoint and by Gate.Adjustments.
+type Adjustment struct {
+	T      time.Duration `json:"t"`
+	Limit  int           `json:"limit"`
+	Reason string        `json:"reason"`
+}
+
+// Stats is a point-in-time snapshot of a gate.
+type Stats struct {
+	Limiter            string `json:"limiter"`
+	CoDel              bool   `json:"codel"`
+	LIFO               bool   `json:"lifo,omitempty"`
+	Limit              int    `json:"limit"`
+	InFlight           int    `json:"in_flight"`
+	Queued             int    `json:"queued"`
+	Tightened          bool   `json:"tightened,omitempty"`
+	Admitted           uint64 `json:"admitted"`
+	AdmittedBackground uint64 `json:"admitted_background"`
+	Dropped            uint64 `json:"dropped"`
+	DropsPriority      uint64 `json:"drops_priority"`
+	DropsQueueFull     uint64 `json:"drops_queue_full"`
+	DropsMaxWait       uint64 `json:"drops_max_wait"`
+	DropsCoDel         uint64 `json:"drops_codel"`
+}
+
+// adjustTraceCap bounds the adjustment ring: at the default 100ms
+// adjust cadence it holds the last ~50s of limit history.
+const adjustTraceCap = 512
+
+// Gate is one admission-control instance: a lock-free concurrency
+// gate, its limiter, and the CoDel judge for the pre-dispatch wait.
+// TryAcquire / Cancel / Release / Drop are safe for concurrent use and
+// allocation-free. The hooks (SetDropHook, SetReleaseHook, SetClock)
+// must be installed before traffic starts.
+type Gate struct {
+	cfg          Config
+	bgNum, bgDen uint32
+
+	word     atomic.Uint64
+	queued   atomic.Int64
+	tight    atomic.Bool
+	dropping atomic.Bool
+
+	admitted [classCount]atomic.Uint64
+	drops    [reasonCount]atomic.Uint64
+
+	lim limiterState
+
+	cmu sync.Mutex
+	cod codelState
+
+	tmu       sync.Mutex
+	trace     []Adjustment
+	traceNext int
+	rateT     time.Duration
+	rateN     uint64
+	rate      float64
+
+	onDrop    func(now time.Duration, cls Class, r Reason)
+	onRelease func()
+	clock     func() time.Duration
+}
+
+// NewGate builds a gate. fallbackLimit is the substrate's physical
+// concurrency (see Config.withDefaults).
+func NewGate(cfg Config, fallbackLimit int) *Gate {
+	cfg = cfg.withDefaults(fallbackLimit)
+	g := &Gate{cfg: cfg}
+	// Background headroom as an integer fraction so the admit path
+	// stays float-free: threshold = limit * bgNum / bgDen.
+	g.bgNum = uint32(math.Round(cfg.BackgroundHeadroom * 1024))
+	g.bgDen = 1024
+	limit := uint32(cfg.Limit)
+	if cfg.Limiter == LimiterNone {
+		limit = unlimitedLimit
+	}
+	g.word.Store(packWord(limit, 0))
+	g.lim.init(cfg)
+	g.cod = codelState{target: cfg.Target, interval: cfg.Interval}
+	return g
+}
+
+// SetDropHook installs the drop callback (event emission). Not
+// concurrency-safe; install before traffic starts.
+func (g *Gate) SetDropHook(fn func(now time.Duration, cls Class, r Reason)) { g.onDrop = fn }
+
+// SetReleaseHook installs the post-release callback the wait queue
+// uses to hand freed slots to waiters. Install before traffic starts.
+func (g *Gate) SetReleaseHook(fn func()) { g.onRelease = fn }
+
+// SetClock installs the timestamp source used by methods without an
+// explicit now (Tighten, SetLimit). Install before traffic starts.
+func (g *Gate) SetClock(fn func() time.Duration) { g.clock = fn }
+
+func (g *Gate) now() time.Duration {
+	if g.clock != nil {
+		return g.clock()
+	}
+	return 0
+}
+
+// TryAcquire admits the request iff the class's share of the limit has
+// a free slot. Lock-free and allocation-free.
+func (g *Gate) TryAcquire(cls Class) bool {
+	for {
+		w := g.word.Load()
+		limit, infl := uint32(w>>32), uint32(w)
+		threshold := limit
+		if cls == Background && limit != unlimitedLimit {
+			threshold = uint32((uint64(limit)*uint64(g.bgNum) + uint64(g.bgDen)/2) / uint64(g.bgDen))
+		}
+		if infl >= threshold {
+			return false
+		}
+		if g.word.CompareAndSwap(w, w+1) {
+			g.admitted[cls].Add(1)
+			return true
+		}
+	}
+}
+
+// Cancel undoes a TryAcquire without feeding the limiter — used when
+// an already-acquired slot is revoked (CoDel drop at handoff, or the
+// substrate failing to place an admitted request).
+func (g *Gate) Cancel() { g.word.Add(^uint64(0)) }
+
+// Release frees the slot and feeds the observed response time to the
+// limiter. ok distinguishes successful completions from failures (the
+// AIMD limiter treats failures as congestion).
+func (g *Gate) Release(now time.Duration, rtt time.Duration, ok bool) {
+	g.word.Add(^uint64(0))
+	g.lim.observe(g, now, rtt, ok)
+	if g.onRelease != nil {
+		g.onRelease()
+	}
+}
+
+// JudgeSojourn runs the CoDel control law for a request dequeued after
+// waiting sojourn; true means drop it. A no-op (never drop) when CoDel
+// is disabled.
+func (g *Gate) JudgeSojourn(now, sojourn time.Duration) bool {
+	if !g.cfg.CoDel {
+		return false
+	}
+	g.cmu.Lock()
+	drop := g.cod.onDequeue(now, sojourn)
+	dropping := g.cod.dropping
+	g.cmu.Unlock()
+	g.dropping.Store(dropping)
+	return drop
+}
+
+// Drop records a shed: reason counters, drop rate, and the drop hook.
+func (g *Gate) Drop(now time.Duration, cls Class, r Reason) {
+	g.drops[r].Add(1)
+	if g.onDrop != nil {
+		g.onDrop(now, cls, r)
+	}
+}
+
+// EnterQueue / LeaveQueue maintain the waiting-request gauge; the
+// substrate's queue implementation brackets every wait with them.
+func (g *Gate) EnterQueue() { g.queued.Add(1) }
+
+// LeaveQueue decrements the waiting-request gauge.
+func (g *Gate) LeaveQueue() { g.queued.Add(-1) }
+
+// Queued returns how many requests are waiting for admission.
+func (g *Gate) Queued() int { return int(g.queued.Load()) }
+
+// Limit returns the current concurrency limit.
+func (g *Gate) Limit() int { return int(uint32(g.word.Load() >> 32)) }
+
+// InFlight returns the number of admitted, unreleased requests.
+func (g *Gate) InFlight() int { return int(uint32(g.word.Load())) }
+
+// Tightened reports whether the adapt ladder has squeezed the gate.
+func (g *Gate) Tightened() bool { return g.tight.Load() }
+
+// Overloaded reports whether the gate is in distress: CoDel is in its
+// dropping state, or the wait queue is at least half full.
+func (g *Gate) Overloaded() bool {
+	return g.dropping.Load() || g.queued.Load() >= int64(g.cfg.MaxQueue)/2
+}
+
+// LIFOActive reports whether the wait queue should pop newest-first
+// right now (LIFO configured and the gate overloaded).
+func (g *Gate) LIFOActive() bool { return g.cfg.LIFO && g.Overloaded() }
+
+// MaxWait is the bounded pre-dispatch wait.
+func (g *Gate) MaxWait() time.Duration { return g.cfg.MaxWait }
+
+// MaxQueue is the wait-queue capacity.
+func (g *Gate) MaxQueue() int { return g.cfg.MaxQueue }
+
+// CoDelEnabled reports whether the CoDel discipline is armed.
+func (g *Gate) CoDelEnabled() bool { return g.cfg.CoDel }
+
+// SetLimit pins the limit to n (clamped to [MinLimit, MaxLimit]).
+func (g *Gate) SetLimit(n int) { g.setLimit(g.now(), n, "set") }
+
+// Tighten(true) halves the limit and blocks adaptive growth — the
+// adapt ladder's response to a detected stall. Tighten(false) restores
+// growth (and, for the static limiter, the configured limit).
+func (g *Gate) Tighten(on bool) {
+	if on {
+		if !g.tight.Swap(true) {
+			g.setLimit(g.now(), g.Limit()/2, "tighten")
+		}
+		return
+	}
+	if g.tight.Swap(false) {
+		if g.cfg.Limiter == LimiterStatic || g.cfg.Limiter == "" {
+			g.setLimit(g.now(), g.cfg.Limit, "relax")
+		} else {
+			g.pushAdjust(Adjustment{T: g.now(), Limit: g.Limit(), Reason: "relax"})
+		}
+	}
+}
+
+// setLimit clamps and publishes a new limit, recording the change.
+func (g *Gate) setLimit(now time.Duration, n int, reason string) {
+	if g.cfg.Limiter == LimiterNone {
+		return
+	}
+	if n < g.cfg.MinLimit {
+		n = g.cfg.MinLimit
+	}
+	if n > g.cfg.MaxLimit {
+		n = g.cfg.MaxLimit
+	}
+	for {
+		w := g.word.Load()
+		old := int(uint32(w >> 32))
+		if old == n {
+			return
+		}
+		next := packWord(uint32(n), uint32(w))
+		if g.word.CompareAndSwap(w, next) {
+			g.pushAdjust(Adjustment{T: now, Limit: n, Reason: reason})
+			// Growth frees capacity without a release; let waiters
+			// claim the new slots.
+			if n > old && g.onRelease != nil {
+				g.onRelease()
+			}
+			return
+		}
+	}
+}
+
+func (g *Gate) pushAdjust(a Adjustment) {
+	g.tmu.Lock()
+	if len(g.trace) < adjustTraceCap {
+		g.trace = append(g.trace, a)
+	} else {
+		g.trace[g.traceNext] = a
+		g.traceNext = (g.traceNext + 1) % adjustTraceCap
+	}
+	g.tmu.Unlock()
+}
+
+// Adjustments returns the recorded limit changes, oldest first.
+func (g *Gate) Adjustments() []Adjustment {
+	g.tmu.Lock()
+	defer g.tmu.Unlock()
+	out := make([]Adjustment, 0, len(g.trace))
+	if len(g.trace) == adjustTraceCap {
+		out = append(out, g.trace[g.traceNext:]...)
+		out = append(out, g.trace[:g.traceNext]...)
+		return out
+	}
+	return append(out, g.trace...)
+}
+
+// Dropped returns the total sheds across all reasons.
+func (g *Gate) Dropped() uint64 {
+	var n uint64
+	for i := range g.drops {
+		n += g.drops[i].Load()
+	}
+	return n
+}
+
+// DropRate returns sheds per second over the window since its previous
+// call. Single-sampler contract: only one goroutine (the telemetry
+// sampler) may call it.
+func (g *Gate) DropRate(now time.Duration) float64 {
+	total := g.Dropped()
+	g.tmu.Lock()
+	defer g.tmu.Unlock()
+	dt := now - g.rateT
+	if dt > 0 {
+		g.rate = float64(total-g.rateN) / dt.Seconds()
+		g.rateT = now
+		g.rateN = total
+	}
+	return g.rate
+}
+
+// Stats snapshots the gate.
+func (g *Gate) Stats() Stats {
+	w := g.word.Load()
+	limit := int(uint32(w >> 32))
+	if limit == unlimitedLimit {
+		limit = 0
+	}
+	return Stats{
+		Limiter:            g.cfg.Limiter,
+		CoDel:              g.cfg.CoDel,
+		LIFO:               g.cfg.LIFO,
+		Limit:              limit,
+		InFlight:           int(uint32(w)),
+		Queued:             g.Queued(),
+		Tightened:          g.tight.Load(),
+		Admitted:           g.admitted[Interactive].Load() + g.admitted[Background].Load(),
+		AdmittedBackground: g.admitted[Background].Load(),
+		Dropped:            g.Dropped(),
+		DropsPriority:      g.drops[ReasonPriority].Load(),
+		DropsQueueFull:     g.drops[ReasonQueueFull].Load(),
+		DropsMaxWait:       g.drops[ReasonMaxWait].Load(),
+		DropsCoDel:         g.drops[ReasonCoDel].Load(),
+	}
+}

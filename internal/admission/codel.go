@@ -1,0 +1,74 @@
+package admission
+
+import (
+	"math"
+	"time"
+)
+
+// codelState is the CoDel control law (Nichols & Jacobson, "Controlling
+// Queue Delay") applied to the pre-dispatch wait: judge each dequeued
+// request by how long it waited (its sojourn), enter a dropping state
+// once sojourns have stayed above target for a full interval, and while
+// dropping shed on the drop-next schedule — the gap to the next drop
+// shrinks as interval/√count, so pressure ramps until sojourns recover.
+//
+// The state machine is substrate-agnostic: both the simulator's
+// deterministic queue and the proxy's waiter handoff call onDequeue
+// with their own clocks. Guarded by Gate.cmu — only requests that
+// actually waited ever touch it, so the admit fast path stays
+// lock-free.
+type codelState struct {
+	target   time.Duration
+	interval time.Duration
+
+	// firstAbove is the deadline by which sojourns must recover below
+	// target before dropping starts; zero means the queue is not
+	// currently above target.
+	firstAbove time.Duration
+	dropNext   time.Duration
+	count      int
+	lastCount  int
+	dropping   bool
+}
+
+// onDequeue judges one dequeued request; true means drop it.
+func (c *codelState) onDequeue(now, sojourn time.Duration) bool {
+	if sojourn < c.target {
+		// Recovered: leave the dropping state and rearm the interval.
+		c.firstAbove = 0
+		c.dropping = false
+		return false
+	}
+	if c.firstAbove == 0 {
+		c.firstAbove = now + c.interval
+		return false
+	}
+	if now < c.firstAbove {
+		return false
+	}
+	// Sojourns have been above target for at least a full interval.
+	if !c.dropping {
+		c.dropping = true
+		// Resume near the previous episode's drop cadence if it ended
+		// recently; a fresh overload starts the schedule from one.
+		if c.count > 2 && now-c.dropNext < 8*c.interval {
+			c.count -= 2
+		} else {
+			c.count = 1
+		}
+		c.lastCount = c.count
+		c.dropNext = c.controlLaw(now)
+		return true
+	}
+	if now >= c.dropNext {
+		c.count++
+		c.dropNext = c.controlLaw(now)
+		return true
+	}
+	return false
+}
+
+// controlLaw spaces the next drop at interval/√count past now.
+func (c *codelState) controlLaw(now time.Duration) time.Duration {
+	return now + time.Duration(float64(c.interval)/math.Sqrt(float64(c.count)))
+}

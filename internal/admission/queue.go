@@ -1,0 +1,99 @@
+package admission
+
+import "time"
+
+// Queue is the deterministic pre-dispatch wait line the simulator puts
+// in front of a Gate. It is not goroutine-safe: every method runs on
+// the engine thread, timestamps come from the injected clock, and
+// timeouts are engine events scheduled through the injected scheduler,
+// so a run replays byte-identically. (The wall-clock proxy does not
+// use Queue — it parks real goroutines on channels instead; see
+// internal/httpcluster.)
+type Queue struct {
+	g        *Gate
+	now      func() time.Duration
+	schedule func(d time.Duration, fn func())
+	items    []*qitem
+}
+
+type qitem struct {
+	enq    time.Duration
+	cls    Class
+	resume func(admitted bool)
+	done   bool
+}
+
+// NewQueue wires a queue to its gate: the gate's release hook drains
+// the queue, handing freed slots to waiters through the CoDel judge.
+func NewQueue(g *Gate, now func() time.Duration, schedule func(d time.Duration, fn func())) *Queue {
+	q := &Queue{g: g, now: now, schedule: schedule}
+	g.SetReleaseHook(q.drain)
+	return q
+}
+
+// Push parks a request waiting for admission; resume is invoked
+// exactly once — admitted true when a slot was handed over, false when
+// the wait timed out or CoDel dropped it (both already recorded via
+// Gate.Drop). Push returns false, without consuming resume, when the
+// queue is full; the caller sheds.
+func (q *Queue) Push(cls Class, resume func(admitted bool)) bool {
+	if len(q.items) >= q.g.MaxQueue() {
+		return false
+	}
+	it := &qitem{enq: q.now(), cls: cls, resume: resume}
+	q.items = append(q.items, it)
+	q.g.EnterQueue()
+	q.schedule(q.g.MaxWait(), func() { q.expire(it) })
+	return true
+}
+
+// expire sheds a waiter that reached MaxWait without admission.
+func (q *Queue) expire(it *qitem) {
+	if it.done {
+		return
+	}
+	it.done = true
+	for i, cur := range q.items {
+		if cur == it {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			break
+		}
+	}
+	q.g.LeaveQueue()
+	q.g.Drop(q.now(), it.cls, ReasonMaxWait)
+	it.resume(false)
+}
+
+// drain runs on every gate release: while capacity is free and waiters
+// remain, pop one (newest-first when LIFO-on-overload is active),
+// judge its sojourn, and either hand it the slot or shed it and try
+// the next.
+func (q *Queue) drain() {
+	for len(q.items) > 0 {
+		if !q.g.TryAcquire(Interactive) {
+			return
+		}
+		var it *qitem
+		if q.g.LIFOActive() {
+			it = q.items[len(q.items)-1]
+			q.items = q.items[:len(q.items)-1]
+		} else {
+			it = q.items[0]
+			q.items = q.items[1:]
+		}
+		it.done = true
+		q.g.LeaveQueue()
+		now := q.now()
+		if q.g.JudgeSojourn(now, now-it.enq) {
+			q.g.Cancel()
+			q.g.Drop(now, it.cls, ReasonCoDel)
+			it.resume(false)
+			continue
+		}
+		it.resume(true)
+		return
+	}
+}
+
+// Len returns the number of waiting requests.
+func (q *Queue) Len() int { return len(q.items) }

@@ -74,6 +74,19 @@ func (a webActuator) ArmProbe(backend string) {
 	})
 }
 
+// TightenLimit implements adapt.LimitActuator: squeeze (or restore)
+// every web's admission gate alongside a ladder shift. Reports false —
+// no decision recorded — when admission is not armed.
+func (a webActuator) TightenLimit(on bool) bool {
+	if len(a.c.admGates) == 0 {
+		return false
+	}
+	for _, g := range a.c.admGates {
+		g.Tighten(on)
+	}
+	return true
+}
+
 func (a webActuator) eachCandidate(backend string, fn func(*lb.Balancer, *lb.Candidate)) {
 	for _, w := range a.c.Webs {
 		bal := w.Balancer()

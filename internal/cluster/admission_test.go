@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"millibalance/internal/admission"
+	"millibalance/internal/obs"
+)
+
+// admissionMini is MiniConfig with the codel+gradient admission plane
+// armed and events on, so drops are observable.
+func admissionMini() Config {
+	cfg := MiniConfig()
+	cfg.Admission = &admission.Config{Limiter: admission.LimiterGradient, CoDel: true, LIFO: true}
+	cfg.EventCapacity = 1 << 14
+	return cfg
+}
+
+func TestAdmissionDisabledByDefault(t *testing.T) {
+	res := Run(MiniConfig())
+	if len(res.Admission) != 0 || res.AdmissionSheds != 0 {
+		t.Fatalf("admission stats on an unarmed run: %+v", res.Admission)
+	}
+}
+
+func TestAdmissionArmedRunIsDeterministic(t *testing.T) {
+	a := Run(admissionMini())
+	b := Run(admissionMini())
+	if a.Responses.Total() != b.Responses.Total() ||
+		a.Responses.Mean() != b.Responses.Mean() ||
+		a.Responses.VLRTCount() != b.Responses.VLRTCount() ||
+		a.AdmissionSheds != b.AdmissionSheds {
+		t.Fatalf("identical admission-armed configs diverged: %v/%v/%v vs %v/%v/%v",
+			a.Responses.Total(), a.Responses.Mean(), a.AdmissionSheds,
+			b.Responses.Total(), b.Responses.Mean(), b.AdmissionSheds)
+	}
+	sa, sb := a.Admission, b.Admission
+	if len(sa) != len(sb) || len(sa) != a.Config.NumWeb {
+		t.Fatalf("admission stats for %d/%d webs, want %d", len(sa), len(sb), a.Config.NumWeb)
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("web %d gate snapshots diverged: %+v vs %+v", i, sa[i], sb[i])
+		}
+	}
+}
+
+func TestAdmissionShedsUnderStall(t *testing.T) {
+	// Freeze one app server's CPU mid-run: the gradient limiter sees
+	// RTT inflate, shrinks the limit, and the plane starts shedding —
+	// visible in the gate stats and as admission_drop events.
+	cfg := admissionMini()
+	cfg.Admission.MaxWait = 200 * time.Millisecond
+	c := New(cfg)
+	c.Eng.Schedule(2*time.Second, func() {
+		c.Apps[0].CPU().Stall(3 * time.Second)
+	})
+	res := c.Run()
+	total := uint64(0)
+	for _, st := range res.Admission {
+		total += st.Dropped
+	}
+	if total == 0 || res.AdmissionSheds == 0 {
+		t.Fatalf("no admission sheds despite a 3 s stall (gate drops %d, web sheds %d)",
+			total, res.AdmissionSheds)
+	}
+	drops := res.Events.Kind(obs.KindAdmissionDrop)
+	if len(drops) == 0 {
+		t.Fatal("no admission_drop events despite gate drops")
+	}
+	for _, ev := range drops {
+		if ev.Reason == "" || ev.Class == "" || ev.Source == "" {
+			t.Fatalf("admission_drop event missing fields: %+v", ev)
+		}
+	}
+	// The gradient limiter must have moved the limit during the stall.
+	adjusted := false
+	for _, w := range c.Webs {
+		if len(w.Admission().Adjustments()) > 0 {
+			adjusted = true
+		}
+	}
+	if !adjusted {
+		t.Fatal("gradient limiter never adjusted a limit")
+	}
+}
+
+func TestAdmissionAccountingBalances(t *testing.T) {
+	// Every issued request ends exactly one way: served, errored,
+	// gave up in retransmission, or still open at run end. Admission
+	// sheds are failures with responses, so they appear in the
+	// recorder's failure count, not in GiveUps.
+	res := Run(admissionMini())
+	if res.Responses.Total() == 0 {
+		t.Fatal("no responses")
+	}
+	var inFlight uint64
+	for _, st := range res.Admission {
+		inFlight += uint64(st.InFlight)
+		if st.Queued != 0 {
+			// Queued waiters at run end are fine (their timeout events
+			// never fired), but the gauge must not have gone negative.
+			if st.Queued < 0 {
+				t.Fatalf("negative queue gauge: %+v", st)
+			}
+		}
+	}
+	if res.AdmissionSheds > res.Responses.Failures() {
+		t.Fatalf("sheds %d exceed recorded failures %d", res.AdmissionSheds, res.Responses.Failures())
+	}
+}
+
+func TestAdmissionFixedShedBoundsWait(t *testing.T) {
+	// The static fixed-shed plane (the proxy-delegation preset) on a
+	// deliberately tiny worker pool: waits are bounded by MaxWait, so
+	// no successful response shows an accept wait beyond it, and
+	// overflow sheds are recorded.
+	cfg := QuietMiniConfig()
+	cfg.WebWorkers = 2
+	cfg.WebBacklog = 4
+	cfg.Clients = 600
+	cfg.ThinkTime = 50 * time.Millisecond
+	cfg.Duration = 5 * time.Second
+	cfg.Admission = admission.FixedShed(100 * time.Millisecond)
+	res := Run(cfg)
+	if res.AdmissionSheds == 0 {
+		t.Fatal("tiny pool with fixed-shed admission never shed")
+	}
+	for _, st := range res.Admission {
+		if st.Limit != 2 {
+			t.Fatalf("fixed-shed gate limit %d, want worker pool 2", st.Limit)
+		}
+		if st.DropsCoDel != 0 {
+			t.Fatalf("CoDel drops on a fixed-shed gate: %+v", st)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"millibalance/internal/adapt"
+	"millibalance/internal/admission"
 	"millibalance/internal/lb"
 	"millibalance/internal/mbneck"
 	"millibalance/internal/metrics"
@@ -95,6 +96,12 @@ type Results struct {
 	// frozen flag, dirty bytes and pool occupancy at the telemetry
 	// interval.
 	Timeline *telemetry.Timeline
+	// Admission holds one final gate snapshot per web server (empty
+	// unless Config.Admission was set).
+	Admission []admission.Stats
+	// AdmissionSheds is requests refused by the overload-control plane
+	// summed over webs.
+	AdmissionSheds uint64
 	// Chains is the online correlator's ranked causal-chain reports, one
 	// per millibottleneck the streaming detectors confirmed (empty
 	// unless both Config.Telemetry and Config.EventCapacity were set).
@@ -124,6 +131,7 @@ type Cluster struct {
 	correlator *telemetry.Correlator
 	pools      *probe.Pools
 	prober     *probe.SimProber
+	admGates   []*admission.Gate
 	eventHooks []func(obs.Event)
 	giveUps    uint64
 
@@ -176,6 +184,15 @@ func New(cfg Config) *Cluster {
 	policy, _ := c.newPolicy(cfg.Policy)
 	for i := 0; i < cfg.NumWeb; i++ {
 		mech, _ := lb.MechanismByName(cfg.Mechanism, eng)
+		// One admission gate per web server, sized to its worker pool
+		// and driven entirely by the engine clock so an armed run
+		// still replays byte-identically.
+		var gate *admission.Gate
+		if cfg.Admission != nil {
+			gate = admission.NewGate(*cfg.Admission, cfg.WebWorkers)
+			gate.SetClock(eng.Now)
+			c.admGates = append(c.admGates, gate)
+		}
 		c.Webs = append(c.Webs, server.NewWeb(eng, server.WebConfig{
 			Name:               fmt.Sprintf("apache%d", i+1),
 			Cores:              cfg.WebCores,
@@ -188,6 +205,7 @@ func New(cfg Config) *Cluster {
 			LinkLatency:        cfg.LinkLatency,
 			LogBytesPerRequest: cfg.WebLogBytes,
 			Writeback:          cfg.WebWriteback,
+			Admission:          gate,
 		}, c.Apps))
 	}
 
@@ -201,6 +219,20 @@ func New(cfg Config) *Cluster {
 	}
 	if cfg.EventCapacity > 0 {
 		c.events = obs.NewEventLog(cfg.EventCapacity)
+	}
+	if c.events != nil {
+		for i, g := range c.admGates {
+			name := c.Webs[i].Name()
+			g.SetDropHook(func(now sim.Time, cls admission.Class, r admission.Reason) {
+				c.events.Append(obs.Event{
+					T:      now,
+					Kind:   obs.KindAdmissionDrop,
+					Source: name,
+					Reason: r.String(),
+					Class:  cls.String(),
+				})
+			})
+		}
 	}
 	c.detectors = make(map[string]*obs.Detector)
 	onOutcome := func(req *workload.Request, o workload.Outcome) {
@@ -441,6 +473,12 @@ func (c *Cluster) instrumentTelemetry() {
 		w := w
 		server(w.Name(), w.CPU(), w.QueuedRequests)
 		s.Register(w.Name(), telemetry.SignalDirtyBytes, func() float64 { return float64(w.Writeback().DirtyBytes()) })
+		if g := w.Admission(); g != nil {
+			s.Register(w.Name(), telemetry.SignalAdmitLimit, func() float64 { return float64(g.Limit()) })
+			s.Register(w.Name(), telemetry.SignalAdmitInFlight, func() float64 { return float64(g.InFlight()) })
+			s.Register(w.Name(), telemetry.SignalAdmitQueue, func() float64 { return float64(g.Queued()) })
+			s.Register(w.Name(), telemetry.SignalAdmitDropRate, func() float64 { return g.DropRate(c.Eng.Now()) })
+		}
 	}
 	for _, a := range c.Apps {
 		a := a
@@ -607,6 +645,10 @@ func (c *Cluster) results() *Results {
 		c.webStats[i].Served = w.Served()
 		res.Drops += w.Drops()
 		res.Rejects += w.Balancer().Rejects()
+		if g := w.Admission(); g != nil {
+			res.Admission = append(res.Admission, g.Stats())
+			res.AdmissionSheds += w.AdmissionSheds()
+		}
 	}
 	for i, a := range c.Apps {
 		c.appStats[i].Served = a.Served()

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"millibalance/internal/adapt"
+	"millibalance/internal/admission"
 	"millibalance/internal/lb"
 	"millibalance/internal/netmodel"
 	"millibalance/internal/probe"
@@ -116,6 +117,14 @@ type Config struct {
 	// controller needs the online detectors, so a zero EventCapacity is
 	// raised to a default. Decisions land in Results.Adapt.
 	Adaptive *adapt.Config
+	// Admission, when non-nil, arms the overload-control subsystem
+	// (internal/admission) on every web server: an adaptive concurrency
+	// limiter, a CoDel-judged bounded wait in front of the worker pool,
+	// and priority-aware shedding. All gate activity runs on the engine
+	// clock, so an armed run still replays byte-identically. Gate
+	// snapshots land in Results.Admission; sheds appear as
+	// admission_drop events when the event log is armed.
+	Admission *admission.Config
 }
 
 // Validate reports configuration errors.
@@ -151,6 +160,9 @@ func (c Config) Validate() error {
 				return fmt.Errorf("cluster: unknown adaptive mechanism %q", ac.MechanismTarget)
 			}
 		}
+	}
+	if err := c.Admission.Validate(); err != nil {
+		return fmt.Errorf("cluster: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"millibalance/internal/admission"
+	"millibalance/internal/cluster"
+	"millibalance/internal/parallel"
+)
+
+// Figure 18 — overload control as the complement of load balancing. The
+// paper's conclusion is that balancing policies alone cannot fully
+// remedy millibottleneck-induced VLRT: by the time any counter moves,
+// the queues are already amplified. The admission plane
+// (internal/admission) attacks the amplification itself — bound what
+// enters, judge the waiting time, shed the rest. This figure keeps the
+// paper's WORST configuration (total_request over the original blocking
+// get_endpoint) and asks how much of the full remedy's VLRT reduction
+// admission control alone recovers, across the same five fault shapes
+// as Figure 17 plus a fault-free shape that prices the plane's goodput
+// cost when nothing is wrong.
+
+// Fig18Arm names one column group of Figure 18.
+type Fig18Arm string
+
+const (
+	// Fig18None is the paper's worst configuration with no admission
+	// control — the queue-amplification baseline.
+	Fig18None Fig18Arm = "no_admission"
+	// Fig18Fixed adds the historical fixed bounded-wait shed (static
+	// limit at the worker-pool size, 1 s MaxWait).
+	Fig18Fixed Fig18Arm = "fixed_shed"
+	// Fig18CoDel adds the full plane: gradient limiter, CoDel on the
+	// pre-dispatch wait, LIFO under overload.
+	Fig18CoDel Fig18Arm = "codel_gradient"
+	// Fig18Remedy is the reference row: the paper's full
+	// policy+mechanism remedy with no admission control, the bar the
+	// codel arm is judged against.
+	Fig18Remedy Fig18Arm = "remedy_reference"
+)
+
+// Fig18Row is one fault shape × arm measurement.
+type Fig18Row struct {
+	Shape     string
+	Arm       Fig18Arm
+	Policy    string
+	Mechanism string
+	Admission string
+
+	TotalRequests  uint64
+	Goodput        uint64 // successfully answered requests
+	AvgRTMillis    float64
+	VLRTCount      uint64
+	VLRTPct        float64
+	Sheds          uint64
+	InjectedStalls int
+}
+
+// Fig18Result holds the (5 fault shapes + no-fault) × 4 arms grid.
+type Fig18Result struct {
+	Rows []Fig18Row
+}
+
+// Fig18Shapes is Fig17Shapes plus the fault-free control shape.
+func Fig18Shapes() []string {
+	return append([]string{"none"}, Fig17Shapes()...)
+}
+
+// fig18Admission returns the arm's admission config (nil = disabled).
+func fig18Admission(a Fig18Arm) (*admission.Config, string) {
+	switch a {
+	case Fig18Fixed:
+		return &admission.Config{Limiter: admission.LimiterStatic}, "static+maxwait"
+	case Fig18CoDel:
+		// MaxWait sits well below the 1 s VLRT threshold: a shed must be
+		// a fast failure the client can retry, not a request that burned
+		// its whole latency budget waiting to be refused. (The fixed arm
+		// keeps the historical 1 s bound on purpose — the comparison
+		// shows what that costs.)
+		return &admission.Config{
+			Limiter: admission.LimiterGradient,
+			CoDel:   true,
+			LIFO:    true,
+			MaxWait: 400 * time.Millisecond,
+		}, "codel+gradient+lifo"
+	default:
+		return nil, "off"
+	}
+}
+
+// RunFig18 executes the grid, fanned out across the parallel harness.
+func RunFig18(opt Options) Fig18Result {
+	type cell struct {
+		shape string
+		arm   Fig18Arm
+	}
+	var cells []cell
+	for _, shape := range Fig18Shapes() {
+		for _, a := range []Fig18Arm{Fig18None, Fig18Fixed, Fig18CoDel, Fig18Remedy} {
+			cells = append(cells, cell{shape, a})
+		}
+	}
+	rows := parallel.Map(opt.workers(), len(cells), func(i int) Fig18Row {
+		shape, a := cells[i].shape, cells[i].arm
+		var cfg cluster.Config
+		if shape == "none" {
+			cfg = opt.apply(cluster.BaselineConfig())
+		} else {
+			cfg = fig17Config(opt, shape)
+		}
+		if a == Fig18Remedy {
+			cfg.Policy, cfg.Mechanism = "current_load", "modified_get_endpoint"
+		} else {
+			cfg.Policy, cfg.Mechanism = "total_request", "original_get_endpoint"
+		}
+		acfg, spec := fig18Admission(a)
+		cfg.Admission = acfg
+		c := cluster.New(cfg)
+		stalls := func() int { return 0 }
+		if shape != "none" {
+			stalls = fig17Injector(shape, c, cfg.Duration)
+		}
+		res := c.Run()
+		return Fig18Row{
+			Shape:          shape,
+			Arm:            a,
+			Policy:         cfg.Policy,
+			Mechanism:      cfg.Mechanism,
+			Admission:      spec,
+			TotalRequests:  res.Responses.Total(),
+			Goodput:        res.Responses.Total() - res.Responses.Failures(),
+			AvgRTMillis:    float64(res.Responses.Mean().Microseconds()) / 1000,
+			VLRTCount:      res.Responses.VLRTCount(),
+			VLRTPct:        res.Responses.VLRTPercent(),
+			Sheds:          res.AdmissionSheds,
+			InjectedStalls: stalls(),
+		}
+	})
+	return Fig18Result{Rows: rows}
+}
+
+// Row returns the row for a shape and arm, or nil.
+func (f Fig18Result) Row(shape string, arm Fig18Arm) *Fig18Row {
+	for i := range f.Rows {
+		if f.Rows[i].Shape == shape && f.Rows[i].Arm == arm {
+			return &f.Rows[i]
+		}
+	}
+	return nil
+}
+
+// CoDelWithinFactor reports whether the codel+gradient arm bounds its
+// VLRT count within factor× the full remedy's for the shape — the
+// Figure 18 acceptance criterion (factor 2), with the same absolute
+// %VLRT floor as Figure 17 so a zero-VLRT remedy cannot fail a residue
+// of one per thousand.
+func (f Fig18Result) CoDelWithinFactor(shape string, factor float64) bool {
+	cd := f.Row(shape, Fig18CoDel)
+	rm := f.Row(shape, Fig18Remedy)
+	if cd == nil || rm == nil {
+		return false
+	}
+	return float64(cd.VLRTCount) <= float64(rm.VLRTCount)*factor || cd.VLRTPct <= 0.1
+}
+
+// CoDelImproves reports whether the codel arm beat the unprotected
+// baseline it shares a policy and mechanism with, on %VLRT.
+func (f Fig18Result) CoDelImproves(shape string) bool {
+	cd := f.Row(shape, Fig18CoDel)
+	no := f.Row(shape, Fig18None)
+	if cd == nil || no == nil {
+		return false
+	}
+	return cd.VLRTPct <= no.VLRTPct
+}
+
+// GoodputWithin reports whether the codel arm's fault-free goodput
+// stays within lossFrac of the no-admission baseline — the price of
+// running the plane when nothing is wrong.
+func (f Fig18Result) GoodputWithin(lossFrac float64) bool {
+	cd := f.Row("none", Fig18CoDel)
+	no := f.Row("none", Fig18None)
+	if cd == nil || no == nil || no.Goodput == 0 {
+		return false
+	}
+	return float64(cd.Goodput) >= float64(no.Goodput)*(1-lossFrac)
+}
+
+// Render prints the grid.
+func (f Fig18Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 18 — admission control on the paper's worst arm vs the full remedy, per fault shape\n")
+	fmt.Fprintf(&b, "%-9s %-17s %-14s %-22s %-20s %9s %9s %12s %7s %9s %7s %7s\n",
+		"shape", "arm", "policy", "mechanism", "admission",
+		"#req", "goodput", "avg RT (ms)", "#VLRT", "%VLRT", "sheds", "stalls")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-9s %-17s %-14s %-22s %-20s %9d %9d %12.2f %7d %8.2f%% %7d %7d\n",
+			r.Shape, string(r.Arm), r.Policy, r.Mechanism, r.Admission,
+			r.TotalRequests, r.Goodput, r.AvgRTMillis, r.VLRTCount, r.VLRTPct,
+			r.Sheds, r.InjectedStalls)
+	}
+	for _, shape := range Fig18Shapes() {
+		if shape == "none" {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%s: codel+gradient within 2x of remedy VLRT: %v; improves on no_admission: %v",
+			shape, f.CoDelWithinFactor(shape, 2), f.CoDelImproves(shape))
+	}
+	fmt.Fprintf(&b, "\nfault-free goodput within 5%% of no_admission: %v\n", f.GoodputWithin(0.05))
+	return b.String()
+}

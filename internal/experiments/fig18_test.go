@@ -1,0 +1,60 @@
+package experiments
+
+import "testing"
+
+// TestFig18AdmissionBoundsVLRT is the PR acceptance criterion: across
+// all five fault shapes, the codel+gradient arm — admission control on
+// the paper's WORST policy/mechanism pair — must bound its VLRT count
+// within 2x of the full remedy arm, and must not cost more than 5% of
+// goodput on the fault-free shape.
+func TestFig18AdmissionBoundsVLRT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("twenty-four paper-scale runs")
+	}
+	res := RunFig18(testOpt)
+	if want := len(Fig18Shapes()) * 4; len(res.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), want)
+	}
+	for _, shape := range Fig17Shapes() {
+		cd := res.Row(shape, Fig18CoDel)
+		rm := res.Row(shape, Fig18Remedy)
+		if cd == nil || rm == nil {
+			t.Fatalf("%s: missing arm rows", shape)
+		}
+		if cd.TotalRequests == 0 {
+			t.Fatalf("%s: codel arm completed no requests", shape)
+		}
+		if !res.CoDelWithinFactor(shape, 2) {
+			t.Errorf("%s: codel VLRT count %d (%.2f%%) not within 2x of remedy %d\n%s",
+				shape, cd.VLRTCount, cd.VLRTPct, rm.VLRTCount, res.Render())
+		}
+		if !res.CoDelImproves(shape) {
+			t.Errorf("%s: codel arm did not improve on the unprotected baseline\n%s",
+				shape, res.Render())
+		}
+	}
+	if !res.GoodputWithin(0.05) {
+		t.Errorf("fault-free goodput fell more than 5%% under admission\n%s", res.Render())
+	}
+	// The plane must actually have worked for a living on the stall
+	// shapes — zero sheds would mean the arm never engaged.
+	engaged := false
+	for _, shape := range Fig17Shapes() {
+		if res.Row(shape, Fig18CoDel).Sheds > 0 {
+			engaged = true
+		}
+	}
+	if !engaged {
+		t.Error("codel arm recorded no sheds on any fault shape")
+	}
+}
+
+func TestFig18DeterministicUnderParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism digests are slow")
+	}
+	seqAndPar(t, "Fig18", func(o Options) []string {
+		res := RunFig18(o)
+		return []string{res.Render()}
+	})
+}

@@ -19,15 +19,16 @@ import (
 // remediation ladder (quarantine → mechanism swap → policy swap →
 // round_robin fallback) is identical across substrates.
 
-// proxyActuator adapts the proxy's balancer to adapt.Actuator.
+// proxyActuator adapts the proxy's balancer (and, when armed, its
+// admission gate) to adapt.Actuator.
 type proxyActuator struct {
-	bal *Balancer
+	p *Proxy
 }
 
 // Backends implements adapt.Actuator.
 func (a proxyActuator) Backends() []string {
-	out := make([]string, 0, len(a.bal.Backends()))
-	for _, be := range a.bal.Backends() {
+	out := make([]string, 0, len(a.p.bal.Backends()))
+	for _, be := range a.p.bal.Backends() {
 		out = append(out, be.Name())
 	}
 	return out
@@ -35,26 +36,36 @@ func (a proxyActuator) Backends() []string {
 
 // SetPolicy implements adapt.Actuator.
 func (a proxyActuator) SetPolicy(name string) {
-	if p, err := ParsePolicy(name); err == nil {
-		a.bal.SetPolicy(p)
+	if pol, err := ParsePolicy(name); err == nil {
+		a.p.bal.SetPolicy(pol)
 	}
 }
 
 // SetMechanism implements adapt.Actuator.
 func (a proxyActuator) SetMechanism(name string) {
 	if m, err := ParseMechanism(name); err == nil {
-		a.bal.SetMechanism(m)
+		a.p.bal.SetMechanism(m)
 	}
 }
 
 // SetQuarantine implements adapt.Actuator.
 func (a proxyActuator) SetQuarantine(backend string, on bool) {
-	a.bal.SetQuarantine(backend, on)
+	a.p.bal.SetQuarantine(backend, on)
 }
 
 // ArmProbe implements adapt.Actuator.
 func (a proxyActuator) ArmProbe(backend string) {
-	a.bal.ArmProbe(backend)
+	a.p.bal.ArmProbe(backend)
+}
+
+// TightenLimit implements adapt.LimitActuator over the proxy's
+// admission gate; false (no decision) when admission is not armed.
+func (a proxyActuator) TightenLimit(on bool) bool {
+	if a.p.adm == nil {
+		return false
+	}
+	a.p.adm.Tighten(on)
+	return true
 }
 
 // adaptRunner owns the controller goroutine.
@@ -77,7 +88,7 @@ func (p *Proxy) armAdapt(acfg adapt.Config) {
 	if acfg.BaseMechanism == "" {
 		acfg.BaseMechanism = p.cfg.Mechanism.String()
 	}
-	ctrl := adapt.NewController(acfg, proxyActuator{p.bal})
+	ctrl := adapt.NewController(acfg, proxyActuator{p})
 	p.adaptC = ctrl
 	p.bal.SetProbeHook(func(be *Backend, rt time.Duration, ok bool) {
 		ctrl.OnProbe(p.now(), be.Name(), rt, ok)

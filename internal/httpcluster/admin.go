@@ -185,6 +185,18 @@ func (p *Proxy) adminHandler(forward http.HandlerFunc) http.HandlerFunc {
 			ndjsonHeaders(w)
 			_ = p.adaptC.Log().WriteJSONL(w)
 			return
+		case "/admin/admission":
+			if p.adm == nil {
+				http.Error(w, "admission control disabled (ProxyConfig.Admission)", http.StatusNotFound)
+				return
+			}
+			ndjsonHeaders(w)
+			enc := json.NewEncoder(w)
+			_ = enc.Encode(p.adm.Stats())
+			for _, a := range p.adm.Adjustments() {
+				_ = enc.Encode(a)
+			}
+			return
 		case "/admin/timeline":
 			if p.sampler == nil {
 				http.Error(w, "telemetry disabled (ProxyConfig.Telemetry)", http.StatusNotFound)

@@ -36,7 +36,11 @@ type Resilience struct {
 	// quiet period can save up. Zero means 50.
 	RetryBudgetCap float64
 	// ShedAfter bounds the wait for a proxy worker slot; requests
-	// exceeding it are shed with 503. Zero means 1s.
+	// exceeding it are shed with 503. Zero means 1s. The bound is
+	// enforced by the admission plane: when ProxyConfig.Admission is
+	// nil, StartProxy arms admission.FixedShed(ShedAfter) — a static
+	// gate sized to the worker pool with the same bounded wait. An
+	// explicit Admission config takes precedence over ShedAfter.
 	ShedAfter time.Duration
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"millibalance/internal/adapt"
+	"millibalance/internal/admission"
 	"millibalance/internal/obs"
 	"millibalance/internal/probe"
 	"millibalance/internal/telemetry"
@@ -367,8 +368,19 @@ type ProxyConfig struct {
 	// Resilience, when non-nil, arms the graceful-degradation path:
 	// per-attempt deadlines, bounded budgeted retries and fast-fail
 	// load shedding. Nil preserves the paper's baseline blocking
-	// behavior.
+	// behavior. Its bounded-wait shed is implemented by the admission
+	// plane: when Admission is nil, a Resilience config arms an
+	// admission.FixedShed gate with the same ShedAfter bound.
 	Resilience *Resilience
+	// Admission, when non-nil, arms the overload-control plane
+	// (internal/admission) in front of the worker pool: an adaptive
+	// concurrency limiter (static/aimd/gradient), optional CoDel
+	// discipline on the pre-dispatch wait, and two-class priority
+	// shedding (X-Priority: background requests only get the limit's
+	// headroom and never queue). The gate's state streams at
+	// GET /admin/admission. Nil together with a nil Resilience keeps
+	// the paper's baseline unbounded blocking wait.
+	Admission *admission.Config
 	// Telemetry, when non-nil, arms the fine-grained resource timeline
 	// sampler (internal/telemetry): a background goroutine records
 	// proxy worker saturation, accept-queue wait, per-backend
@@ -407,6 +419,9 @@ type Proxy struct {
 	shed    atomic.Uint64
 	retries atomic.Uint64
 
+	adm      *admission.Gate
+	admPlane *admissionPlane
+
 	sampler *telemetry.WallSampler
 	waiting atomic.Int64 // requests blocked on a worker slot
 
@@ -442,6 +457,15 @@ func StartProxy(cfg ProxyConfig, backends []*Backend) (*Proxy, error) {
 	if cfg.EventCapacity > 0 {
 		p.events = obs.NewEventLog(cfg.EventCapacity)
 		p.bal.SetEventLog(p.events, "proxy", p.epoch)
+	}
+	acfg := cfg.Admission
+	if acfg == nil && p.resil != nil {
+		// The historical fixed bounded-wait shed is an admission preset:
+		// a static gate sized to the worker pool with a ShedAfter wait.
+		acfg = admission.FixedShed(p.resil.ShedAfter)
+	}
+	if acfg != nil {
+		p.armAdmission(*acfg)
 	}
 	p.armProbing(backends)
 	if cfg.Adapt != nil {
@@ -508,6 +532,36 @@ func (p *Proxy) Close() error {
 	return err
 }
 
+// armAdmission builds the gate and its goroutine wait plane. Limits are
+// clamped to the worker pool — the gate must never promise concurrency
+// the pool cannot run, or admitted requests would block on the worker
+// channel and re-create the pile-up the plane exists to prevent. Called
+// from StartProxy before the listener serves traffic.
+func (p *Proxy) armAdmission(acfg admission.Config) {
+	if acfg.Limit > p.cfg.Workers {
+		acfg.Limit = p.cfg.Workers
+	}
+	if acfg.MaxLimit > p.cfg.Workers {
+		acfg.MaxLimit = p.cfg.Workers
+	}
+	g := admission.NewGate(acfg, p.cfg.Workers)
+	g.SetClock(p.now)
+	g.SetDropHook(func(now time.Duration, cls admission.Class, r admission.Reason) {
+		if p.events != nil {
+			p.events.Append(obs.Event{
+				T: now, Kind: obs.KindAdmissionDrop, Source: "proxy",
+				Reason: r.String(), Class: cls.String(),
+			})
+		}
+	})
+	p.adm = g
+	p.admPlane = newAdmissionPlane(g, p.now, &p.waiting)
+}
+
+// Admission exposes the admission gate (nil unless ProxyConfig.Admission
+// or ProxyConfig.Resilience armed it).
+func (p *Proxy) Admission() *admission.Gate { return p.adm }
+
 // armProbing builds the probe pools, wires them into the balancer and
 // starts the wall prober when this proxy can dispatch through prequal:
 // an explicit ProxyConfig.Probe, prequal as the configured policy, or
@@ -556,6 +610,20 @@ func (p *Proxy) armTelemetry(tcfg telemetry.Config) {
 	s.Register("proxy", telemetry.SignalAcceptWait, func() float64 {
 		return float64(p.waiting.Load())
 	})
+	if p.adm != nil {
+		s.Register("proxy", telemetry.SignalAdmitLimit, func() float64 {
+			return float64(p.adm.Limit())
+		})
+		s.Register("proxy", telemetry.SignalAdmitInFlight, func() float64 {
+			return float64(p.adm.InFlight())
+		})
+		s.Register("proxy", telemetry.SignalAdmitQueue, func() float64 {
+			return float64(p.adm.Queued())
+		})
+		s.Register("proxy", telemetry.SignalAdmitDropRate, func() float64 {
+			return p.adm.DropRate(p.now())
+		})
+	}
 	for _, be := range p.bal.Backends() {
 		be := be
 		s.Register(be.Name(), telemetry.SignalInFlight, func() float64 {
@@ -597,7 +665,7 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	start := p.now()
 	sp := p.tracer.Start(p.reqID.Add(1), start)
 	sp.Enter(obs.StageWebAcceptQueue, start)
-	if !p.acquireWorker() {
+	if !p.acquireWorker(classify(r)) {
 		sp.Exit(obs.StageWebAcceptQueue, p.now())
 		p.shed.Add(1)
 		p.errors.Add(1)
@@ -608,6 +676,14 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 		p.adaptOutcome(start, false)
 		http.Error(w, "proxy saturated", http.StatusServiceUnavailable)
 		return
+	}
+	// Defer order matters: the worker slot (registered second, released
+	// first) must be free before the gate release wakes a waiter, so the
+	// woken request's worker acquisition never blocks.
+	admOK := false
+	if p.adm != nil {
+		admitAt := p.now()
+		defer func() { p.adm.Release(p.now(), p.now()-admitAt, admOK) }()
 	}
 	defer func() { <-p.workers }()
 	sp.Exit(obs.StageWebAcceptQueue, p.now())
@@ -685,6 +761,7 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 		sp.Exit(obs.StageAppThread, p.now())
 		rel.Done(n)
 		p.served.Add(1)
+		admOK = resp.StatusCode < 500
 		p.tracer.Finish(sp, p.now(), resp.StatusCode < 500)
 		p.adaptOutcome(start, resp.StatusCode < 500)
 		return
@@ -695,11 +772,20 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	http.Error(w, failMsg, failStatus)
 }
 
-// acquireWorker claims a proxy worker slot. Without resilience it
-// blocks indefinitely — the paper's pile-up behavior, where every
-// blocked goroutine is a consumed web-tier thread. With resilience it
-// bounds the wait at ShedAfter and reports false to shed the request.
-func (p *Proxy) acquireWorker() bool {
+// acquireWorker claims a proxy worker slot. With the admission plane
+// armed (explicitly, or via the Resilience fixed-shed delegation) the
+// gate decides: its limit never exceeds the pool, so the worker send
+// after admission cannot be the blocking wait the plane just bounded.
+// Without any plane it blocks indefinitely — the paper's pile-up
+// behavior, where every blocked goroutine is a consumed web-tier thread.
+func (p *Proxy) acquireWorker(cls admission.Class) bool {
+	if p.adm != nil {
+		if !p.admPlane.admit(cls) {
+			return false
+		}
+		p.workers <- struct{}{}
+		return true
+	}
 	select {
 	case p.workers <- struct{}{}:
 		return true
@@ -709,18 +795,8 @@ func (p *Proxy) acquireWorker() bool {
 	// queued requests the way the simulator's accept queue does.
 	p.waiting.Add(1)
 	defer p.waiting.Add(-1)
-	if p.resil == nil {
-		p.workers <- struct{}{}
-		return true
-	}
-	t := time.NewTimer(p.resil.ShedAfter)
-	defer t.Stop()
-	select {
-	case p.workers <- struct{}{}:
-		return true
-	case <-t.C:
-		return false
-	}
+	p.workers <- struct{}{}
+	return true
 }
 
 // roundTrip performs one upstream attempt. With resilience armed the

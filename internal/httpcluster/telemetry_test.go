@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"millibalance/internal/adapt"
+	"millibalance/internal/admission"
 	"millibalance/internal/telemetry"
 )
 
@@ -29,6 +30,7 @@ func startTelemetryTier(t *testing.T) (*Proxy, *AppServer, func()) {
 		SpanCapacity:  1024,
 		EventCapacity: 1024,
 		Adapt:         &adapt.Config{},
+		Admission:     &admission.Config{Limiter: admission.LimiterGradient, CoDel: true},
 		Telemetry:     &telemetry.Config{Interval: 5 * time.Millisecond},
 	}, []*Backend{NewBackend("app1", app.URL(), 8)})
 	if err != nil {
@@ -59,6 +61,7 @@ func TestAdminStreamHeaders(t *testing.T) {
 		{proxy.URL(), "/admin/trace", "application/x-ndjson"},
 		{proxy.URL(), "/admin/events", "application/x-ndjson"},
 		{proxy.URL(), "/admin/adapt/decisions", "application/x-ndjson"},
+		{proxy.URL(), "/admin/admission", "application/x-ndjson"},
 		{proxy.URL(), "/admin/timeline", "application/x-ndjson"},
 		{proxy.URL(), "/metrics", promContentType},
 		// The app server's probe endpoint follows the same convention:
@@ -117,6 +120,8 @@ func TestProxyTelemetryExport(t *testing.T) {
 		`millibalance_in_flight{source="app1"}`,
 		`millibalance_workers_busy{source="proxy"}`,
 		`millibalance_accept_wait{source="proxy"}`,
+		`millibalance_admission_limit{source="proxy"}`,
+		`millibalance_admission_drop_rate{source="proxy"}`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, metrics)

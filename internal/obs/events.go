@@ -42,6 +42,11 @@ const (
 	// KindRetry is one resilience-layer retry hop after an upstream
 	// failure (each hop spends one global retry-budget token).
 	KindRetry = "retry"
+	// KindAdmissionDrop is a request shed by the overload-control
+	// plane (internal/admission): Reason carries why (priority,
+	// queue_full, max_wait, codel) and Class the request's priority
+	// class.
+	KindAdmissionDrop = "admission_drop"
 )
 
 // CandidateView is one balancer candidate's load-balancing state as
@@ -89,6 +94,10 @@ type Event struct {
 	// Fault-injection fields.
 	Fault  string        `json:"fault,omitempty"`
 	Window time.Duration `json:"window,omitempty"`
+
+	// Admission-drop fields.
+	Reason string `json:"reason,omitempty"`
+	Class  string `json:"class,omitempty"`
 }
 
 // EventLog collects events into a bounded ring, overwriting the oldest

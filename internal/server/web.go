@@ -1,6 +1,7 @@
 package server
 
 import (
+	"millibalance/internal/admission"
 	"millibalance/internal/lb"
 	"millibalance/internal/netmodel"
 	"millibalance/internal/obs"
@@ -37,6 +38,16 @@ type WebConfig struct {
 	LogBytesPerRequest int64
 	// Writeback configures the web server's writeback daemon.
 	Writeback resource.WritebackConfig
+	// Admission, when non-nil, puts an overload-control gate in front
+	// of the worker pool: requests pass its concurrency limiter before
+	// competing for workers, wait in a bounded CoDel-judged queue when
+	// the limit is reached, and are shed (an error response, not a
+	// dropped SYN — the client does not retransmit) when the plane
+	// refuses them. All gate activity runs on the engine clock.
+	Admission *admission.Gate
+	// Classify assigns each request a priority class when admission is
+	// armed; nil classifies everything Interactive.
+	Classify func(*workload.Request) admission.Class
 }
 
 // Web is the web tier server: it accepts client connections into a
@@ -57,9 +68,13 @@ type Web struct {
 	wb       *resource.Writeback
 	link     sim.Time
 	logBytes int64
+	adm      *admission.Gate
+	admQ     *admission.Queue
+	classify func(*workload.Request) admission.Class
 
 	served uint64
 	errors uint64
+	sheds  uint64
 }
 
 // NewWeb returns a web server balancing across the given application
@@ -92,6 +107,14 @@ func NewWeb(eng *sim.Engine, cfg WebConfig, apps []*App) *Web {
 	}
 	w.wb = resource.NewWriteback(eng, cfg.Writeback, w.cpu.Stall)
 	w.wb.Start()
+	if cfg.Admission != nil {
+		w.adm = cfg.Admission
+		w.admQ = admission.NewQueue(w.adm, eng.Now, func(d sim.Time, fn func()) { eng.Schedule(d, fn) })
+		w.classify = cfg.Classify
+		if w.classify == nil {
+			w.classify = func(*workload.Request) admission.Class { return admission.Interactive }
+		}
+	}
 	cands := make([]*lb.Candidate, 0, len(apps))
 	for _, a := range apps {
 		w.apps[a.Name()] = a
@@ -124,6 +147,12 @@ func (w *Web) Errors() uint64 { return w.errors }
 // Drops reports connections dropped at the accept queue.
 func (w *Web) Drops() uint64 { return w.listener.Drops() }
 
+// Admission exposes the overload-control gate (nil when disabled).
+func (w *Web) Admission() *admission.Gate { return w.adm }
+
+// AdmissionSheds reports requests refused by the admission plane.
+func (w *Web) AdmissionSheds() uint64 { return w.sheds }
+
 // QueuedRequests reports requests inside the server: waiting in the
 // accept backlog plus held by worker threads.
 func (w *Web) QueuedRequests() int { return w.listener.Len() + w.workers.InUse() }
@@ -136,8 +165,41 @@ func (w *Web) ActiveWorkers() int { return w.workers.InUse() }
 
 // TryAccept admits a client request. It reports false when the accept
 // queue overflows, in which case the caller (the client's transport)
-// retransmits on its schedule.
+// retransmits on its schedule. With admission armed, the overload gate
+// runs first: refused requests are shed with an error response (they
+// report true — an explicit refusal, not a dropped SYN).
 func (w *Web) TryAccept(req *workload.Request) bool {
+	if w.adm == nil {
+		return w.accept(req)
+	}
+	cls := w.classify(req)
+	if w.adm.TryAcquire(cls) {
+		if w.accept(req) {
+			req.AdmittedAt = w.eng.Now()
+			return true
+		}
+		w.adm.Cancel()
+		return false
+	}
+	now := w.eng.Now()
+	if cls == admission.Background {
+		// Background never queues: no headroom means shed now.
+		w.adm.Drop(now, cls, admission.ReasonPriority)
+		w.shed(req)
+		return true
+	}
+	if w.admQ.Push(cls, func(admitted bool) { w.resumeQueued(req, admitted) }) {
+		req.Span.Enter(obs.StageWebAcceptQueue, now)
+		return true
+	}
+	w.adm.Drop(now, cls, admission.ReasonQueueFull)
+	w.shed(req)
+	return true
+}
+
+// accept places a request on a worker or the accept backlog — the
+// admission-free path.
+func (w *Web) accept(req *workload.Request) bool {
 	if w.workers.TryAcquire() {
 		w.handle(req)
 		return true
@@ -147,6 +209,40 @@ func (w *Web) TryAccept(req *workload.Request) bool {
 		return true
 	}
 	return false
+}
+
+// resumeQueued completes an admission-queue wait: the queue either
+// handed the request a concurrency slot or shed it (MaxWait or CoDel,
+// already recorded by the queue).
+func (w *Web) resumeQueued(req *workload.Request, admitted bool) {
+	if !admitted {
+		w.shed(req)
+		return
+	}
+	req.AdmittedAt = w.eng.Now()
+	if !w.accept(req) {
+		// Workers and backlog both full even though the limiter let us
+		// through — shed rather than queue a second time.
+		w.adm.Cancel()
+		w.adm.Drop(w.eng.Now(), admission.Interactive, admission.ReasonQueueFull)
+		w.shed(req)
+	}
+}
+
+// shed answers a request the admission plane refused. The refusal is
+// an immediate error response; the finish is deferred one engine event
+// so the caller's span bookkeeping (retransmit-wait exit) lands first.
+func (w *Web) shed(req *workload.Request) {
+	w.sheds++
+	req.Span.Exit(obs.StageWebAcceptQueue, w.eng.Now())
+	w.eng.Schedule(0, func() {
+		req.Web = w.name
+		req.Finish(workload.Outcome{
+			OK:           false,
+			ResponseTime: w.eng.Now() - req.IssuedAt,
+			Retransmits:  req.Retransmits,
+		})
+	})
 }
 
 // handle runs with a worker token held.
@@ -216,5 +312,12 @@ func (w *Web) respond(req *workload.Request, ok bool) {
 	// any; otherwise release it.
 	if !w.listener.Accept() {
 		w.workers.Release()
+	}
+	// Free the admission slot last, after the worker handoff, so a
+	// drained waiter finds the worker (or the backlog head) already
+	// settled; the release feeds the observed admit→respond time to
+	// the adaptive limiter.
+	if w.adm != nil {
+		w.adm.Release(w.eng.Now(), w.eng.Now()-req.AdmittedAt, ok)
 	}
 }

@@ -74,6 +74,18 @@ const (
 	// the signal that shows a frozen backend dropping out of prequal's
 	// consideration.
 	SignalProbeStalenessMs = "probe_staleness_ms"
+	// SignalAdmitLimit is the admission gate's current concurrency
+	// limit — the trace of the adaptive limiter tracking a stall.
+	SignalAdmitLimit = "admission_limit"
+	// SignalAdmitInFlight is admitted-but-unreleased requests at the
+	// admission gate.
+	SignalAdmitInFlight = "admission_in_flight"
+	// SignalAdmitQueue is requests waiting in the admission gate's
+	// pre-dispatch queue.
+	SignalAdmitQueue = "admission_queue"
+	// SignalAdmitDropRate is admission sheds per second over the
+	// sampling window.
+	SignalAdmitDropRate = "admission_drop_rate"
 )
 
 // Config sizes a timeline.

@@ -34,6 +34,10 @@ type Request struct {
 	// empty for requests that never reached a server.
 	Web     string
 	Backend string
+	// AdmittedAt is when the web tier's admission gate admitted the
+	// request (meaningful only when admission control is armed); the
+	// admit→respond interval feeds the adaptive concurrency limiter.
+	AdmittedAt sim.Time
 	// Span, when non-nil, records the request's lifecycle stages as it
 	// travels through the tiers. Nil when tracing is disabled.
 	Span *obs.Span
